@@ -1,0 +1,71 @@
+// Command dvmc-bench regenerates the paper's evaluation: every figure of
+// Section 6 (runtimes per model and protocol, the DVMC component
+// breakdown, replay misses, link bandwidth, and the two sensitivity
+// sweeps) plus the Section 6.1 error-detection campaign.
+//
+// Example:
+//
+//	dvmc-bench -fig all -reps 3 -txns 150
+//	dvmc-bench -fig 5
+//	dvmc-bench -fig errors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dvmc"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|errors|all")
+		reps = flag.Int("reps", 3, "perturbed repetitions per configuration")
+		txns = flag.Uint64("txns", 120, "transactions per run")
+	)
+	flag.Parse()
+
+	opts := dvmc.DefaultExperimentOpts()
+	opts.Repetitions = *reps
+	opts.Transactions = *txns
+
+	type job struct {
+		name string
+		run  func() (dvmc.Table, error)
+	}
+	jobs := map[string]job{
+		"3":      {"Figure 3", func() (dvmc.Table, error) { return dvmc.FigureRuntimes(dvmc.Directory, opts) }},
+		"4":      {"Figure 4", func() (dvmc.Table, error) { return dvmc.FigureRuntimes(dvmc.Snooping, opts) }},
+		"5":      {"Figure 5", func() (dvmc.Table, error) { return dvmc.Figure5(opts) }},
+		"6":      {"Figure 6", func() (dvmc.Table, error) { return dvmc.Figure6(opts) }},
+		"7":      {"Figure 7", func() (dvmc.Table, error) { return dvmc.Figure7(opts) }},
+		"8":      {"Figure 8", func() (dvmc.Table, error) { return dvmc.Figure8(opts) }},
+		"9":      {"Figure 9", func() (dvmc.Table, error) { return dvmc.Figure9(opts) }},
+		"errors": {"Section 6.1", func() (dvmc.Table, error) { return dvmc.ErrorDetectionTable(10, 400_000, 42) }},
+	}
+	order := []string{"3", "4", "5", "6", "7", "8", "9", "errors"}
+
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else if _, ok := jobs[*fig]; ok {
+		selected = []string{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "dvmc-bench: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+
+	for _, key := range selected {
+		j := jobs[key]
+		start := time.Now()
+		t, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvmc-bench: %s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+		fmt.Printf("  [%s regenerated in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,141 @@
+// Command dvmc-sim runs one full-system simulation: a multiprocessor
+// with the selected coherence protocol and consistency model, a paper
+// workload, and (optionally) DVMC verification plus SafetyNet recovery.
+// It prints runtime, memory-system, interconnect, and checker statistics.
+//
+// Example:
+//
+//	dvmc-sim -workload oltp -model TSO -protocol directory -txns 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvmc"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "oltp", "workload: apache|oltp|jbb|slash|barnes|uniform")
+		modelName    = flag.String("model", "TSO", "consistency model: SC|TSO|PSO|RMO")
+		protoName    = flag.String("protocol", "directory", "coherence protocol: directory|snooping")
+		nodes        = flag.Int("nodes", 8, "processor count")
+		txns         = flag.Uint64("txns", 200, "transactions to complete")
+		maxCycles    = flag.Uint64("max-cycles", 100_000_000, "cycle budget")
+		seed         = flag.Uint64("seed", 1, "simulation seed")
+		linkGBps     = flag.Float64("link", 2.5, "link bandwidth in GB/s")
+		noDVMC       = flag.Bool("no-dvmc", false, "disable all DVMC checkers")
+		noSN         = flag.Bool("no-safetynet", false, "disable SafetyNet BER")
+		paperScale   = flag.Bool("paper-scale", false, "use the paper's full cache geometry (slower)")
+		verbose      = flag.Bool("v", false, "per-node statistics")
+	)
+	flag.Parse()
+
+	cfg := dvmc.ScaledConfig()
+	if *paperScale {
+		cfg = dvmc.DefaultConfig()
+	}
+	cfg = cfg.WithNodes(*nodes).WithLinkGBps(*linkGBps).WithSeed(*seed)
+	model, ok := parseModel(*modelName)
+	if !ok {
+		fatalf("unknown model %q", *modelName)
+	}
+	cfg = cfg.WithModel(model)
+	switch strings.ToLower(*protoName) {
+	case "directory":
+		cfg = cfg.WithProtocol(dvmc.Directory)
+	case "snooping":
+		cfg = cfg.WithProtocol(dvmc.Snooping)
+	default:
+		fatalf("unknown protocol %q", *protoName)
+	}
+	if *noDVMC {
+		cfg.DVMC = dvmc.Off()
+	}
+	if *noSN {
+		cfg.SafetyNet = false
+	}
+
+	w, ok := dvmc.WorkloadByName(*workloadName)
+	if !ok {
+		fatalf("unknown workload %q", *workloadName)
+	}
+
+	sys, err := dvmc.NewSystem(cfg, w)
+	if err != nil {
+		fatalf("assemble: %v", err)
+	}
+	fmt.Printf("dvmc-sim: %s on %d-node %v/%v system (dvmc=%v safetynet=%v link=%.1fGB/s)\n",
+		w.Name, cfg.Nodes, cfg.Protocol, cfg.Model, cfg.DVMC.Any(), cfg.SafetyNet, cfg.LinkGBps)
+
+	res, err := sys.Run(*txns, *maxCycles)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	sys.DrainCheckers()
+
+	fmt.Printf("\nruntime:        %d cycles for %d transactions (%.3f txn/kcycle)\n",
+		res.Cycles, res.Transactions, res.TPKC())
+	fmt.Printf("ops retired:    %d (loads executed %d, squashes spec=%d verify=%d)\n",
+		res.OpsRetired, res.LoadsExecuted, res.SpecSquashes, res.VerifySquashes)
+	fmt.Printf("L1:             %d hits / %d misses   L2: %d hits / %d misses\n",
+		res.L1Hits, res.L1Misses, res.L2Hits, res.L2Misses)
+	fmt.Printf("replay:         %d loads, %d L1 misses (ratio %.4f)\n",
+		res.ReplayLoads, res.ReplayL1Misses, res.ReplayMissRatio())
+	fmt.Printf("interconnect:   max link %.3f B/cycle, total %d bytes\n",
+		res.MaxLinkBandwidth, res.TotalLinkBytes)
+	for cl, bw := range res.MaxLinkByClass {
+		if bw > 0 {
+			fmt.Printf("                  %-10v %.4f B/cycle on hottest link\n", cl, bw)
+		}
+	}
+	if cfg.DVMC.CacheCoherence {
+		fmt.Printf("coherence chk:  %d informs (+%d open), %d processed at METs\n",
+			res.Informs, res.OpenInforms, res.InformsProcessed)
+	}
+	if cfg.SafetyNet {
+		fmt.Printf("safetynet:      %d checkpoints, %d log msgs, %d recoveries\n",
+			res.Checkpoints, res.LogMessages, res.Recoveries)
+	}
+	fmt.Printf("violations:     %d\n", res.Violations)
+	for _, v := range sys.Violations() {
+		fmt.Printf("  %v\n", v)
+	}
+
+	if *verbose {
+		fmt.Println("\nper-node statistics:")
+		for n := 0; n < cfg.Nodes; n++ {
+			cs := sys.CPUStats(n)
+			ms := sys.ControllerStats(n)
+			fmt.Printf("  node %d: txns=%d ops=%d wbStalls=%d vcStalls=%d membarStalls=%d l1miss=%d l2miss=%d\n",
+				n, cs.Transactions, cs.OpsRetired, cs.WBFullStalls, cs.VCFullStalls,
+				cs.MembarStalls, ms.L1Misses, ms.L2Misses)
+		}
+	}
+	if res.Violations > 0 {
+		os.Exit(2)
+	}
+}
+
+func parseModel(s string) (dvmc.Model, bool) {
+	switch strings.ToUpper(s) {
+	case "SC":
+		return dvmc.SC, true
+	case "TSO":
+		return dvmc.TSO, true
+	case "PSO":
+		return dvmc.PSO, true
+	case "RMO":
+		return dvmc.RMO, true
+	default:
+		return 0, false
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dvmc-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

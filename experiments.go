@@ -1,0 +1,357 @@
+package dvmc
+
+import (
+	"fmt"
+	"strings"
+
+	"dvmc/internal/stats"
+)
+
+// ExperimentOpts sizes an experiment run. The paper runs each simulation
+// ten times with small pseudo-random perturbations; Repetitions controls
+// that here.
+type ExperimentOpts struct {
+	Transactions uint64 // transactions per run (across all nodes)
+	MaxCycles    uint64 // per-run cycle budget
+	Repetitions  int    // perturbed repetitions per configuration
+	SeedBase     uint64
+}
+
+// DefaultExperimentOpts returns a configuration sized for minutes-scale
+// regeneration of every figure.
+func DefaultExperimentOpts() ExperimentOpts {
+	return ExperimentOpts{Transactions: 150, MaxCycles: 40_000_000, Repetitions: 3, SeedBase: 100}
+}
+
+// QuickExperimentOpts returns a configuration for smoke tests.
+func QuickExperimentOpts() ExperimentOpts {
+	return ExperimentOpts{Transactions: 40, MaxCycles: 20_000_000, Repetitions: 1, SeedBase: 100}
+}
+
+// Cell is one mean ± stddev table entry.
+type Cell struct {
+	Mean float64
+	Std  float64
+}
+
+// Table is a printable experiment result (one per paper figure).
+type Table struct {
+	Title string
+	Note  string
+	Rows  []string
+	Cols  []string
+	Cells [][]Cell
+}
+
+// String renders the table.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+	w := 12
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", w+8, c)
+	}
+	b.WriteString("\n")
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s", r)
+		for j := range t.Cols {
+			c := t.Cells[i][j]
+			fmt.Fprintf(&b, "%*s", w+8, fmt.Sprintf("%.3f ±%.3f", c.Mean, c.Std))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// runtimeSample measures the runtime (cycles to complete the transaction
+// quota) over perturbed repetitions.
+func runtimeSample(cfg Config, w Workload, opts ExperimentOpts) (*stats.Sample, []Results, error) {
+	sample := &stats.Sample{}
+	var all []Results
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		s, err := NewSystem(cfg.WithSeed(opts.SeedBase+uint64(rep)), w)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := s.Run(opts.Transactions, opts.MaxCycles)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s/%v/%v rep %d: %w", w.Name, cfg.Protocol, cfg.Model, rep, err)
+		}
+		s.DrainCheckers()
+		if v := s.Violations(); len(v) != 0 {
+			return nil, nil, fmt.Errorf("%s/%v/%v rep %d: unexpected violation %v", w.Name, cfg.Protocol, cfg.Model, rep, v[0])
+		}
+		sample.Add(float64(res.Cycles))
+		all = append(all, res)
+	}
+	return sample, all, nil
+}
+
+// baseConfig returns the experiment baseline (unprotected: no DVMC, no
+// SafetyNet) on the scaled geometry.
+func baseConfig(protocol Protocol, model Model) Config {
+	cfg := ScaledConfig().WithProtocol(protocol).WithModel(model)
+	cfg.DVMC = Off()
+	cfg.SafetyNet = false
+	return cfg
+}
+
+// protectConfig returns the fully protected system (DVMC + SafetyNet).
+func protectConfig(protocol Protocol, model Model) Config {
+	cfg := ScaledConfig().WithProtocol(protocol).WithModel(model)
+	cfg.DVMC = Full()
+	cfg.SafetyNet = true
+	return cfg
+}
+
+// FigureRuntimes regenerates Figure 3 (directory) or Figure 4 (snooping):
+// runtimes of the unprotected base and the full DVMC system under each
+// consistency model, normalised per workload to the unprotected SC run.
+func FigureRuntimes(protocol Protocol, opts ExperimentOpts) (Table, error) {
+	t := Table{
+		Title: fmt.Sprintf("Figure %d: runtime normalised to SC-base (%v system)", map[Protocol]int{Directory: 3, Snooping: 4}[protocol], protocol),
+		Note:  "lower is faster; Base = unprotected, DVMC = full verification + SafetyNet",
+	}
+	for _, m := range Models {
+		t.Cols = append(t.Cols, m.String()+"-base", m.String()+"-dvmc")
+	}
+	for _, w := range Workloads() {
+		t.Rows = append(t.Rows, w.Name)
+		scBase, _, err := runtimeSample(baseConfig(protocol, SC), w, opts)
+		if err != nil {
+			return t, err
+		}
+		ref := scBase.Mean()
+		var row []Cell
+		for _, m := range Models {
+			var base *stats.Sample
+			if m == SC {
+				base = scBase
+			} else {
+				base, _, err = runtimeSample(baseConfig(protocol, m), w, opts)
+				if err != nil {
+					return t, err
+				}
+			}
+			prot, _, err := runtimeSample(protectConfig(protocol, m), w, opts)
+			if err != nil {
+				return t, err
+			}
+			baseN := stats.NormalizeBy(base, ref)
+			protN := stats.NormalizeBy(prot, ref)
+			row = append(row,
+				Cell{Mean: baseN.Mean(), Std: baseN.StdDev()},
+				Cell{Mean: protN.Mean(), Std: protN.StdDev()})
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// Figure5 regenerates the component breakdown on the TSO directory
+// system: Base, SafetyNet only (SN), SN + coherence verification
+// (SN+DVCC), SN + uniprocessor-ordering verification (SN+DVUO), and the
+// full system (DVTSO), normalised per workload to Base.
+func Figure5(opts ExperimentOpts) (Table, error) {
+	t := Table{
+		Title: "Figure 5: DVMC component breakdown, TSO directory system",
+		Note:  "runtime normalised to the unprotected base",
+		Cols:  []string{"Base", "SN", "SN+DVCC", "SN+DVUO", "DVTSO"},
+	}
+	variants := []func() Config{
+		func() Config { return baseConfig(Directory, TSO) },
+		func() Config {
+			cfg := baseConfig(Directory, TSO)
+			cfg.SafetyNet = true
+			cfg.SNConfig = ScaledConfig().SNConfig
+			return cfg
+		},
+		func() Config {
+			cfg := baseConfig(Directory, TSO)
+			cfg.SafetyNet = true
+			cfg.SNConfig = ScaledConfig().SNConfig
+			cfg.DVMC = DVMCConfig{CacheCoherence: true}
+			return cfg
+		},
+		func() Config {
+			cfg := baseConfig(Directory, TSO)
+			cfg.SafetyNet = true
+			cfg.SNConfig = ScaledConfig().SNConfig
+			cfg.DVMC = DVMCConfig{UniprocessorOrdering: true, AllowableReordering: true}
+			return cfg
+		},
+		func() Config { return protectConfig(Directory, TSO) },
+	}
+	for _, w := range Workloads() {
+		t.Rows = append(t.Rows, w.Name)
+		var row []Cell
+		var ref float64
+		for i, mk := range variants {
+			s, _, err := runtimeSample(mk(), w, opts)
+			if err != nil {
+				return t, err
+			}
+			if i == 0 {
+				ref = s.Mean()
+			}
+			n := stats.NormalizeBy(s, ref)
+			row = append(row, Cell{Mean: n.Mean(), Std: n.StdDev()})
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// Figure6 regenerates the replay-miss figure: L1 misses during
+// verification replay normalised to demand L1 misses (TSO directory,
+// full DVMC).
+func Figure6(opts ExperimentOpts) (Table, error) {
+	t := Table{
+		Title: "Figure 6: replay L1 misses normalised to demand L1 misses (TSO directory)",
+		Cols:  []string{"replay/demand"},
+	}
+	for _, w := range Workloads() {
+		t.Rows = append(t.Rows, w.Name)
+		sample := &stats.Sample{}
+		_, results, err := runtimeSample(protectConfig(Directory, TSO), w, opts)
+		if err != nil {
+			return t, err
+		}
+		for _, r := range results {
+			sample.Add(r.ReplayMissRatio())
+		}
+		t.Cells = append(t.Cells, []Cell{{Mean: sample.Mean(), Std: sample.StdDev()}})
+	}
+	return t, nil
+}
+
+// Figure7 regenerates the interconnect figure: mean bandwidth on the
+// highest-loaded link (bytes/cycle) for the base system, base+SafetyNet,
+// base+SafetyNet+coherence verification, and full DVTSO.
+func Figure7(opts ExperimentOpts) (Table, error) {
+	t := Table{
+		Title: "Figure 7: mean bandwidth on the highest-loaded link (TSO directory), bytes/cycle",
+		Cols:  []string{"Base", "SN", "SN+DVCC", "DVTSO"},
+	}
+	variants := []func() Config{
+		func() Config { return baseConfig(Directory, TSO) },
+		func() Config {
+			cfg := baseConfig(Directory, TSO)
+			cfg.SafetyNet = true
+			cfg.SNConfig = ScaledConfig().SNConfig
+			return cfg
+		},
+		func() Config {
+			cfg := baseConfig(Directory, TSO)
+			cfg.SafetyNet = true
+			cfg.SNConfig = ScaledConfig().SNConfig
+			cfg.DVMC = DVMCConfig{CacheCoherence: true}
+			return cfg
+		},
+		func() Config { return protectConfig(Directory, TSO) },
+	}
+	for _, w := range Workloads() {
+		t.Rows = append(t.Rows, w.Name)
+		var row []Cell
+		for _, mk := range variants {
+			_, results, err := runtimeSample(mk(), w, opts)
+			if err != nil {
+				return t, err
+			}
+			sample := &stats.Sample{}
+			for _, r := range results {
+				sample.Add(r.MaxLinkBandwidth)
+			}
+			row = append(row, Cell{Mean: sample.Mean(), Std: sample.StdDev()})
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// Figure8 regenerates the link-bandwidth sensitivity sweep: DVTSO
+// runtime normalised to the unprotected base, averaged over the
+// workloads, at 1–3 GB/s links.
+func Figure8(opts ExperimentOpts) (Table, error) {
+	t := Table{
+		Title: "Figure 8: DVTSO slowdown vs link bandwidth (directory, mean over workloads)",
+		Cols:  []string{"normalised runtime"},
+	}
+	for _, gbps := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+		t.Rows = append(t.Rows, fmt.Sprintf("%.1f GB/s", gbps))
+		agg := &stats.Sample{}
+		for _, w := range Workloads() {
+			base, _, err := runtimeSample(baseConfig(Directory, TSO).WithLinkGBps(gbps), w, opts)
+			if err != nil {
+				return t, err
+			}
+			prot, _, err := runtimeSample(protectConfig(Directory, TSO).WithLinkGBps(gbps), w, opts)
+			if err != nil {
+				return t, err
+			}
+			agg.Add(prot.Mean() / base.Mean())
+		}
+		t.Cells = append(t.Cells, []Cell{{Mean: agg.Mean(), Std: agg.StdDev()}})
+	}
+	return t, nil
+}
+
+// Figure9 regenerates the scaling sweep: DVTSO runtime normalised to the
+// unprotected base for 1–8 processors at 2.5 GB/s.
+func Figure9(opts ExperimentOpts) (Table, error) {
+	t := Table{
+		Title: "Figure 9: DVTSO slowdown vs processor count (directory, mean over workloads)",
+		Cols:  []string{"normalised runtime"},
+	}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", nodes))
+		agg := &stats.Sample{}
+		for _, w := range Workloads() {
+			base, _, err := runtimeSample(baseConfig(Directory, TSO).WithNodes(nodes), w, opts)
+			if err != nil {
+				return t, err
+			}
+			prot, _, err := runtimeSample(protectConfig(Directory, TSO).WithNodes(nodes), w, opts)
+			if err != nil {
+				return t, err
+			}
+			agg.Add(prot.Mean() / base.Mean())
+		}
+		t.Cells = append(t.Cells, []Cell{{Mean: agg.Mean(), Std: agg.StdDev()}})
+	}
+	return t, nil
+}
+
+// ErrorDetectionTable regenerates the Section 6.1 experiment: a fault
+// campaign per consistency model and protocol, reporting detection
+// coverage.
+func ErrorDetectionTable(faultsPerConfig int, budget uint64, seed uint64) (Table, error) {
+	t := Table{
+		Title: "Section 6.1: error-detection campaign (detected / applied; masked faults had no architectural effect)",
+		Cols:  []string{"applied", "detected", "masked", "undetected"},
+	}
+	for _, protocol := range []Protocol{Directory, Snooping} {
+		for _, m := range Models {
+			t.Rows = append(t.Rows, fmt.Sprintf("%v/%v", protocol, m))
+			cfg := protectConfig(protocol, m).WithSeed(seed)
+			cfg.Memory.CacheECC = true
+			cfg.SNConfig.Interval = 10000
+			cfg.SNConfig.Keep = 10
+			cfg.Proc.MembarInjectionInterval = 5000
+			camp, err := RunCampaign(cfg, OLTP(), faultsPerConfig, budget)
+			if err != nil {
+				return t, err
+			}
+			applied, detected, masked, undetected := camp.Counts()
+			t.Cells = append(t.Cells, []Cell{
+				{Mean: float64(applied)}, {Mean: float64(detected)},
+				{Mean: float64(masked)}, {Mean: float64(undetected)},
+			})
+		}
+	}
+	return t, nil
+}

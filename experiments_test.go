@@ -1,0 +1,135 @@
+package dvmc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigureHarnessSmoke runs each figure harness at minimal size and
+// checks structural sanity: every cell populated, positive baselines,
+// correct normalisation anchors.
+func TestFigureHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	opts := ExperimentOpts{Transactions: 24, MaxCycles: 20_000_000, Repetitions: 1, SeedBase: 5}
+
+	t.Run("figure3", func(t *testing.T) {
+		tab, err := FigureRuntimes(Directory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTableShape(t, tab, 5, 8)
+		// SC-base is the normalisation anchor: exactly 1.0 per row.
+		for i := range tab.Rows {
+			if tab.Cells[i][0].Mean != 1.0 {
+				t.Errorf("%s: SC-base = %v, want 1.0", tab.Rows[i], tab.Cells[i][0].Mean)
+			}
+		}
+	})
+
+	t.Run("figure5", func(t *testing.T) {
+		tab, err := Figure5(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTableShape(t, tab, 5, 5)
+		for i := range tab.Rows {
+			if tab.Cells[i][0].Mean != 1.0 {
+				t.Errorf("%s: base cell not 1.0", tab.Rows[i])
+			}
+		}
+	})
+
+	t.Run("figure6", func(t *testing.T) {
+		tab, err := Figure6(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTableShape(t, tab, 5, 1)
+		for i := range tab.Rows {
+			if r := tab.Cells[i][0].Mean; r < 0 || r > 1 {
+				t.Errorf("%s: replay ratio %v out of [0,1]", tab.Rows[i], r)
+			}
+		}
+	})
+
+	t.Run("figure7", func(t *testing.T) {
+		tab, err := Figure7(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTableShape(t, tab, 5, 4)
+		for i := range tab.Rows {
+			for j := range tab.Cols {
+				if tab.Cells[i][j].Mean <= 0 {
+					t.Errorf("%s/%s: non-positive bandwidth", tab.Rows[i], tab.Cols[j])
+				}
+			}
+		}
+	})
+}
+
+func TestFigure8And9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	opts := ExperimentOpts{Transactions: 16, MaxCycles: 20_000_000, Repetitions: 1, SeedBase: 5}
+	tab8, err := Figure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableShape(t, tab8, 5, 1)
+	tab9, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableShape(t, tab9, 4, 1)
+	// Slowdowns must stay in a sane band.
+	for i := range tab9.Rows {
+		v := tab9.Cells[i][0].Mean
+		if v < 0.5 || v > 3 {
+			t.Errorf("figure 9 row %s: slowdown %v implausible", tab9.Rows[i], v)
+		}
+	}
+}
+
+func TestErrorDetectionTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	tab, err := ErrorDetectionTable(3, 150_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableShape(t, tab, 8, 4)
+	for i := range tab.Rows {
+		if undetected := tab.Cells[i][3].Mean; undetected != 0 {
+			t.Errorf("%s: %v false negatives", tab.Rows[i], undetected)
+		}
+	}
+}
+
+func assertTableShape(t *testing.T, tab Table, rows, cols int) {
+	t.Helper()
+	if len(tab.Rows) != rows || len(tab.Cols) != cols {
+		t.Fatalf("table %dx%d, want %dx%d", len(tab.Rows), len(tab.Cols), rows, cols)
+	}
+	if len(tab.Cells) != rows {
+		t.Fatalf("cells rows %d", len(tab.Cells))
+	}
+	for _, r := range tab.Cells {
+		if len(r) != cols {
+			t.Fatalf("cells cols %d", len(r))
+		}
+	}
+	if tab.String() == "" || !strings.Contains(tab.String(), tab.Rows[0]) {
+		t.Error("table does not render")
+	}
+}
+
+func TestQuickAndDefaultOpts(t *testing.T) {
+	if DefaultExperimentOpts().Repetitions < 1 || QuickExperimentOpts().Repetitions < 1 {
+		t.Error("bad default opts")
+	}
+}

@@ -1,0 +1,3 @@
+module dvmc
+
+go 1.22

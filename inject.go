@@ -1,0 +1,538 @@
+package dvmc
+
+import (
+	"fmt"
+
+	"dvmc/internal/coherence"
+	"dvmc/internal/core"
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/proc"
+	"dvmc/internal/sim"
+)
+
+// FaultKind enumerates the error classes of the paper's Section 6.1
+// campaign: "data and address bit flips; dropped, reordered, mis-routed,
+// and duplicated messages; and reorderings and incorrect forwarding in
+// the LSQ and write buffer", injected into the LSQ, write buffer,
+// caches, interconnect, and memory/cache controllers.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// Interconnect faults.
+	FaultMsgDrop FaultKind = iota + 1
+	FaultMsgDuplicate
+	FaultMsgMisroute
+	FaultMsgReorder
+	FaultMsgDataFlip // data bit flip in a block-bearing message
+	// Storage faults.
+	FaultCacheDataFlip
+	FaultMemoryDataFlip
+	// Write-buffer faults.
+	FaultWBReorder
+	FaultWBDrop
+	FaultWBCorrupt
+	// LSQ faults.
+	FaultLSQValue
+	FaultLSQForward
+	// Controller-logic faults.
+	FaultPermissionDrop
+	FaultSilentWrite
+
+	numFaultKinds
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultMsgDrop:
+		return "msg-drop"
+	case FaultMsgDuplicate:
+		return "msg-duplicate"
+	case FaultMsgMisroute:
+		return "msg-misroute"
+	case FaultMsgReorder:
+		return "msg-reorder"
+	case FaultMsgDataFlip:
+		return "msg-data-flip"
+	case FaultCacheDataFlip:
+		return "cache-data-flip"
+	case FaultMemoryDataFlip:
+		return "memory-data-flip"
+	case FaultWBReorder:
+		return "wb-reorder"
+	case FaultWBDrop:
+		return "wb-drop"
+	case FaultWBCorrupt:
+		return "wb-corrupt"
+	case FaultLSQValue:
+		return "lsq-value-flip"
+	case FaultLSQForward:
+		return "lsq-bad-forward"
+	case FaultPermissionDrop:
+		return "ctrl-permission-drop"
+	case FaultSilentWrite:
+		return "ctrl-silent-write"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// AllFaultKinds lists every injectable fault class.
+func AllFaultKinds() []FaultKind {
+	out := make([]FaultKind, 0, int(numFaultKinds)-1)
+	for k := FaultKind(1); k < numFaultKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Injection describes one fault to inject.
+type Injection struct {
+	Kind  FaultKind
+	Node  int       // target node (cache/WB/LSQ faults)
+	Cycle sim.Cycle // injection time
+}
+
+// InjectionResult records what happened.
+type InjectionResult struct {
+	Injection Injection
+	// Applied reports whether the fault could be placed (a cache flip
+	// needs a resident block, a WB fault a buffered store, ...).
+	Applied bool
+	// ActivatedAt is when the fault took architectural effect (armed
+	// faults can lie dormant until a matching event occurs).
+	ActivatedAt sim.Cycle
+	// Detected reports a checker violation, a UO-replay mismatch (which
+	// corrects LSQ faults inline), or an ECC correction (cache bit
+	// flips) after the injection.
+	Detected bool
+	// DetectionKind is the first violation's kind.
+	DetectionKind core.ViolationKind
+	// Latency is detection cycle minus injection cycle.
+	Latency sim.Cycle
+	// Recoverable reports that a SafetyNet checkpoint older than the
+	// injection was still live at detection (the paper's criterion:
+	// detection within the ~100k-cycle recovery window).
+	Recoverable bool
+	// Masked reports an undetected fault whose class can be consumed
+	// without architectural effect (a duplicate message absorbed
+	// idempotently, a dormant LSQ fault that never triggered, a corrupted
+	// line evicted unread). Masked faults are not false negatives.
+	Masked bool
+}
+
+// String implements fmt.Stringer.
+func (r InjectionResult) String() string {
+	switch {
+	case !r.Applied:
+		return fmt.Sprintf("%v@%d node %d: not applied", r.Injection.Kind, r.Injection.Cycle, r.Injection.Node)
+	case !r.Detected:
+		return fmt.Sprintf("%v@%d node %d: NOT DETECTED", r.Injection.Kind, r.Injection.Cycle, r.Injection.Node)
+	default:
+		return fmt.Sprintf("%v@%d node %d: detected as %v after %d cycles (recoverable=%v)",
+			r.Injection.Kind, r.Injection.Cycle, r.Injection.Node, r.DetectionKind, r.Latency, r.Recoverable)
+	}
+}
+
+// SetStrict toggles the protocol-anomaly panics of all controllers.
+// Injection campaigns disable them so corrupted protocol state becomes
+// architecturally visible misbehaviour for DVMC to detect, rather than a
+// simulator abort.
+func (s *System) SetStrict(strict bool) {
+	for _, c := range s.dirC {
+		c.SetStrict(strict)
+	}
+	for _, h := range s.dirH {
+		h.SetStrict(strict)
+	}
+	for _, c := range s.snpC {
+		c.SetStrict(strict)
+	}
+	for _, h := range s.snpH {
+		h.SetStrict(strict)
+	}
+}
+
+// uoEvents counts UO replay mismatches across nodes (LSQ faults are
+// detected and corrected inline by the verification stage, so they never
+// reach the violation sink).
+func (s *System) uoEvents() uint64 {
+	var n uint64
+	for _, u := range s.uo {
+		if u != nil {
+			n += u.Stats().LoadMismatches
+		}
+	}
+	return n
+}
+
+// eccCorrections counts single-bit cache errors corrected by line ECC.
+// The paper requires ECC on all cache lines precisely because silent
+// cache corruptions are invisible to the epoch hash chain; a correction
+// is a detected-and-recovered error.
+func (s *System) eccCorrections() uint64 {
+	var n uint64
+	for _, c := range s.ctrls {
+		n += c.ECCCorrected()
+	}
+	return n
+}
+
+// apply places the fault into the running system. It reports whether a
+// target existed.
+func (s *System) apply(inj Injection, rng *sim.Rand) bool {
+	n := inj.Node % s.cfg.Nodes
+	switch inj.Kind {
+	case FaultMsgDrop, FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder, FaultMsgDataFlip:
+		return s.armMessageFault(inj.Kind, rng)
+	case FaultCacheDataFlip:
+		blocks := s.ctrls[n].ResidentBlocks(64)
+		if len(blocks) == 0 {
+			return false
+		}
+		b := blocks[rng.Intn(len(blocks))]
+		return s.ctrls[n].CorruptCacheBit(b, rng.Intn(mem.BlockBytes*8))
+	case FaultMemoryDataFlip:
+		memory := s.homeMemory(n)
+		blocks := memory.SampleBlocks(64)
+		if len(blocks) == 0 {
+			return false
+		}
+		return memory.CorruptBit(blocks[rng.Intn(len(blocks))], rng.Intn(mem.BlockBytes*8))
+	case FaultWBReorder:
+		wb, ok := s.cpus[n].WriteBuffer().(*proc.InOrderWB)
+		if !ok || wb.Len() < 2 {
+			return false
+		}
+		wb.InjectReorder()
+		return true
+	case FaultWBDrop:
+		switch wb := s.cpus[n].WriteBuffer().(type) {
+		case *proc.InOrderWB:
+			wb.InjectDropNext()
+			return true
+		case *proc.OOOWB:
+			wb.InjectDropNext()
+			return true
+		default:
+			return false
+		}
+	case FaultWBCorrupt:
+		wb, ok := s.cpus[n].WriteBuffer().(*proc.InOrderWB)
+		if !ok {
+			return false
+		}
+		wb.InjectCorruptNext()
+		return true
+	case FaultLSQValue:
+		s.cpus[n].InjectLoadValueFault()
+		return true
+	case FaultLSQForward:
+		s.cpus[n].InjectForwardFault()
+		return true
+	case FaultPermissionDrop:
+		blocks := s.ctrls[n].ResidentBlocks(64)
+		for _, b := range blocks {
+			if s.ctrls[n].DropPermissionFault(b) {
+				return true
+			}
+		}
+		return false
+	case FaultSilentWrite:
+		// Prefer blocks held without write permission: the interesting
+		// controller fault skips the upgrade before writing.
+		blocks := s.ctrls[n].ResidentReadOnlyBlocks(64)
+		if len(blocks) == 0 {
+			blocks = s.ctrls[n].ResidentBlocks(64)
+		}
+		if len(blocks) == 0 {
+			return false
+		}
+		b := blocks[rng.Intn(len(blocks))]
+		return s.ctrls[n].WriteWithoutPermissionFault(b.WordAddr(rng.Intn(mem.WordsPerBlock)),
+			mem.Word(rng.Uint64()))
+	default:
+		panic(fmt.Sprintf("dvmc: unknown fault kind %v", inj.Kind))
+	}
+}
+
+// homeMemory returns node n's memory module.
+func (s *System) homeMemory(n int) *mem.Memory {
+	if len(s.dirH) > 0 {
+		return s.dirH[n].Memory()
+	}
+	return s.snpH[n].Memory()
+}
+
+// armMessageFault installs a one-shot network fault hook targeting the
+// next eligible message.
+func (s *System) armMessageFault(kind FaultKind, rng *sim.Rand) bool {
+	armed := true
+	hook := func(m *network.Message) network.FaultAction {
+		if !armed {
+			return network.FaultNone
+		}
+		switch kind {
+		case FaultMsgDataFlip:
+			if !flipMessageData(m, rng) {
+				return network.FaultNone // wait for a block-bearing message
+			}
+			armed = false
+			s.msgFaultActivated = s.Now()
+			s.torus.SetFaultHook(nil)
+			return network.FaultCorrupt
+		case FaultMsgDrop:
+			// Dropping an Inform only degrades the checker; drop protocol
+			// traffic so the error is architectural.
+			if m.Class != network.ClassCoherence {
+				return network.FaultNone
+			}
+			armed = false
+			s.msgFaultActivated = s.Now()
+			s.torus.SetFaultHook(nil)
+			return network.FaultDrop
+		case FaultMsgDuplicate:
+			if m.Class != network.ClassCoherence {
+				return network.FaultNone
+			}
+			armed = false
+			s.msgFaultActivated = s.Now()
+			s.torus.SetFaultHook(nil)
+			return network.FaultDuplicate
+		case FaultMsgMisroute:
+			if m.Class != network.ClassCoherence {
+				return network.FaultNone
+			}
+			armed = false
+			s.msgFaultActivated = s.Now()
+			s.torus.SetFaultHook(nil)
+			return network.FaultMisroute
+		case FaultMsgReorder:
+			if m.Class != network.ClassCoherence {
+				return network.FaultNone
+			}
+			armed = false
+			s.msgFaultActivated = s.Now()
+			s.torus.SetFaultHook(nil)
+			return network.FaultDelay
+		}
+		return network.FaultNone
+	}
+	s.torus.SetFaultHook(hook)
+	return true
+}
+
+// flipMessageData flips one data bit in a block-bearing payload,
+// reporting whether the message carried one.
+func flipMessageData(m *network.Message, rng *sim.Rand) bool {
+	bit := rng.Intn(mem.BlockBytes * 8)
+	word, off := bit/64, bit%64
+	switch p := m.Payload.(type) {
+	case coherence.MsgData:
+		p.Data[word] ^= 1 << off
+		m.Payload = p
+	case coherence.MsgPutM:
+		p.Data[word] ^= 1 << off
+		m.Payload = p
+	case coherence.MsgRecallAck:
+		p.Data[word] ^= 1 << off
+		m.Payload = p
+	case coherence.MsgSnoopData:
+		p.Data[word] ^= 1 << off
+		m.Payload = p
+	case coherence.MsgSnoopWB:
+		p.Data[word] ^= 1 << off
+		m.Payload = p
+	default:
+		return false
+	}
+	return true
+}
+
+// RunInjection builds a system, runs it to the injection point, applies
+// the fault, and observes detection. budget bounds the post-injection
+// observation window in cycles.
+func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (InjectionResult, error) {
+	res := InjectionResult{Injection: inj}
+	s, err := NewSystem(cfg, w)
+	if err != nil {
+		return res, err
+	}
+	s.SetStrict(false)
+	rng := sim.NewRand(cfg.Seed ^ (uint64(inj.Cycle)+uint64(inj.Node)*977)*0x9e3779b97f4a7c15)
+
+	// Warm up to the injection point.
+	s.kernel.RunUntil(func() bool { return false }, uint64(inj.Cycle))
+	baseUO := s.uoEvents()
+	baseECC := s.eccCorrections()
+	baseViolations := len(s.Violations())
+
+	res.Applied = s.apply(inj, rng)
+	if !res.Applied {
+		return res, nil
+	}
+	res.ActivatedAt = inj.Cycle
+	detected := func() bool {
+		if inj.Kind == FaultLSQValue || inj.Kind == FaultLSQForward {
+			// Attribute precisely: the corrupted load itself must fail
+			// verification (benign mis-speculation mismatches on other
+			// loads do not count), or some checker must fire.
+			caught, squashed := s.cpus[inj.Node%s.cfg.Nodes].FaultOutcome()
+			return caught || squashed || len(s.Violations()) > baseViolations
+		}
+		// Benign UO mismatches (load-order races) occur in fault-free
+		// runs too; they attribute detection only for LSQ faults above.
+		_ = baseUO
+		return len(s.Violations()) > baseViolations || s.eccCorrections() > baseECC
+	}
+	s.kernel.RunUntil(detected, budget)
+	if !detected() {
+		// Give the MET a final ordered pass over settled informs.
+		s.DrainCheckers()
+	}
+	// Dormant-fault activation time, where the system can report it.
+	switch inj.Kind {
+	case FaultLSQValue, FaultLSQForward:
+		if at, ok := s.cpus[inj.Node%s.cfg.Nodes].FaultActivatedAt(); ok {
+			res.ActivatedAt = at
+		}
+	case FaultMsgDrop, FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder, FaultMsgDataFlip:
+		if s.msgFaultActivated > 0 {
+			res.ActivatedAt = s.msgFaultActivated
+		}
+	}
+	if detected() {
+		res.Detected = true
+		switch {
+		case s.eccCorrections() > baseECC:
+			// The flip was corrected in place on first use: detection and
+			// recovery coincide; no rollback is needed.
+			res.DetectionKind = core.ECCUncorrectable
+			res.ActivatedAt = s.Now()
+			res.Latency = 0
+			res.Recoverable = true
+			return res, nil
+		case len(s.Violations()) > baseViolations:
+			res.DetectionKind = s.Violations()[baseViolations].Kind
+			res.Latency = s.Violations()[baseViolations].Cycle - res.ActivatedAt
+		default:
+			if _, squashed := s.cpus[inj.Node%s.cfg.Nodes].FaultOutcome(); squashed &&
+				(inj.Kind == FaultLSQValue || inj.Kind == FaultLSQForward) {
+				// Erased by a flush before verification: masked.
+				res.Detected = false
+				res.Masked = true
+				return res, nil
+			}
+			res.DetectionKind = core.UOMismatch
+			res.Latency = s.Now() - res.ActivatedAt
+		}
+		if s.snMgr != nil {
+			if res.DetectionKind == core.OperationTimeout {
+				// A hang produced no wrong architectural state; recovery
+				// to any live checkpoint resets the lost protocol state.
+				res.Recoverable = len(s.snMgr.Live()) > 0
+			} else {
+				_, res.Recoverable = s.snMgr.ValidFor(res.ActivatedAt)
+			}
+		}
+		return res, nil
+	}
+	// Undetected: classify maskable outcomes.
+	switch inj.Kind {
+	case FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder:
+		// Control messages are absorbed idempotently when no matching
+		// transaction exists; the fault left no architectural trace.
+		res.Masked = true
+	case FaultLSQValue, FaultLSQForward:
+		cpu := s.cpus[inj.Node%s.cfg.Nodes]
+		if _, activated := cpu.FaultActivatedAt(); !activated {
+			res.Masked = true // armed but never triggered within the budget
+		} else if _, squashed := cpu.FaultOutcome(); squashed {
+			res.Masked = true // a mis-speculation flush erased the corruption
+		}
+	case FaultCacheDataFlip, FaultMemoryDataFlip:
+		// The corrupted line was never consumed within the budget; under
+		// ECC it will be corrected on first use.
+		res.Masked = true
+	case FaultWBCorrupt, FaultWBDrop:
+		// A newer store to the same word can overwrite the corrupted or
+		// dropped value inside the write buffer's merge window before any
+		// consumer observes it; the fault then has no architectural
+		// effect. (The verification cache compares only the final value
+		// per word, exactly because intermediate values are not
+		// architecturally visible.)
+		res.Masked = true
+	}
+	return res, nil
+}
+
+// CampaignResult aggregates an injection campaign.
+type CampaignResult struct {
+	Results []InjectionResult
+}
+
+// Counts returns (applied, detected, masked, undetected) totals.
+// Undetected excludes masked faults: it counts only faults that affected
+// architectural state without any checker noticing — false negatives.
+func (c CampaignResult) Counts() (applied, detected, masked, undetected int) {
+	for _, r := range c.Results {
+		if !r.Applied {
+			continue
+		}
+		applied++
+		switch {
+		case r.Detected:
+			detected++
+		case r.Masked:
+			masked++
+		default:
+			undetected++
+		}
+	}
+	return
+}
+
+// MaxLatency returns the worst detection latency among detected faults.
+func (c CampaignResult) MaxLatency() sim.Cycle {
+	var m sim.Cycle
+	for _, r := range c.Results {
+		if r.Detected && r.Latency > m {
+			m = r.Latency
+		}
+	}
+	return m
+}
+
+// AllRecoverable reports whether every detected fault was caught while a
+// pre-error checkpoint was still live.
+func (c CampaignResult) AllRecoverable() bool {
+	for _, r := range c.Results {
+		if r.Detected && !r.Recoverable {
+			return false
+		}
+	}
+	return true
+}
+
+// RunCampaign injects n random faults (random kind, node, and time, per
+// the paper's methodology) into fresh systems and aggregates detection.
+func RunCampaign(cfg Config, w Workload, n int, budget uint64) (CampaignResult, error) {
+	rng := sim.NewRand(cfg.Seed + 0xfa17)
+	kinds := AllFaultKinds()
+	var out CampaignResult
+	for i := 0; i < n; i++ {
+		inj := Injection{
+			Kind:  kinds[rng.Intn(len(kinds))],
+			Node:  rng.Intn(cfg.Nodes),
+			Cycle: sim.Cycle(2000 + rng.Intn(20000)),
+		}
+		r, err := RunInjection(cfg.WithSeed(cfg.Seed+uint64(i)), w, inj, budget)
+		if err != nil {
+			return out, fmt.Errorf("injection %d (%v): %w", i, inj.Kind, err)
+		}
+		out.Results = append(out.Results, r)
+	}
+	return out, nil
+}

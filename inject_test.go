@@ -1,0 +1,184 @@
+package dvmc
+
+import (
+	"testing"
+
+	"dvmc/internal/sim"
+)
+
+// injCfg is the injection-test configuration: scaled geometry, strict
+// panics off, short membar-injection interval to bound latencies.
+func injCfg() Config {
+	cfg := smallConfig()
+	cfg.Proc.MembarInjectionInterval = 5000
+	cfg.Memory.CacheECC = true // cache flips are ECC's job (Section 4.3)
+	// Match the paper's ~100k-cycle recovery window.
+	cfg.SNConfig.Interval = 10000
+	cfg.SNConfig.Keep = 10
+	return cfg
+}
+
+func runOne(t *testing.T, cfg Config, kind FaultKind, node int) InjectionResult {
+	t.Helper()
+	// Stagger injection time with the node so repeated attempts target
+	// different dynamic states.
+	cycle := Cycle(5000 + 2500*node)
+	res, err := RunInjection(cfg, OLTP(), Injection{Kind: kind, Node: node, Cycle: cycle}, 400_000)
+	if err != nil {
+		t.Fatalf("%v: %v", kind, err)
+	}
+	return res
+}
+
+// TestInjectionDetection checks each fault class individually: every
+// applied, architecture-affecting fault must be detected (paper Section
+// 6.1: "DVMC detected all injected errors well within the SafetyNet
+// recovery time frame").
+func TestInjectionDetection(t *testing.T) {
+	kinds := []FaultKind{
+		FaultWBReorder, FaultWBDrop, FaultWBCorrupt,
+		FaultLSQValue, FaultLSQForward,
+		FaultCacheDataFlip, FaultMemoryDataFlip,
+		FaultSilentWrite, FaultPermissionDrop,
+		FaultMsgDataFlip, FaultMsgDrop,
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			detectedSomewhere := false
+			applied := 0
+			for node := 0; node < 4 && !detectedSomewhere; node++ {
+				res := runOne(t, injCfg(), kind, node)
+				if !res.Applied {
+					continue
+				}
+				applied++
+				if res.Detected {
+					detectedSomewhere = true
+					if res.Latency > sim.Cycle(100_000) {
+						t.Errorf("detection latency %d exceeds the recovery window", res.Latency)
+					}
+					if !res.Recoverable {
+						t.Errorf("detected but not recoverable: %v", res)
+					}
+				} else {
+					t.Logf("node %d: %v", node, res)
+				}
+			}
+			if applied == 0 {
+				t.Skip("fault had no target in this run")
+			}
+			if !detectedSomewhere {
+				t.Fatalf("%v: applied %d times, never detected", kind, applied)
+			}
+		})
+	}
+}
+
+// TestInjectionDetectionSnooping repeats the headline classes on the
+// snooping system: each class must be detected on at least one node.
+func TestInjectionDetectionSnooping(t *testing.T) {
+	cfg := injCfg().WithProtocol(Snooping)
+	for _, kind := range []FaultKind{FaultWBCorrupt, FaultCacheDataFlip, FaultSilentWrite, FaultLSQValue} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			applied := 0
+			for node := 0; node < 4; node++ {
+				res := runOne(t, cfg, kind, node)
+				if !res.Applied {
+					continue
+				}
+				applied++
+				if res.Detected {
+					return
+				}
+				t.Logf("node %d: %v", node, res)
+			}
+			if applied == 0 {
+				t.Skip("no target")
+			}
+			t.Fatalf("%v never detected on the snooping system", kind)
+		})
+	}
+}
+
+// TestInjectionAcrossModels runs one representative fault per model. A
+// cache flip on a line that is never touched again within the budget is
+// masked (ECC corrects it on first use); require detection on at least
+// one node per model.
+func TestInjectionAcrossModels(t *testing.T) {
+	for _, model := range Models {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := injCfg().WithModel(model)
+			for node := 0; node < 4; node++ {
+				res := runOne(t, cfg, FaultCacheDataFlip, node)
+				if res.Applied && res.Detected {
+					return
+				}
+				t.Logf("node %d: %v", node, res)
+			}
+			t.Fatalf("cache flip never detected under %v", model)
+		})
+	}
+}
+
+// TestCampaign runs a randomized multi-fault campaign and checks the
+// aggregate: every detected fault within the window, none detected but
+// unrecoverable, and a high detection rate among applied faults.
+func TestCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	cfg := injCfg()
+	camp, err := RunCampaign(cfg, Slashcode(), 30, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, detected, masked, undetected := camp.Counts()
+	t.Logf("campaign: applied=%d detected=%d masked=%d undetected=%d maxLatency=%d",
+		applied, detected, masked, undetected, camp.MaxLatency())
+	if applied == 0 {
+		t.Fatal("no faults applied")
+	}
+	if undetected != 0 {
+		for _, r := range camp.Results {
+			if r.Applied && !r.Detected && !r.Masked {
+				t.Errorf("false negative: %v", r)
+			}
+		}
+	}
+	if !camp.AllRecoverable() {
+		for _, r := range camp.Results {
+			if r.Detected && !r.Recoverable {
+				t.Errorf("outside recovery window: %v", r)
+			}
+		}
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range AllFaultKinds() {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("fault kind %d bad string %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestInjectionResultString(t *testing.T) {
+	r := InjectionResult{Injection: Injection{Kind: FaultWBDrop, Node: 1, Cycle: 5}}
+	if r.String() == "" {
+		t.Error("empty string")
+	}
+	r.Applied = true
+	if r.String() == "" {
+		t.Error("empty string")
+	}
+	r.Detected = true
+	if r.String() == "" {
+		t.Error("empty string")
+	}
+}

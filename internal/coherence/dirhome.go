@@ -1,0 +1,362 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// DirHome is the home memory/directory controller of the blocking MOSI
+// directory protocol. Each node owns the blocks for which it is the home
+// (block-address interleaving). The controller serialises transactions
+// per block: while one is in flight, conflicting requests queue.
+//
+// The directory state per block is the owner (the single node in M or O)
+// and the sharer set; the owner is never simultaneously in the sharer
+// set. Memory holds the last written-back data; in MOSI the owner's copy
+// can be newer, so memory is consulted only when no owner exists.
+type DirHome struct {
+	node network.NodeID
+	cfg  Config
+	net  network.Network
+
+	memory *mem.Memory
+
+	events sim.EventQueue
+	now    sim.Cycle
+
+	entries map[mem.BlockAddr]*dirEntry
+
+	// dirLatency models the directory SRAM/DRAM lookup.
+	dirLatency sim.Cycle
+
+	newBlock func(b mem.BlockAddr, data mem.Block)
+
+	stats  HomeStats
+	strict bool
+}
+
+var _ sim.Clockable = (*DirHome)(nil)
+
+type txnKind uint8
+
+const (
+	txnGetS txnKind = iota + 1
+	txnGetM
+)
+
+type homeTxn struct {
+	kind      txnKind
+	requestor network.NodeID
+	needAcks  int
+	haveData  bool
+	data      mem.Block
+	upgrade   bool // requestor already owns the data (PermM path)
+	granted   bool // grant sent; waiting for Unblock
+}
+
+type dirEntry struct {
+	owner   network.NodeID // -1: memory is the owner
+	sharers uint64         // bitmask; node i at bit i
+	busy    bool
+	txn     *homeTxn
+	queue   []*network.Message
+}
+
+// NewDirHome builds the home controller for a node. The memory is the
+// slice of global memory this node is home for (ECC per config).
+func NewDirHome(node network.NodeID, cfg Config, net network.Network, memory *mem.Memory) *DirHome {
+	return &DirHome{
+		node:       node,
+		cfg:        cfg,
+		net:        net,
+		memory:     memory,
+		entries:    make(map[mem.BlockAddr]*dirEntry),
+		dirLatency: 2,
+		strict:     true,
+	}
+}
+
+// SetStrict toggles panic-on-protocol-anomaly (default true).
+func (h *DirHome) SetStrict(s bool) { h.strict = s }
+
+// SetNewBlockListener installs the hook fired the first time any
+// processor requests a block, with the block's memory data. The DVMC
+// memory-epoch table uses this to construct its initial entry ("using the
+// current logical time as the last end time of a Read-Write epoch and ...
+// the initial checksum from the data in memory").
+func (h *DirHome) SetNewBlockListener(fn func(b mem.BlockAddr, data mem.Block)) { h.newBlock = fn }
+
+// Memory returns the home's memory module (for assembly and injection).
+func (h *DirHome) Memory() *mem.Memory { return h.memory }
+
+// Stats returns home-controller counters.
+func (h *DirHome) Stats() HomeStats { return h.stats }
+
+// Tick implements sim.Clockable.
+func (h *DirHome) Tick(now sim.Cycle) {
+	h.now = now
+	h.events.Tick(now)
+}
+
+func (h *DirHome) entry(b mem.BlockAddr) *dirEntry {
+	e, ok := h.entries[b]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		h.entries[b] = e
+		if h.newBlock != nil {
+			h.newBlock(b, h.memory.ReadBlock(b))
+		}
+	}
+	return e
+}
+
+// Handle dispatches a delivered network message.
+func (h *DirHome) Handle(m *network.Message) {
+	h.events.After(h.now, 1, func() { h.dispatch(m) })
+}
+
+func (h *DirHome) dispatch(m *network.Message) {
+	switch p := m.Payload.(type) {
+	case MsgGetS, MsgGetM, MsgPutS, MsgPutM:
+		h.request(m)
+	case MsgRecallAck:
+		h.onRecallAck(p)
+	case MsgInvAck:
+		h.onInvAck(p)
+	case MsgUnblock:
+		h.onUnblock(p)
+	default:
+		if h.strict {
+			panic(fmt.Sprintf("DirHome %d: unexpected payload %T", h.node, m.Payload))
+		}
+	}
+}
+
+func blockOf(m *network.Message) mem.BlockAddr {
+	switch p := m.Payload.(type) {
+	case MsgGetS:
+		return p.Block
+	case MsgGetM:
+		return p.Block
+	case MsgPutS:
+		return p.Block
+	case MsgPutM:
+		return p.Block
+	default:
+		panic("coherence: blockOf on non-request")
+	}
+}
+
+// request starts or queues a block transaction.
+func (h *DirHome) request(m *network.Message) {
+	b := blockOf(m)
+	e := h.entry(b)
+	if e.busy {
+		e.queue = append(e.queue, m)
+		h.stats.QueuedConflicts++
+		return
+	}
+	h.events.After(h.now, h.dirLatency, func() { h.start(e, m) })
+}
+
+func (h *DirHome) start(e *dirEntry, m *network.Message) {
+	if e.busy {
+		// Another request for the block won the race between the busy
+		// check and this deferred start; queue behind it.
+		e.queue = append(e.queue, m)
+		h.stats.QueuedConflicts++
+		return
+	}
+	switch p := m.Payload.(type) {
+	case MsgGetS:
+		h.startGetS(e, p)
+	case MsgGetM:
+		h.startGetM(e, p)
+	case MsgPutS:
+		h.startPutS(e, p)
+	case MsgPutM:
+		h.startPutM(e, p)
+	}
+}
+
+func (h *DirHome) startGetS(e *dirEntry, p MsgGetS) {
+	h.stats.GetS++
+	e.busy = true
+	e.txn = &homeTxn{kind: txnGetS, requestor: p.Requestor}
+	if e.owner >= 0 {
+		// Owner supplies; it downgrades M→O and keeps ownership.
+		h.net.Send(&network.Message{Src: h.node, Dst: e.owner, Size: CtrlBytes, Class: network.ClassCoherence,
+			Payload: MsgRecall{Block: p.Block, ForGetM: false}})
+		return
+	}
+	h.stats.MemoryReads++
+	h.events.After(h.now, h.cfg.MemLatency, func() {
+		e.txn.haveData = true
+		e.txn.data = h.memory.ReadBlock(p.Block)
+		h.maybeGrant(p.Block, e)
+	})
+}
+
+func (h *DirHome) startGetM(e *dirEntry, p MsgGetM) {
+	h.stats.GetM++
+	e.busy = true
+	t := &homeTxn{kind: txnGetM, requestor: p.Requestor}
+	e.txn = t
+	// Invalidate every sharer except the requestor.
+	for n := 0; n < h.cfg.Nodes; n++ {
+		if e.sharers&(1<<uint(n)) == 0 || network.NodeID(n) == p.Requestor {
+			continue
+		}
+		t.needAcks++
+		h.net.Send(&network.Message{Src: h.node, Dst: network.NodeID(n), Size: CtrlBytes, Class: network.ClassCoherence,
+			Payload: MsgInv{Block: p.Block}})
+	}
+	switch {
+	case e.owner == p.Requestor:
+		// Upgrade from Owned: the requestor has current data.
+		h.stats.Upgrades++
+		t.upgrade = true
+		t.haveData = true
+	case e.owner >= 0:
+		h.net.Send(&network.Message{Src: h.node, Dst: e.owner, Size: CtrlBytes, Class: network.ClassCoherence,
+			Payload: MsgRecall{Block: p.Block, ForGetM: true}})
+	default:
+		h.stats.MemoryReads++
+		h.events.After(h.now, h.cfg.MemLatency, func() {
+			t.haveData = true
+			t.data = h.memory.ReadBlock(p.Block)
+			h.maybeGrant(p.Block, e)
+		})
+	}
+	h.maybeGrant(p.Block, e)
+}
+
+func (h *DirHome) startPutS(e *dirEntry, p MsgPutS) {
+	e.sharers &^= 1 << uint(p.Requestor)
+	h.net.Send(&network.Message{Src: h.node, Dst: p.Requestor, Size: CtrlBytes, Class: network.ClassCoherence,
+		Payload: MsgWBAck{Block: p.Block}})
+}
+
+func (h *DirHome) startPutM(e *dirEntry, p MsgPutM) {
+	if e.owner != p.Requestor {
+		// Raced with a recall: home already obtained the data.
+		h.net.Send(&network.Message{Src: h.node, Dst: p.Requestor, Size: CtrlBytes, Class: network.ClassCoherence,
+			Payload: MsgWBAck{Block: p.Block, Stale: true}})
+		return
+	}
+	h.stats.Writebacks++
+	h.stats.MemoryWrites++
+	e.owner = -1
+	e.busy = true // hold conflicting requests until memory is written
+	h.events.After(h.now, h.cfg.MemLatency, func() {
+		h.memory.WriteBlock(p.Block, p.Data)
+		h.net.Send(&network.Message{Src: h.node, Dst: p.Requestor, Size: CtrlBytes, Class: network.ClassCoherence,
+			Payload: MsgWBAck{Block: p.Block}})
+		e.busy = false
+		e.txn = nil
+		h.next(p.Block, e)
+	})
+}
+
+func (h *DirHome) onRecallAck(p MsgRecallAck) {
+	e := h.entries[p.Block]
+	if e == nil || e.txn == nil {
+		if h.strict {
+			panic(fmt.Sprintf("DirHome %d: RecallAck for %#x without txn", h.node, p.Block))
+		}
+		return
+	}
+	e.txn.haveData = true
+	e.txn.data = p.Data
+	h.maybeGrant(p.Block, e)
+}
+
+func (h *DirHome) onInvAck(p MsgInvAck) {
+	e := h.entries[p.Block]
+	if e == nil || e.txn == nil {
+		if h.strict {
+			panic(fmt.Sprintf("DirHome %d: InvAck for %#x without txn", h.node, p.Block))
+		}
+		return
+	}
+	// The sharer is gone regardless of transaction outcome.
+	e.sharers &^= 1 << uint(p.From)
+	e.txn.needAcks--
+	h.maybeGrant(p.Block, e)
+}
+
+// maybeGrant sends the grant once data and all invalidation acks are in.
+func (h *DirHome) maybeGrant(b mem.BlockAddr, e *dirEntry) {
+	t := e.txn
+	if t == nil || t.granted || !t.haveData || t.needAcks > 0 {
+		return
+	}
+	t.granted = true
+	switch t.kind {
+	case txnGetS:
+		e.sharers |= 1 << uint(t.requestor)
+		h.net.Send(&network.Message{Src: h.node, Dst: t.requestor, Size: DataBytes, Class: network.ClassCoherence,
+			Payload: MsgData{Block: b, Data: t.data, Exclusive: false}})
+	case txnGetM:
+		e.sharers = 0
+		e.owner = t.requestor
+		if t.upgrade {
+			h.net.Send(&network.Message{Src: h.node, Dst: t.requestor, Size: CtrlBytes, Class: network.ClassCoherence,
+				Payload: MsgPermM{Block: b}})
+		} else {
+			h.net.Send(&network.Message{Src: h.node, Dst: t.requestor, Size: DataBytes, Class: network.ClassCoherence,
+				Payload: MsgData{Block: b, Data: t.data, Exclusive: true}})
+		}
+	}
+}
+
+func (h *DirHome) onUnblock(p MsgUnblock) {
+	e := h.entries[p.Block]
+	if e == nil || e.txn == nil || !e.txn.granted {
+		if h.strict {
+			panic(fmt.Sprintf("DirHome %d: Unblock for %#x without granted txn", h.node, p.Block))
+		}
+		return
+	}
+	e.busy = false
+	e.txn = nil
+	h.next(p.Block, e)
+}
+
+// next dispatches the oldest queued request for the block, if any.
+func (h *DirHome) next(b mem.BlockAddr, e *dirEntry) {
+	if e.busy || len(e.queue) == 0 {
+		return
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	h.events.After(h.now, h.dirLatency, func() {
+		if e.busy {
+			// A fresh request slipped in; requeue at the front.
+			e.queue = append([]*network.Message{m}, e.queue...)
+			return
+		}
+		h.start(e, m)
+	})
+}
+
+// Reset clears all directory and transient state (SafetyNet recovery).
+// Dropping the entries re-arms the new-block hook, which rebuilds the
+// MET from the restored memory contents.
+func (h *DirHome) Reset() {
+	h.entries = make(map[mem.BlockAddr]*dirEntry)
+	h.events = sim.EventQueue{}
+}
+
+// OwnerOf returns the directory's view of a block's owner (-1 if memory)
+// and sharer mask, for tests and the injection framework.
+func (h *DirHome) OwnerOf(b mem.BlockAddr) (network.NodeID, uint64) {
+	e, ok := h.entries[b]
+	if !ok {
+		return -1, 0
+	}
+	return e.owner, e.sharers
+}

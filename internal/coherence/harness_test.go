@@ -1,0 +1,160 @@
+package coherence
+
+import (
+	"testing"
+
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// testConfig is a small geometry that forces evictions quickly.
+func testConfig(nodes int) Config {
+	return Config{
+		Nodes:  nodes,
+		L1Sets: 4, L1Ways: 2,
+		L2Sets: 8, L2Ways: 4,
+		L1Latency:  1,
+		L2Latency:  4,
+		MemLatency: 20,
+		MSHRs:      8,
+		CacheECC:   false,
+	}
+}
+
+// dirSystem is an assembled directory-protocol system for tests.
+type dirSystem struct {
+	k      *sim.Kernel
+	cfg    Config
+	net    *network.Torus
+	caches []*DirCache
+	homes  []*DirHome
+}
+
+func newDirSystem(t *testing.T, nodes int) *dirSystem {
+	t.Helper()
+	return newDirSystemWithCfg(t, testConfig(nodes))
+}
+
+func newDirSystemWithCfg(t *testing.T, cfg Config) *dirSystem {
+	t.Helper()
+	nodes := cfg.Nodes
+	var k sim.Kernel
+	tor := network.NewTorus(nodes, 8.0, 2, sim.NewRand(7))
+	k.Register(tor)
+	s := &dirSystem{k: &k, cfg: cfg, net: tor}
+	for n := 0; n < nodes; n++ {
+		nid := network.NodeID(n)
+		clock := NewSkewedClock(k.Now, uint64(n%4), 8)
+		cache := NewDirCache(nid, cfg, tor, clock)
+		home := NewDirHome(nid, cfg, tor, mem.NewMemory(false))
+		tor.SetHandler(nid, DirectoryHandler(cache, home, nil))
+		k.Register(cache)
+		k.Register(home)
+		s.caches = append(s.caches, cache)
+		s.homes = append(s.homes, home)
+	}
+	return s
+}
+
+// run advances until fn reports done or the cycle budget is exhausted.
+func (s *dirSystem) run(t *testing.T, done func() bool, budget uint64) {
+	t.Helper()
+	if !s.k.RunUntil(done, budget) {
+		t.Fatalf("simulation did not converge within %d cycles", budget)
+	}
+}
+
+// load performs a synchronous load on node n.
+func (s *dirSystem) load(t *testing.T, n int, addr mem.Addr) mem.Word {
+	t.Helper()
+	var val mem.Word
+	ok := false
+	s.caches[n].Load(addr, network.ClassCoherence, func(v mem.Word, _ bool) { val = v; ok = true })
+	s.run(t, func() bool { return ok }, 100000)
+	return val
+}
+
+// store performs a synchronous store on node n.
+func (s *dirSystem) store(t *testing.T, n int, addr mem.Addr, v mem.Word) {
+	t.Helper()
+	ok := false
+	s.caches[n].Store(addr, v, func() { ok = true })
+	s.run(t, func() bool { return ok }, 100000)
+}
+
+// rmw performs a synchronous atomic swap on node n, returning the old
+// value.
+func (s *dirSystem) rmw(t *testing.T, n int, addr mem.Addr, v mem.Word) mem.Word {
+	t.Helper()
+	var old mem.Word
+	ok := false
+	s.caches[n].RMW(addr, func(mem.Word) mem.Word { return v }, func(o mem.Word) { old = o; ok = true })
+	s.run(t, func() bool { return ok }, 100000)
+	return old
+}
+
+// snoopSystem is an assembled snooping-protocol system for tests.
+type snoopSystem struct {
+	k      *sim.Kernel
+	cfg    Config
+	bcast  *network.BroadcastTree
+	data   *network.Torus
+	caches []*SnoopCache
+	homes  []*SnoopHome
+}
+
+func newSnoopSystem(t *testing.T, nodes int) *snoopSystem {
+	t.Helper()
+	cfg := testConfig(nodes)
+	var k sim.Kernel
+	bt := network.NewBroadcastTree(nodes, 8.0, 3, sim.NewRand(9))
+	tor := network.NewTorus(nodes, 8.0, 2, sim.NewRand(11))
+	k.Register(bt)
+	k.Register(tor)
+	s := &snoopSystem{k: &k, cfg: cfg, bcast: bt, data: tor}
+	for n := 0; n < nodes; n++ {
+		nid := network.NodeID(n)
+		cache := NewSnoopCache(nid, cfg, bt, tor)
+		home := NewSnoopHome(nid, cfg, tor, mem.NewMemory(false))
+		bt.SetHandler(nid, SnoopingAddressHandler(cache, home))
+		tor.SetHandler(nid, SnoopingDataHandler(cache, home, nil))
+		k.Register(cache)
+		k.Register(home)
+		s.caches = append(s.caches, cache)
+		s.homes = append(s.homes, home)
+	}
+	return s
+}
+
+func (s *snoopSystem) run(t *testing.T, done func() bool, budget uint64) {
+	t.Helper()
+	if !s.k.RunUntil(done, budget) {
+		t.Fatalf("snooping simulation did not converge within %d cycles", budget)
+	}
+}
+
+func (s *snoopSystem) load(t *testing.T, n int, addr mem.Addr) mem.Word {
+	t.Helper()
+	var val mem.Word
+	ok := false
+	s.caches[n].Load(addr, network.ClassCoherence, func(v mem.Word, _ bool) { val = v; ok = true })
+	s.run(t, func() bool { return ok }, 100000)
+	return val
+}
+
+func (s *snoopSystem) store(t *testing.T, n int, addr mem.Addr, v mem.Word) {
+	t.Helper()
+	ok := false
+	s.caches[n].Store(addr, v, func() { ok = true })
+	s.run(t, func() bool { return ok }, 100000)
+}
+
+func (s *snoopSystem) rmw(t *testing.T, n int, addr mem.Addr, v mem.Word) mem.Word {
+	t.Helper()
+	var old mem.Word
+	ok := false
+	s.caches[n].RMW(addr, func(mem.Word) mem.Word { return v }, func(o mem.Word) { old = o; ok = true })
+	s.run(t, func() bool { return ok }, 100000)
+	return old
+}

@@ -1,0 +1,145 @@
+package coherence
+
+import (
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+)
+
+// Wire sizes in bytes: an 8-byte control header, plus the 64-byte block
+// for data-bearing messages.
+const (
+	CtrlBytes = 8
+	DataBytes = CtrlBytes + mem.BlockBytes
+)
+
+// Directory-protocol message payloads. All travel over the unordered
+// torus. Fields named Block identify the coherence unit; data-bearing
+// messages carry the 64-byte block inline.
+
+// MsgGetS requests read permission from the home controller.
+type MsgGetS struct {
+	Block     mem.BlockAddr
+	Requestor network.NodeID
+}
+
+// MsgGetM requests write permission (and data unless the requestor is the
+// current owner) from the home controller.
+type MsgGetM struct {
+	Block     mem.BlockAddr
+	Requestor network.NodeID
+}
+
+// MsgPutS notifies home that a sharer evicted its copy.
+type MsgPutS struct {
+	Block     mem.BlockAddr
+	Requestor network.NodeID
+}
+
+// MsgPutM writes back a dirty (M or O) block on eviction.
+type MsgPutM struct {
+	Block     mem.BlockAddr
+	Requestor network.NodeID
+	Data      mem.Block
+}
+
+// MsgData grants permission and carries the block from home to requestor.
+type MsgData struct {
+	Block     mem.BlockAddr
+	Data      mem.Block
+	Exclusive bool // true: grants Modified; false: grants Shared
+}
+
+// MsgPermM grants Modified to a requestor that already owns the data
+// (upgrade from Owned); no block payload.
+type MsgPermM struct {
+	Block mem.BlockAddr
+}
+
+// MsgInv asks a sharer to invalidate its copy and ack the home.
+type MsgInv struct {
+	Block mem.BlockAddr
+}
+
+// MsgInvAck acknowledges an invalidation to the home controller.
+type MsgInvAck struct {
+	Block mem.BlockAddr
+	From  network.NodeID
+}
+
+// MsgRecall pulls the block from its owner. ForGetM invalidates the owner;
+// otherwise (a GetS) the owner downgrades to Owned and keeps the data.
+type MsgRecall struct {
+	Block   mem.BlockAddr
+	ForGetM bool
+}
+
+// MsgRecallAck returns the owner's data to the home controller.
+type MsgRecallAck struct {
+	Block mem.BlockAddr
+	Data  mem.Block
+	From  network.NodeID
+}
+
+// MsgWBAck acknowledges a PutM/PutS. Stale means the writeback raced with
+// a recall and home already obtained the data elsewhere.
+type MsgWBAck struct {
+	Block mem.BlockAddr
+	Stale bool
+}
+
+// MsgUnblock completes a transaction; the (blocking) home controller may
+// start the next queued transaction for the block.
+type MsgUnblock struct {
+	Block mem.BlockAddr
+	From  network.NodeID
+}
+
+// Snooping-protocol payloads. Address requests travel on the ordered
+// broadcast tree; data responses on the torus.
+
+// SnoopKind is the kind of a broadcast address-network transaction.
+type SnoopKind uint8
+
+// Snoop transaction kinds.
+const (
+	SnoopGetS SnoopKind = iota + 1
+	SnoopGetM
+	SnoopPutM // writeback ordering broadcast
+)
+
+// String implements fmt.Stringer.
+func (k SnoopKind) String() string {
+	switch k {
+	case SnoopGetS:
+		return "GetS"
+	case SnoopGetM:
+		return "GetM"
+	case SnoopPutM:
+		return "PutM"
+	default:
+		return "SnoopKind?"
+	}
+}
+
+// MsgSnoop is a broadcast coherence request. Every controller, including
+// the requestor and the home memory controller, observes it in the global
+// broadcast order.
+type MsgSnoop struct {
+	Kind      SnoopKind
+	Block     mem.BlockAddr
+	Requestor network.NodeID
+}
+
+// MsgSnoopData carries the block from the responder (previous owner or
+// home memory) to the requestor over the torus.
+type MsgSnoopData struct {
+	Block mem.BlockAddr
+	Data  mem.Block
+}
+
+// MsgSnoopWB carries an evicted dirty block to the home memory controller.
+type MsgSnoopWB struct {
+	Block mem.BlockAddr
+	Data  mem.Block
+	From  network.NodeID
+}

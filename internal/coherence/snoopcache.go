@@ -1,0 +1,768 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// SnoopCache is the cache controller of the MOSI snooping protocol. All
+// coherence requests are broadcast on the totally ordered address tree;
+// every controller (including the requestor and the home memory
+// controller) processes every request in the same global order, and the
+// broadcast sequence number is the logical time base (Section 4.3).
+//
+// A transaction's *ordering point* is the snoop of its own broadcast: the
+// epoch begins there even though data may arrive later over the torus.
+// Foreign requests that are ordered between a transaction's ordering
+// point and its data arrival are recorded as deferred transitions; when
+// the data lands, local waiters perform inside the original epoch, the
+// deferred epoch transitions are replayed with the logical times at which
+// they were ordered, and the block is supplied to the recorded
+// requestors.
+type SnoopCache struct {
+	node  network.NodeID
+	cfg   Config
+	bcast *network.BroadcastTree
+	data  network.Network
+
+	l2 *cacheArray
+	l1 *tagFilter
+
+	events sim.EventQueue
+	now    sim.Cycle
+
+	mshrs map[mem.BlockAddr]*snoopMSHR
+	wb    map[mem.BlockAddr]*snoopWB
+
+	epochL  EpochListener
+	accessL AccessListener
+
+	stats  ControllerStats
+	strict bool
+}
+
+var _ Controller = (*SnoopCache)(nil)
+
+// snoopTransition is a deferred epoch transition ordered while the
+// block's data was still in flight.
+type snoopTransition struct {
+	endKind   EpochKind
+	beginKind EpochKind // 0: no successor epoch (invalidation)
+	at        uint64    // broadcast sequence number of the ordering point
+	toState   State
+	supplyTo  network.NodeID // -1: no data supply obligation
+}
+
+type snoopMSHR struct {
+	block       mem.BlockAddr
+	wantM       bool
+	issued      bool
+	ordered     bool
+	orderedAt   uint64
+	dataArrived bool
+	grantKind   EpochKind
+	curState    State // our state in global order during the pending phase
+	transitions []snoopTransition
+	dataPending *mem.Block // data that arrived before a line could be allocated
+	pending     bool       // waiting for a wb entry to clear before issuing
+	class       network.Class
+	waiters     []waiter
+}
+
+type snoopWB struct {
+	data       mem.Block
+	superseded bool // a foreign GetM took ownership before our PutM ordered
+}
+
+// NewSnoopCache builds the snooping cache controller for a node.
+func NewSnoopCache(node network.NodeID, cfg Config, bcast *network.BroadcastTree, data network.Network) *SnoopCache {
+	return &SnoopCache{
+		node:   node,
+		cfg:    cfg,
+		bcast:  bcast,
+		data:   data,
+		l2:     newCacheArray(cfg.L2Sets, cfg.L2Ways, cfg.CacheECC),
+		l1:     newTagFilter(cfg.L1Sets, cfg.L1Ways),
+		mshrs:  make(map[mem.BlockAddr]*snoopMSHR),
+		wb:     make(map[mem.BlockAddr]*snoopWB),
+		strict: true,
+	}
+}
+
+// SetStrict toggles panic-on-protocol-anomaly (default true).
+func (c *SnoopCache) SetStrict(s bool) { c.strict = s }
+
+// SetEpochListener implements Controller.
+func (c *SnoopCache) SetEpochListener(l EpochListener) { c.epochL = l }
+
+// SetAccessListener implements Controller.
+func (c *SnoopCache) SetAccessListener(l AccessListener) { c.accessL = l }
+
+// Stats implements Controller.
+func (c *SnoopCache) Stats() ControllerStats { return c.stats }
+
+// Outstanding implements Controller.
+func (c *SnoopCache) Outstanding() int { return len(c.mshrs) }
+
+// Tick implements sim.Clockable.
+func (c *SnoopCache) Tick(now sim.Cycle) {
+	c.now = now
+	c.events.Tick(now)
+}
+
+// seqNow is the snooping logical time: broadcasts processed so far.
+func (c *SnoopCache) seqNow() uint64 { return c.bcast.Sequence() }
+
+func (c *SnoopCache) epochBegin(b mem.BlockAddr, k EpochKind, at uint64, dataKnown bool, data mem.Block) {
+	if c.epochL != nil {
+		c.epochL.EpochBegin(b, k, at, dataKnown, data)
+	}
+}
+
+func (c *SnoopCache) epochData(b mem.BlockAddr, data mem.Block) {
+	if c.epochL != nil {
+		c.epochL.EpochData(b, data)
+	}
+}
+
+func (c *SnoopCache) epochEnd(b mem.BlockAddr, k EpochKind, at uint64, data mem.Block) {
+	if c.epochL != nil {
+		c.epochL.EpochEnd(b, k, at, data)
+	}
+}
+
+func (c *SnoopCache) access(b mem.BlockAddr, write bool) {
+	if c.accessL != nil {
+		c.accessL.Access(b, write)
+	}
+}
+
+// Load implements Controller.
+func (c *SnoopCache) Load(addr mem.Addr, class network.Class, done func(mem.Word, bool)) {
+	b := addr.Block()
+	replay := class == network.ClassReplay
+	if replay {
+		c.stats.ReplayLoads++
+	} else {
+		c.stats.Loads++
+	}
+	c.events.After(c.now, c.cfg.L1Latency, func() {
+		l := c.l2.lookup(b)
+		readable := l != nil && l.state.CanRead() && l.dataValid && c.mshrs[b] == nil
+		if c.l1.present(b) && readable {
+			c.stats.L1Hits++
+			val := c.l2.readWord(l, addr)
+			c.access(b, false)
+			done(val, true)
+			return
+		}
+		c.stats.L1Misses++
+		if replay {
+			c.stats.ReplayL1Misses++
+		}
+		c.events.After(c.now, c.cfg.L2Latency, func() {
+			l := c.l2.lookup(b)
+			if l != nil && l.state.CanRead() && l.dataValid && c.mshrs[b] == nil {
+				c.stats.L2Hits++
+				c.l1.insert(b)
+				val := c.l2.readWord(l, addr)
+				c.access(b, false)
+				done(val, false)
+				return
+			}
+			c.stats.L2Misses++
+			c.join(b, false, class, waiter{kind: waitLoad, addr: addr, class: class, loadDone: done})
+		})
+	})
+}
+
+// Store implements Controller.
+func (c *SnoopCache) Store(addr mem.Addr, val mem.Word, done func()) {
+	b := addr.Block()
+	c.stats.Stores++
+	c.events.After(c.now, c.cfg.L1Latency, func() {
+		// Fast path: writable block with a hot L1 tag performs at L1
+		// latency (see DirCache.Store).
+		if l := c.l2.lookup(b); l != nil && l.state.CanWrite() && l.dataValid &&
+			c.mshrs[b] == nil && c.l1.present(b) {
+			c.performStore(l, addr, val)
+			done()
+			return
+		}
+		c.events.After(c.now, c.cfg.L2Latency, func() {
+			l := c.l2.lookup(b)
+			if l != nil && l.state.CanWrite() && l.dataValid && c.mshrs[b] == nil {
+				c.performStore(l, addr, val)
+				done()
+				return
+			}
+			c.stats.L2Misses++
+			c.join(b, true, network.ClassCoherence, waiter{kind: waitStore, addr: addr, val: val, perfDone: done})
+		})
+	})
+}
+
+// RMW implements Controller.
+func (c *SnoopCache) RMW(addr mem.Addr, f func(mem.Word) mem.Word, done func(mem.Word)) {
+	b := addr.Block()
+	c.stats.Loads++
+	c.stats.Stores++
+	c.events.After(c.now, c.cfg.L1Latency+c.cfg.L2Latency, func() {
+		l := c.l2.lookup(b)
+		if l != nil && l.state.CanWrite() && l.dataValid && c.mshrs[b] == nil {
+			old := c.l2.readWord(l, addr)
+			c.performStore(l, addr, f(old))
+			done(old)
+			return
+		}
+		c.stats.L2Misses++
+		c.join(b, true, network.ClassCoherence, waiter{kind: waitRMW, addr: addr, rmwFn: f, rmwDone: done})
+	})
+}
+
+// PrefetchExclusive implements Controller.
+func (c *SnoopCache) PrefetchExclusive(addr mem.Addr) {
+	b := addr.Block()
+	c.events.After(c.now, c.cfg.L1Latency, func() {
+		l := c.l2.lookup(b)
+		if l != nil && l.state.CanWrite() && c.mshrs[b] == nil {
+			return
+		}
+		if ms, busy := c.mshrs[b]; busy {
+			if !ms.issued {
+				ms.wantM = true
+			}
+			return
+		}
+		if len(c.mshrs) >= c.cfg.MSHRs {
+			return
+		}
+		c.join(b, true, network.ClassCoherence, waiter{})
+	})
+}
+
+// PeekWord implements Controller.
+func (c *SnoopCache) PeekWord(addr mem.Addr) (mem.Word, bool) {
+	l := c.l2.peek(addr.Block())
+	if l == nil || !l.state.CanRead() || !l.dataValid {
+		return 0, false
+	}
+	return l.data[addr.WordIndex()], true
+}
+
+func (c *SnoopCache) performStore(l *line, addr mem.Addr, val mem.Word) {
+	c.l2.writeWord(l, addr, val)
+	c.l1.insert(l.block)
+	c.access(l.block, true)
+}
+
+func (c *SnoopCache) join(b mem.BlockAddr, needM bool, class network.Class, w waiter) {
+	ms := c.mshrs[b]
+	if ms == nil {
+		if len(c.mshrs) >= c.cfg.MSHRs {
+			c.events.After(c.now, 4, func() { c.join(b, needM, class, w) })
+			return
+		}
+		ms = &snoopMSHR{block: b, wantM: needM, class: class}
+		c.mshrs[b] = ms
+		if _, wbPending := c.wb[b]; wbPending {
+			ms.pending = true
+		} else {
+			c.issue(ms)
+		}
+	} else if needM && !ms.wantM && !ms.issued {
+		ms.wantM = true
+	}
+	if w.kind != 0 {
+		ms.waiters = append(ms.waiters, w)
+	}
+}
+
+func (c *SnoopCache) issue(ms *snoopMSHR) {
+	ms.issued = true
+	ms.pending = false
+	c.stats.TransactionsIssued++
+	kind := SnoopGetS
+	if ms.wantM {
+		kind = SnoopGetM
+	}
+	c.bcast.Send(&network.Message{Src: c.node, Size: CtrlBytes, Class: ms.class,
+		Payload: MsgSnoop{Kind: kind, Block: ms.block, Requestor: c.node}})
+}
+
+// supply ships the block to a requestor over the data network.
+func (c *SnoopCache) supply(req network.NodeID, b mem.BlockAddr, data mem.Block) {
+	c.data.Send(&network.Message{Src: c.node, Dst: req, Size: DataBytes, Class: network.ClassCoherence,
+		Payload: MsgSnoopData{Block: b, Data: data}})
+}
+
+// Snoop processes one broadcast; the network delivers these in the global
+// total order. seq is the broadcast's sequence number.
+func (c *SnoopCache) Snoop(m *network.Message) {
+	p, ok := m.Payload.(MsgSnoop)
+	if !ok {
+		if c.strict {
+			panic(fmt.Sprintf("SnoopCache %d: unexpected broadcast %T", c.node, m.Payload))
+		}
+		return
+	}
+	seq := c.seqNow()
+	switch p.Kind {
+	case SnoopGetS, SnoopGetM:
+		if p.Requestor == c.node {
+			c.onOwnRequest(p, seq)
+		} else {
+			c.onForeignRequest(p, seq)
+		}
+	case SnoopPutM:
+		if p.Requestor == c.node {
+			c.onOwnPutM(p.Block)
+		}
+	}
+}
+
+// onOwnRequest is the ordering point of this cache's own transaction.
+func (c *SnoopCache) onOwnRequest(p MsgSnoop, seq uint64) {
+	ms := c.mshrs[p.Block]
+	if ms == nil || !ms.issued || ms.ordered {
+		if c.strict {
+			panic(fmt.Sprintf("SnoopCache %d: own %v for %#x without matching MSHR", c.node, p.Kind, p.Block))
+		}
+		return
+	}
+	ms.ordered = true
+	ms.orderedAt = seq
+	l := c.l2.peek(p.Block)
+	if p.Kind == SnoopGetM {
+		ms.grantKind = ReadWrite
+		ms.curState = Modified
+		if l != nil && l.valid {
+			old := c.l2.readBlock(l)
+			c.epochEnd(p.Block, epochKindOf(l.state), seq, old)
+			if l.state == Owned && l.dataValid {
+				// Upgrade in place: we are the owner; no data transfer.
+				l.state = Modified
+				c.epochBegin(p.Block, ReadWrite, seq, true, old)
+				ms.dataArrived = true
+				c.complete(ms, l)
+				return
+			}
+			// We held S: permission granted now, data still in flight.
+			l.state = Modified
+			l.dataValid = false
+			c.epochBegin(p.Block, ReadWrite, seq, false, mem.Block{})
+			return
+		}
+		l = c.allocateSnoop(p.Block)
+		if l == nil {
+			// No way free: rare transient squeeze; retry installation via
+			// event (the epoch has begun regardless).
+			c.epochBegin(p.Block, ReadWrite, seq, false, mem.Block{})
+			c.events.After(c.now, 4, func() { c.installRetry(ms) })
+			return
+		}
+		c.l2.install(l, p.Block, Modified, mem.Block{}, false)
+		c.epochBegin(p.Block, ReadWrite, seq, false, mem.Block{})
+		return
+	}
+	// GetS
+	ms.grantKind = ReadOnly
+	ms.curState = Shared
+	if l != nil && l.valid {
+		if c.strict {
+			panic(fmt.Sprintf("SnoopCache %d: own GetS for resident block %#x", c.node, p.Block))
+		}
+	}
+	l = c.allocateSnoop(p.Block)
+	if l == nil {
+		c.epochBegin(p.Block, ReadOnly, seq, false, mem.Block{})
+		c.events.After(c.now, 4, func() { c.installRetry(ms) })
+		return
+	}
+	c.l2.install(l, p.Block, Shared, mem.Block{}, false)
+	c.epochBegin(p.Block, ReadOnly, seq, false, mem.Block{})
+}
+
+// installRetry re-attempts allocating a line for an ordered transaction
+// whose set was fully transient at ordering time.
+func (c *SnoopCache) installRetry(ms *snoopMSHR) {
+	if c.l2.peek(ms.block) != nil {
+		return
+	}
+	l := c.allocateSnoop(ms.block)
+	if l == nil {
+		c.events.After(c.now, 4, func() { c.installRetry(ms) })
+		return
+	}
+	st := Shared
+	if ms.grantKind == ReadWrite {
+		st = Modified
+	}
+	c.l2.install(l, ms.block, st, mem.Block{}, false)
+	if ms.dataPending != nil {
+		data := *ms.dataPending
+		ms.dataPending = nil
+		c.onSnoopData(MsgSnoopData{Block: ms.block, Data: data})
+	}
+}
+
+// allocateSnoop finds a victim way, skipping transient lines.
+func (c *SnoopCache) allocateSnoop(b mem.BlockAddr) *line {
+	set := c.l2.setOf(b)
+	var vic *line
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			return l
+		}
+		if _, busy := c.mshrs[l.block]; busy {
+			continue
+		}
+		if vic == nil || l.lru < vic.lru {
+			vic = l
+		}
+	}
+	if vic == nil {
+		return nil
+	}
+	c.evictSnoop(vic)
+	return vic
+}
+
+// evictSnoop removes a stable line. Dirty blocks end their epoch now (the
+// current logical time) and broadcast a PutM to order the writeback;
+// Shared blocks are dropped silently (snooping needs no directory
+// bookkeeping for sharers).
+func (c *SnoopCache) evictSnoop(l *line) {
+	b := l.block
+	data := c.l2.readBlock(l)
+	switch l.state {
+	case Modified, Owned:
+		c.epochEnd(b, epochKindOf(l.state), c.seqNow(), data)
+		c.wb[b] = &snoopWB{data: data}
+		c.stats.WritebacksDirty++
+		c.bcast.Send(&network.Message{Src: c.node, Size: CtrlBytes, Class: network.ClassCoherence,
+			Payload: MsgSnoop{Kind: SnoopPutM, Block: b, Requestor: c.node}})
+	case Shared:
+		c.epochEnd(b, ReadOnly, c.seqNow(), data)
+		c.stats.EvictionsClean++
+	}
+	c.l1.invalidate(b)
+	c.l2.invalidate(l)
+}
+
+// onForeignRequest reacts to another node's ordered request.
+func (c *SnoopCache) onForeignRequest(p MsgSnoop, seq uint64) {
+	b := p.Block
+	if ms := c.mshrs[b]; ms != nil && ms.ordered && !ms.dataArrived {
+		c.deferTransition(ms, p, seq)
+		return
+	}
+	l := c.l2.peek(b)
+	if l != nil && l.valid {
+		data := c.l2.readBlock(l)
+		switch {
+		case p.Kind == SnoopGetS && l.state == Modified:
+			c.epochEnd(b, ReadWrite, seq, data)
+			l.state = Owned
+			c.epochBegin(b, ReadOnly, seq, true, data)
+			c.supply(p.Requestor, b, data)
+		case p.Kind == SnoopGetS && l.state == Owned:
+			c.supply(p.Requestor, b, data)
+		case p.Kind == SnoopGetM:
+			c.epochEnd(b, epochKindOf(l.state), seq, data)
+			if l.state == Modified || l.state == Owned {
+				c.supply(p.Requestor, b, data)
+			}
+			c.l1.invalidate(b)
+			c.l2.invalidate(l)
+		}
+		return
+	}
+	if e, ok := c.wb[b]; ok && !e.superseded {
+		// We are still the owner in global order; our PutM has not been
+		// ordered yet. Supply from the writeback buffer.
+		c.supply(p.Requestor, b, e.data)
+		if p.Kind == SnoopGetM {
+			e.superseded = true
+		}
+	}
+}
+
+// deferTransition records a foreign request ordered inside our pending
+// transaction's epoch, to be replayed when the data arrives.
+func (c *SnoopCache) deferTransition(ms *snoopMSHR, p MsgSnoop, seq uint64) {
+	switch {
+	case p.Kind == SnoopGetS && ms.curState == Modified:
+		ms.transitions = append(ms.transitions, snoopTransition{
+			endKind: ReadWrite, beginKind: ReadOnly, at: seq, toState: Owned, supplyTo: p.Requestor})
+		ms.curState = Owned
+	case p.Kind == SnoopGetS && ms.curState == Owned:
+		ms.transitions = append(ms.transitions, snoopTransition{at: seq, toState: Owned, supplyTo: p.Requestor})
+	case p.Kind == SnoopGetM && ms.curState == Modified:
+		ms.transitions = append(ms.transitions, snoopTransition{
+			endKind: ReadWrite, at: seq, toState: Invalid, supplyTo: p.Requestor})
+		ms.curState = Invalid
+	case p.Kind == SnoopGetM && ms.curState == Owned:
+		ms.transitions = append(ms.transitions, snoopTransition{
+			endKind: ReadOnly, at: seq, toState: Invalid, supplyTo: p.Requestor})
+		ms.curState = Invalid
+	case p.Kind == SnoopGetM && ms.curState == Shared:
+		ms.transitions = append(ms.transitions, snoopTransition{
+			endKind: ReadOnly, at: seq, toState: Invalid, supplyTo: -1})
+		ms.curState = Invalid
+	}
+}
+
+// onOwnPutM is the ordering point of our writeback.
+func (c *SnoopCache) onOwnPutM(b mem.BlockAddr) {
+	e, ok := c.wb[b]
+	if !ok {
+		if c.strict {
+			panic(fmt.Sprintf("SnoopCache %d: own PutM for %#x without wb entry", c.node, b))
+		}
+		return
+	}
+	if !e.superseded {
+		home := c.cfg.HomeOf(b)
+		c.data.Send(&network.Message{Src: c.node, Dst: home, Size: DataBytes, Class: network.ClassCoherence,
+			Payload: MsgSnoopWB{Block: b, Data: e.data, From: c.node}})
+	}
+	delete(c.wb, b)
+	if ms := c.mshrs[b]; ms != nil && ms.pending {
+		c.issue(ms)
+	}
+}
+
+// DebugMSHRs dumps outstanding transaction state.
+func (c *SnoopCache) DebugMSHRs() string {
+	out := ""
+	for b, ms := range c.mshrs {
+		out += fmt.Sprintf("[blk=%#x wantM=%v issued=%v ordered=%v@%d dataArrived=%v cur=%v waiters=%d trans=%d pending=%v] ",
+			b, ms.wantM, ms.issued, ms.ordered, ms.orderedAt, ms.dataArrived, ms.curState, len(ms.waiters), len(ms.transitions), ms.pending)
+	}
+	for b := range c.wb {
+		out += fmt.Sprintf("[wb blk=%#x] ", b)
+	}
+	return out
+}
+
+// HandleData processes a block arriving over the torus.
+func (c *SnoopCache) HandleData(m *network.Message) {
+	p, ok := m.Payload.(MsgSnoopData)
+	if !ok {
+		if c.strict {
+			panic(fmt.Sprintf("SnoopCache %d: unexpected data payload %T", c.node, m.Payload))
+		}
+		return
+	}
+	c.events.After(c.now, 1, func() { c.onSnoopData(p) })
+}
+
+func (c *SnoopCache) onSnoopData(p MsgSnoopData) {
+	ms := c.mshrs[p.Block]
+	if ms == nil || !ms.ordered {
+		if c.strict {
+			panic(fmt.Sprintf("SnoopCache %d: data for %#x without ordered MSHR", c.node, p.Block))
+		}
+		return
+	}
+	l := c.l2.peek(p.Block)
+	if l == nil {
+		// The ordering point could not allocate a line yet; stash the
+		// data until installRetry succeeds.
+		d := p.Data
+		ms.dataPending = &d
+		return
+	}
+	ms.dataArrived = true
+	c.l2.writeBlock(l, p.Data)
+	c.epochData(p.Block, p.Data)
+	c.complete(ms, l)
+}
+
+// complete serves waiters inside the granted epoch, replays deferred
+// transitions, and retires or re-issues the MSHR.
+func (c *SnoopCache) complete(ms *snoopMSHR, l *line) {
+	exclusive := ms.grantKind == ReadWrite
+	var remaining []waiter
+	for _, w := range ms.waiters {
+		switch w.kind {
+		case waitLoad:
+			val := c.l2.readWord(l, w.addr)
+			c.access(l.block, false)
+			w.loadDone(val, false)
+		case waitStore:
+			if exclusive {
+				c.performStore(l, w.addr, w.val)
+				w.perfDone()
+			} else {
+				remaining = append(remaining, w)
+			}
+		case waitRMW:
+			if exclusive {
+				old := c.l2.readWord(l, w.addr)
+				c.performStore(l, w.addr, w.rmwFn(old))
+				w.rmwDone(old)
+			} else {
+				remaining = append(remaining, w)
+			}
+		}
+	}
+	c.l1.insert(l.block)
+	// Replay deferred transitions with their recorded logical times; the
+	// data now includes any stores performed above, which is exactly the
+	// data at the (logically past) end of our epoch.
+	data := c.l2.readBlock(l)
+	for _, tr := range ms.transitions {
+		if tr.endKind != 0 {
+			c.epochEnd(ms.block, tr.endKind, tr.at, data)
+		}
+		if tr.beginKind != 0 {
+			c.epochBegin(ms.block, tr.beginKind, tr.at, true, data)
+		}
+		if tr.supplyTo >= 0 {
+			c.supply(tr.supplyTo, ms.block, data)
+		}
+		l.state = tr.toState
+	}
+	if l.state == Invalid {
+		c.l1.invalidate(ms.block)
+		c.l2.invalidate(l)
+	}
+	ms.waiters = nil
+	ms.transitions = nil
+	if len(remaining) > 0 {
+		// Shared grant with store waiters (or we lost the line before the
+		// stores could perform): upgrade with a fresh transaction.
+		ms.waiters = remaining
+		ms.wantM = true
+		ms.ordered = false
+		ms.dataArrived = false
+		ms.grantKind = 0
+		ms.curState = Invalid
+		c.issue(ms)
+		return
+	}
+	delete(c.mshrs, ms.block)
+}
+
+// ResidentBlocks implements Controller: resident blocks, MRU first.
+func (c *SnoopCache) ResidentBlocks(max int) []mem.BlockAddr {
+	type cand struct {
+		b   mem.BlockAddr
+		lru uint64
+	}
+	var cands []cand
+	for i := range c.l2.lines {
+		l := &c.l2.lines[i]
+		if l.valid && l.dataValid {
+			cands = append(cands, cand{l.block, l.lru})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lru > cands[j].lru })
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]mem.BlockAddr, len(cands))
+	for i, c := range cands {
+		out[i] = c.b
+	}
+	return out
+}
+
+// ResidentReadOnlyBlocks implements Controller.
+func (c *SnoopCache) ResidentReadOnlyBlocks(max int) []mem.BlockAddr {
+	type cand struct {
+		b   mem.BlockAddr
+		lru uint64
+	}
+	var cands []cand
+	for i := range c.l2.lines {
+		l := &c.l2.lines[i]
+		if l.valid && l.dataValid && (l.state == Shared || l.state == Owned) {
+			cands = append(cands, cand{l.block, l.lru})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lru > cands[j].lru })
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]mem.BlockAddr, len(cands))
+	for i, c := range cands {
+		out[i] = c.b
+	}
+	return out
+}
+
+// ECCCorrected implements Controller.
+func (c *SnoopCache) ECCCorrected() uint64 {
+	if c.l2.ecc == nil {
+		return 0
+	}
+	return c.l2.ecc.Corrected()
+}
+
+// CorruptCacheBit implements Controller.
+func (c *SnoopCache) CorruptCacheBit(b mem.BlockAddr, bit int) bool {
+	l := c.l2.peek(b)
+	if l == nil || !l.valid || !l.dataValid {
+		return false
+	}
+	l.data[bit/64] ^= mem.Word(1) << (bit % 64)
+	return true
+}
+
+// DropPermissionFault implements Controller.
+func (c *SnoopCache) DropPermissionFault(b mem.BlockAddr) bool {
+	l := c.l2.peek(b)
+	if l == nil || !l.valid {
+		return false
+	}
+	c.l1.invalidate(b)
+	c.l2.invalidate(l)
+	return true
+}
+
+// ForEachDirty implements Controller.
+func (c *SnoopCache) ForEachDirty(fn func(b mem.BlockAddr, data mem.Block)) {
+	for i := range c.l2.lines {
+		l := &c.l2.lines[i]
+		if l.valid && l.dataValid && (l.state == Modified || l.state == Owned) {
+			fn(l.block, l.data)
+		}
+	}
+	for b, e := range c.wb {
+		if !e.superseded {
+			fn(b, e.data)
+		}
+	}
+}
+
+// Reset implements Controller.
+func (c *SnoopCache) Reset() {
+	for i := range c.l2.lines {
+		if c.l2.lines[i].valid {
+			c.l2.invalidate(&c.l2.lines[i])
+		}
+	}
+	c.l1 = newTagFilter(c.cfg.L1Sets, c.cfg.L1Ways)
+	c.mshrs = make(map[mem.BlockAddr]*snoopMSHR)
+	c.wb = make(map[mem.BlockAddr]*snoopWB)
+	c.events = sim.EventQueue{}
+}
+
+// WriteWithoutPermissionFault implements Controller.
+func (c *SnoopCache) WriteWithoutPermissionFault(addr mem.Addr, val mem.Word) bool {
+	l := c.l2.peek(addr.Block())
+	if l == nil || !l.valid || !l.dataValid {
+		return false
+	}
+	c.l2.writeWord(l, addr, val)
+	c.access(addr.Block(), true)
+	return true
+}

@@ -1,0 +1,191 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// SnoopHome is the memory controller of the snooping protocol for the
+// blocks homed at one node. It snoops every broadcast (the ordered
+// address network delivers to all nodes) and reconstructs ownership from
+// the global request order: a GetM makes the requestor owner, a valid
+// PutM returns ownership to memory. When no cache owns a block, the home
+// supplies data from memory; if a writeback's data is still in flight
+// (PutM ordered, MsgSnoopWB not yet arrived), supplies wait for it.
+type SnoopHome struct {
+	node network.NodeID
+	cfg  Config
+	data network.Network
+
+	memory *mem.Memory
+
+	events sim.EventQueue
+	now    sim.Cycle
+
+	owner     map[mem.BlockAddr]network.NodeID
+	pendingWB map[mem.BlockAddr]bool
+	deferred  map[mem.BlockAddr][]network.NodeID // supplies awaiting WB data
+
+	newBlock func(b mem.BlockAddr, data mem.Block)
+
+	stats  HomeStats
+	strict bool
+}
+
+var _ sim.Clockable = (*SnoopHome)(nil)
+
+// NewSnoopHome builds the snooping memory controller for a node.
+func NewSnoopHome(node network.NodeID, cfg Config, data network.Network, memory *mem.Memory) *SnoopHome {
+	return &SnoopHome{
+		node:      node,
+		cfg:       cfg,
+		data:      data,
+		memory:    memory,
+		owner:     make(map[mem.BlockAddr]network.NodeID),
+		pendingWB: make(map[mem.BlockAddr]bool),
+		deferred:  make(map[mem.BlockAddr][]network.NodeID),
+		strict:    true,
+	}
+}
+
+// SetStrict toggles panic-on-protocol-anomaly (default true).
+func (h *SnoopHome) SetStrict(s bool) { h.strict = s }
+
+// SetNewBlockListener installs the first-request hook (MET entry
+// construction; see DirHome.SetNewBlockListener).
+func (h *SnoopHome) SetNewBlockListener(fn func(b mem.BlockAddr, data mem.Block)) { h.newBlock = fn }
+
+// Memory returns the home's memory module.
+func (h *SnoopHome) Memory() *mem.Memory { return h.memory }
+
+// Stats returns home counters.
+func (h *SnoopHome) Stats() HomeStats { return h.stats }
+
+// Tick implements sim.Clockable.
+func (h *SnoopHome) Tick(now sim.Cycle) {
+	h.now = now
+	h.events.Tick(now)
+}
+
+// Reset clears ownership tracking and pending writebacks (SafetyNet
+// recovery); the new-block hook re-arms for MET reconstruction.
+func (h *SnoopHome) Reset() {
+	h.owner = make(map[mem.BlockAddr]network.NodeID)
+	h.pendingWB = make(map[mem.BlockAddr]bool)
+	h.deferred = make(map[mem.BlockAddr][]network.NodeID)
+	h.events = sim.EventQueue{}
+}
+
+// ownerOf returns the tracked owner (-1 if memory owns the block).
+func (h *SnoopHome) ownerOf(b mem.BlockAddr) network.NodeID {
+	if o, ok := h.owner[b]; ok {
+		return o
+	}
+	return -1
+}
+
+// OwnerOf exposes the tracked owner for tests and injection.
+func (h *SnoopHome) OwnerOf(b mem.BlockAddr) network.NodeID { return h.ownerOf(b) }
+
+// DebugPending dumps pending writebacks and deferred supplies.
+func (h *SnoopHome) DebugPending() string {
+	out := ""
+	for b := range h.pendingWB {
+		out += fmt.Sprintf("[pendingWB %#x owner=%d deferred=%d] ", b, h.ownerOf(b), len(h.deferred[b]))
+	}
+	return out
+}
+
+// Snoop processes a broadcast for blocks homed at this node.
+func (h *SnoopHome) Snoop(m *network.Message) {
+	p, ok := m.Payload.(MsgSnoop)
+	if !ok {
+		if h.strict {
+			panic(fmt.Sprintf("SnoopHome %d: unexpected broadcast %T", h.node, m.Payload))
+		}
+		return
+	}
+	if h.cfg.HomeOf(p.Block) != h.node {
+		return
+	}
+	if _, seen := h.owner[p.Block]; !seen && (p.Kind == SnoopGetS || p.Kind == SnoopGetM) {
+		h.owner[p.Block] = -1
+		if h.newBlock != nil {
+			h.newBlock(p.Block, h.memory.ReadBlock(p.Block))
+		}
+	}
+	switch p.Kind {
+	case SnoopGetS:
+		h.stats.GetS++
+		if h.ownerOf(p.Block) == -1 {
+			h.supplyFromMemory(p.Block, p.Requestor)
+		}
+		// An owning cache supplies; ownership is unchanged by GetS.
+	case SnoopGetM:
+		h.stats.GetM++
+		prev := h.ownerOf(p.Block)
+		if prev == p.Requestor {
+			h.stats.Upgrades++ // O→M upgrade: requestor has the data
+		} else if prev == -1 {
+			h.supplyFromMemory(p.Block, p.Requestor)
+		}
+		h.owner[p.Block] = p.Requestor
+	case SnoopPutM:
+		if h.ownerOf(p.Block) != p.Requestor {
+			return // stale writeback; a GetM overtook it
+		}
+		h.stats.Writebacks++
+		h.owner[p.Block] = -1
+		h.pendingWB[p.Block] = true
+	}
+}
+
+// supplyFromMemory ships the block after the DRAM latency, or defers
+// until an in-flight writeback lands.
+func (h *SnoopHome) supplyFromMemory(b mem.BlockAddr, req network.NodeID) {
+	if h.pendingWB[b] {
+		h.deferred[b] = append(h.deferred[b], req)
+		return
+	}
+	h.stats.MemoryReads++
+	h.events.After(h.now, h.cfg.MemLatency, func() {
+		data := h.memory.ReadBlock(b)
+		h.data.Send(&network.Message{Src: h.node, Dst: req, Size: DataBytes, Class: network.ClassCoherence,
+			Payload: MsgSnoopData{Block: b, Data: data}})
+	})
+}
+
+// HandleData processes torus messages addressed to the home: writeback
+// data.
+func (h *SnoopHome) HandleData(m *network.Message) {
+	p, ok := m.Payload.(MsgSnoopWB)
+	if !ok {
+		if h.strict {
+			panic(fmt.Sprintf("SnoopHome %d: unexpected data payload %T", h.node, m.Payload))
+		}
+		return
+	}
+	h.events.After(h.now, 1, func() { h.onWBData(p) })
+}
+
+func (h *SnoopHome) onWBData(p MsgSnoopWB) {
+	if !h.pendingWB[p.Block] {
+		if h.strict {
+			panic(fmt.Sprintf("SnoopHome %d: writeback data for %#x without pending PutM", h.node, p.Block))
+		}
+		return
+	}
+	h.stats.MemoryWrites++
+	h.events.After(h.now, h.cfg.MemLatency, func() {
+		h.memory.WriteBlock(p.Block, p.Data)
+		delete(h.pendingWB, p.Block)
+		reqs := h.deferred[p.Block]
+		delete(h.deferred, p.Block)
+		for _, r := range reqs {
+			h.supplyFromMemory(p.Block, r)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+// Package consistency defines memory consistency models as ordering
+// tables, following Section 2.2 of the paper (after Hill et al.): a table
+// entry (OPx, OPy) = true means every operation of type OPx that precedes
+// an operation Y of type OPy in program order must also perform before Y.
+//
+// The package provides the four models the evaluated SPARC v9 system
+// supports — Sequential Consistency (SC), Total Store Order (TSO, paper
+// Table 2), Partial Store Order (PSO, Table 3), and Relaxed Memory Order
+// (RMO, Table 4) — plus Processor Consistency (PC, Table 1) used as the
+// expository example. RMO membars carry a 4-bit mask (#LL, #LS, #SL, #SS);
+// a boolean ordering requirement is obtained by ANDing the instruction's
+// mask with the table's mask, exactly as the paper specifies.
+package consistency
+
+import "fmt"
+
+// OpClass is the class of a memory operation as seen by the ordering
+// table. Atomic read-modify-write operations must satisfy the ordering
+// requirements of both Load and Store (paper Section 4) and are therefore
+// not a class of their own; callers check RMWs against both classes.
+type OpClass uint8
+
+// Operation classes. The zero value is invalid so that forgotten
+// initialisation is caught early.
+const (
+	Load OpClass = iota + 1
+	Store
+	Membar // includes Stbar, which is Membar #SS
+)
+
+// NumClasses is the number of distinct operation classes.
+const NumClasses = 3
+
+// String implements fmt.Stringer.
+func (c OpClass) String() string {
+	switch c {
+	case Load:
+		return "Load"
+	case Store:
+		return "Store"
+	case Membar:
+		return "Membar"
+	default:
+		return fmt.Sprintf("OpClass(%d)", uint8(c))
+	}
+}
+
+// MembarMask is the SPARC v9 4-bit membar mask. Bit XY set means
+// "operations of class X before the membar must perform before operations
+// of class Y after the membar".
+type MembarMask uint8
+
+// Membar mask bits, named as in the paper's Table 4.
+const (
+	LL MembarMask = 1 << iota // #LoadLoad
+	LS                        // #LoadStore
+	SL                        // #StoreLoad
+	SS                        // #StoreStore
+
+	// FullMask orders everything: equivalent to Membar #Sync. The
+	// artificial membars DVMC injects for lost-operation detection use
+	// this mask.
+	FullMask = LL | LS | SL | SS
+)
+
+// String implements fmt.Stringer, printing SPARC-assembly-style names.
+func (m MembarMask) String() string {
+	if m == 0 {
+		return "#none"
+	}
+	s := ""
+	for _, b := range [...]struct {
+		bit  MembarMask
+		name string
+	}{{LL, "#LoadLoad"}, {LS, "#LoadStore"}, {SL, "#StoreLoad"}, {SS, "#StoreStore"}} {
+		if m&b.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += b.name
+		}
+	}
+	return s
+}
+
+// Model identifies a memory consistency model.
+type Model uint8
+
+// The supported models. SPARC v9 allows runtime switching between TSO,
+// PSO, and RMO; SC is the paper's baseline; PC is Table 1's example.
+const (
+	SC Model = iota + 1
+	TSO
+	PSO
+	RMO
+	PC
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case SC:
+		return "SC"
+	case TSO:
+		return "TSO"
+	case PSO:
+		return "PSO"
+	case RMO:
+		return "RMO"
+	case PC:
+		return "PC"
+	default:
+		return fmt.Sprintf("Model(%d)", uint8(m))
+	}
+}
+
+// Models lists the four runtime-selectable models in the order the paper
+// evaluates them.
+var Models = [...]Model{SC, TSO, PSO, RMO}
+
+// Op describes one memory operation to the ordering table: its class and,
+// for membars, its mask. Stbar is represented as {Membar, SS}.
+type Op struct {
+	Class OpClass
+	Mask  MembarMask // meaningful only when Class == Membar
+}
+
+// Table is an ordering table: Entry(x, y) gives the constraint mask
+// between a first operation of class x and a second operation of class y.
+// For Load/Store pairs the mask is all-or-nothing (FullMask or 0); for
+// pairs involving membars the entry is ANDed with the instruction's mask.
+type Table struct {
+	model Model
+	// entry[first-1][second-1]; a nonzero AND with the participating
+	// membar masks (or FullMask for loads/stores) means "ordered".
+	entry [NumClasses][NumClasses]MembarMask
+}
+
+// Model returns the model this table encodes.
+func (t *Table) Model() Model { return t.model }
+
+// opMask returns the mask an operation contributes to an ordering query:
+// membars contribute their instruction mask, loads and stores the full
+// mask (their table entries are plain booleans).
+func opMask(op Op) MembarMask {
+	if op.Class == Membar {
+		return op.Mask
+	}
+	return FullMask
+}
+
+// Ordered reports whether the table requires first (earlier in program
+// order) to perform before second. Both operations' masks participate:
+// table ∧ mask(first) ∧ mask(second) ≠ 0.
+func (t *Table) Ordered(first, second Op) bool {
+	if first.Class == 0 || second.Class == 0 {
+		panic("consistency: Ordered with zero OpClass")
+	}
+	e := t.entry[first.Class-1][second.Class-1]
+	return e&opMask(first)&opMask(second) != 0
+}
+
+// OrderedClasses reports whether any ordering constraint at all exists
+// from class first to class second, regardless of membar masks. The
+// Allowable Reordering checker uses this to decide which max{OP} counters
+// an operation class must be checked against.
+func (t *Table) OrderedClasses(first, second OpClass) bool {
+	return t.entry[first-1][second-1] != 0
+}
+
+// ConstraintMask returns the raw table entry from class first to class
+// second. For entries involving membars this is the mask to AND with the
+// instruction's mask.
+func (t *Table) ConstraintMask(first, second OpClass) MembarMask {
+	return t.entry[first-1][second-1]
+}
+
+// set installs an entry; used only by the table constructors below.
+func (t *Table) set(first, second OpClass, m MembarMask) {
+	t.entry[first-1][second-1] = m
+}
+
+// tables built once at init; indexed by Model.
+var tables [PC + 1]*Table
+
+func init() {
+	// Table 1 — Processor Consistency: Load→Load, Load→Store, Store→Store
+	// ordered; Store→Load relaxed. (No membars in the PC table.)
+	pc := &Table{model: PC}
+	pc.set(Load, Load, FullMask)
+	pc.set(Load, Store, FullMask)
+	pc.set(Store, Store, FullMask)
+	tables[PC] = pc
+
+	// SC: every pair ordered. Membars are no-ops but kept totally ordered
+	// so that injected membars behave uniformly across models.
+	sc := &Table{model: SC}
+	for _, x := range [...]OpClass{Load, Store, Membar} {
+		for _, y := range [...]OpClass{Load, Store, Membar} {
+			sc.set(x, y, FullMask)
+		}
+	}
+	tables[SC] = sc
+
+	// Table 2 — Total Store Order: as PC; SPARC TSO is a variant of
+	// processor consistency. Membars still order per their mask (a
+	// Membar #StoreLoad is TSO's only way to force Store→Load order).
+	tso := &Table{model: TSO}
+	tso.set(Load, Load, FullMask)
+	tso.set(Load, Store, FullMask)
+	tso.set(Store, Store, FullMask)
+	tso.set(Load, Membar, LL|LS)
+	tso.set(Store, Membar, SL|SS)
+	tso.set(Membar, Load, LL|SL)
+	tso.set(Membar, Store, LS|SS)
+	tso.set(Membar, Membar, FullMask)
+	tables[TSO] = tso
+
+	// Table 3 — Partial Store Order: TSO minus Store→Store; Stbar
+	// (= Membar #SS) restores store ordering: Store→Stbar and
+	// Stbar→Store are ordered, Load→Stbar and Stbar→Load are not.
+	pso := &Table{model: PSO}
+	pso.set(Load, Load, FullMask)
+	pso.set(Load, Store, FullMask)
+	pso.set(Load, Membar, LL|LS)
+	pso.set(Store, Membar, SL|SS)
+	pso.set(Membar, Load, LL|SL)
+	pso.set(Membar, Store, LS|SS)
+	pso.set(Membar, Membar, FullMask)
+	tables[PSO] = pso
+
+	// Table 4 — Relaxed Memory Order: no implicit ordering at all;
+	// membars order exactly per their 4-bit mask:
+	//   Load→Membar   if mask has #LL or #LS (prior loads held by it)
+	//   Store→Membar  if mask has #SL or #SS
+	//   Membar→Load   if mask has #LL or #SL (later loads held by it)
+	//   Membar→Store  if mask has #LS or #SS
+	rmo := &Table{model: RMO}
+	rmo.set(Load, Membar, LL|LS)
+	rmo.set(Store, Membar, SL|SS)
+	rmo.set(Membar, Load, LL|SL)
+	rmo.set(Membar, Store, LS|SS)
+	rmo.set(Membar, Membar, FullMask)
+	tables[RMO] = rmo
+}
+
+// TableFor returns the ordering table for a model. The returned table is
+// shared and immutable.
+func TableFor(m Model) *Table {
+	if int(m) >= len(tables) || tables[m] == nil {
+		panic(fmt.Sprintf("consistency: no table for %v", m))
+	}
+	return tables[m]
+}

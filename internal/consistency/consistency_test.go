@@ -1,0 +1,246 @@
+package consistency
+
+import "testing"
+
+func ld() Op                        { return Op{Class: Load} }
+func st() Op                        { return Op{Class: Store} }
+func mb(m MembarMask) Op            { return Op{Class: Membar, Mask: m} }
+func stbar() Op                     { return mb(SS) }
+func pair(a, b Op) [2]Op            { return [2]Op{a, b} }
+func name(m Model) string           { return m.String() }
+func tbl(m Model) *Table            { return TableFor(m) }
+func ordered(m Model, a, b Op) bool { return tbl(m).Ordered(a, b) }
+
+// TestTable1ProcessorConsistency checks the paper's Table 1 verbatim.
+func TestTable1ProcessorConsistency(t *testing.T) {
+	pc := TableFor(PC)
+	tests := []struct {
+		first, second Op
+		want          bool
+	}{
+		{ld(), ld(), true},
+		{ld(), st(), true},
+		{st(), ld(), false}, // the PC relaxation
+		{st(), st(), true},
+	}
+	for _, tt := range tests {
+		if got := pc.Ordered(tt.first, tt.second); got != tt.want {
+			t.Errorf("PC Ordered(%v,%v) = %v, want %v", tt.first.Class, tt.second.Class, got, tt.want)
+		}
+	}
+}
+
+// TestTable2TSO checks the paper's Table 2 verbatim.
+func TestTable2TSO(t *testing.T) {
+	tests := []struct {
+		first, second Op
+		want          bool
+	}{
+		{ld(), ld(), true},
+		{ld(), st(), true},
+		{st(), ld(), false},
+		{st(), st(), true},
+	}
+	for _, tt := range tests {
+		if got := ordered(TSO, tt.first, tt.second); got != tt.want {
+			t.Errorf("TSO Ordered(%v,%v) = %v, want %v", tt.first.Class, tt.second.Class, got, tt.want)
+		}
+	}
+	// TSO's missing Store→Load order is restored by Membar #StoreLoad.
+	if !ordered(TSO, st(), mb(SL)) || !ordered(TSO, mb(SL), ld()) {
+		t.Error("TSO Membar #StoreLoad does not order stores before later loads")
+	}
+}
+
+// TestTable3PSO checks the paper's Table 3 verbatim, including the Stbar
+// row and column (Stbar = Membar #SS).
+func TestTable3PSO(t *testing.T) {
+	tests := []struct {
+		name          string
+		first, second Op
+		want          bool
+	}{
+		{"Load-Load", ld(), ld(), true},
+		{"Load-Store", ld(), st(), true},
+		{"Load-Stbar", ld(), stbar(), false},
+		{"Store-Load", st(), ld(), false},
+		{"Store-Store", st(), st(), false}, // the PSO relaxation
+		{"Store-Stbar", st(), stbar(), true},
+		{"Stbar-Load", stbar(), ld(), false},
+		{"Stbar-Store", stbar(), st(), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ordered(PSO, tt.first, tt.second); got != tt.want {
+				t.Errorf("PSO Ordered = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestTable4RMO checks the paper's Table 4: no implicit load/store
+// ordering; membars order exactly per mask.
+func TestTable4RMO(t *testing.T) {
+	// No implicit ordering between loads and stores.
+	for _, p := range [][2]Op{pair(ld(), ld()), pair(ld(), st()), pair(st(), ld()), pair(st(), st())} {
+		if ordered(RMO, p[0], p[1]) {
+			t.Errorf("RMO orders %v→%v implicitly", p[0].Class, p[1].Class)
+		}
+	}
+	tests := []struct {
+		name          string
+		first, second Op
+		want          bool
+	}{
+		{"Load before #LL", ld(), mb(LL), true},
+		{"Load before #LS", ld(), mb(LS), true},
+		{"Load before #SL", ld(), mb(SL), false},
+		{"Load before #SS", ld(), mb(SS), false},
+		{"Store before #SL", st(), mb(SL), true},
+		{"Store before #SS", st(), mb(SS), true},
+		{"Store before #LL", st(), mb(LL), false},
+		{"Store before #LS", st(), mb(LS), false},
+		{"#LL before Load", mb(LL), ld(), true},
+		{"#SL before Load", mb(SL), ld(), true},
+		{"#LS before Load", mb(LS), ld(), false},
+		{"#LS before Store", mb(LS), st(), true},
+		{"#SS before Store", mb(SS), st(), true},
+		{"#LL before Store", mb(LL), st(), false},
+		{"full membar both sides load", mb(FullMask), ld(), true},
+		{"full membar both sides store", st(), mb(FullMask), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ordered(RMO, tt.first, tt.second); got != tt.want {
+				t.Errorf("RMO Ordered = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestMembarMaskAND verifies the paper's rule: "A boolean value is
+// obtained from the mask by computing the logical AND between the mask in
+// the instruction and the mask in the table. If the result is non-zero,
+// ordering is required."
+func TestMembarMaskAND(t *testing.T) {
+	rmo := TableFor(RMO)
+	// #LoadStore-only membar: holds prior loads, holds later stores,
+	// nothing else.
+	m := mb(LS)
+	if !rmo.Ordered(ld(), m) {
+		t.Error("load not ordered before #LS membar")
+	}
+	if rmo.Ordered(st(), m) {
+		t.Error("store ordered before #LS membar")
+	}
+	if !rmo.Ordered(m, st()) {
+		t.Error("#LS membar not ordered before store")
+	}
+	if rmo.Ordered(m, ld()) {
+		t.Error("#LS membar ordered before load")
+	}
+	// Zero-mask membar orders nothing.
+	z := mb(0)
+	if rmo.Ordered(ld(), z) || rmo.Ordered(z, ld()) || rmo.Ordered(st(), z) || rmo.Ordered(z, st()) {
+		t.Error("zero-mask membar imposes ordering")
+	}
+}
+
+func TestSCOrdersEverything(t *testing.T) {
+	ops := []Op{ld(), st(), mb(FullMask)}
+	for _, a := range ops {
+		for _, b := range ops {
+			if !ordered(SC, a, b) {
+				t.Errorf("SC does not order %v→%v", a.Class, b.Class)
+			}
+		}
+	}
+}
+
+// TestRelaxationHierarchy: every ordering PSO requires, TSO requires too;
+// every ordering TSO requires, SC requires (restricted to plain loads and
+// stores, where the models are comparable).
+func TestRelaxationHierarchy(t *testing.T) {
+	plain := []Op{ld(), st()}
+	chain := []Model{RMO, PSO, TSO, SC}
+	for i := 0; i+1 < len(chain); i++ {
+		weaker, stronger := chain[i], chain[i+1]
+		for _, a := range plain {
+			for _, b := range plain {
+				if ordered(weaker, a, b) && !ordered(stronger, a, b) {
+					t.Errorf("%s orders %v→%v but %s does not",
+						name(weaker), a.Class, b.Class, name(stronger))
+				}
+			}
+		}
+	}
+}
+
+func TestOrderedClasses(t *testing.T) {
+	tso := TableFor(TSO)
+	if !tso.OrderedClasses(Load, Store) {
+		t.Error("TSO OrderedClasses(Load,Store) = false")
+	}
+	if tso.OrderedClasses(Store, Load) {
+		t.Error("TSO OrderedClasses(Store,Load) = true")
+	}
+	rmo := TableFor(RMO)
+	if rmo.OrderedClasses(Load, Load) {
+		t.Error("RMO OrderedClasses(Load,Load) = true")
+	}
+	if !rmo.OrderedClasses(Load, Membar) {
+		t.Error("RMO OrderedClasses(Load,Membar) = false")
+	}
+}
+
+func TestTableForPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TableFor(0) did not panic")
+		}
+	}()
+	TableFor(Model(0))
+}
+
+func TestOrderedPanicsOnZeroClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ordered with zero class did not panic")
+		}
+	}()
+	TableFor(SC).Ordered(Op{}, ld())
+}
+
+func TestStringers(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{Load.String(), "Load"},
+		{Store.String(), "Store"},
+		{Membar.String(), "Membar"},
+		{OpClass(9).String(), "OpClass(9)"},
+		{SC.String(), "SC"},
+		{TSO.String(), "TSO"},
+		{PSO.String(), "PSO"},
+		{RMO.String(), "RMO"},
+		{PC.String(), "PC"},
+		{Model(9).String(), "Model(9)"},
+		{MembarMask(0).String(), "#none"},
+		{LL.String(), "#LoadLoad"},
+		{(SL | SS).String(), "#StoreLoad|#StoreStore"},
+		{FullMask.String(), "#LoadLoad|#LoadStore|#StoreLoad|#StoreStore"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestModelOfTable(t *testing.T) {
+	for _, m := range Models {
+		if TableFor(m).Model() != m {
+			t.Errorf("TableFor(%v).Model() = %v", m, TableFor(m).Model())
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"dvmc/internal/coherence"
+	"dvmc/internal/hash"
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// scrubThreshold is how old (in logical ticks) an open epoch may grow
+// before the CET announces it with an Inform-Open-Epoch. It must stay
+// comfortably below half the 16-bit timestamp range so no live stamp ever
+// becomes ambiguous.
+const scrubThreshold = 1 << 14
+
+// scrubFIFOSize matches the paper's implementation (128 entries per CET).
+const scrubFIFOSize = 128
+
+// CacheChecker is the cache-controller side of the Cache Coherence
+// checker (Section 4.3). It maintains the Cache Epoch Table (CET): per
+// resident block, the epoch's type, begin time, begin data signature, and
+// DataReady bit. On every load or store it checks that the access falls
+// in an appropriate epoch; when an epoch ends it ships an Inform-Epoch to
+// the block's home MET. A FIFO of epoch-begin times scrubs long-lived
+// epochs before their 16-bit timestamps can wrap.
+type CacheChecker struct {
+	node  network.NodeID
+	cfg   coherence.Config
+	net   network.Network
+	clock coherence.LogicalClock
+	sink  Sink
+
+	cet   map[mem.BlockAddr]*cetEntry
+	scrub []scrubEntry
+
+	cycleNow func() sim.Cycle
+
+	stats CETStats
+}
+
+var (
+	_ coherence.EpochListener  = (*CacheChecker)(nil)
+	_ coherence.AccessListener = (*CacheChecker)(nil)
+	_ sim.Clockable            = (*CacheChecker)(nil)
+)
+
+// CETStats counts checker activity.
+type CETStats struct {
+	EpochsBegun   uint64
+	EpochsEnded   uint64
+	Informs       uint64
+	OpenInforms   uint64
+	ClosedInforms uint64
+	Accesses      uint64
+	Violations    uint64
+}
+
+type cetEntry struct {
+	kind         coherence.EpochKind
+	begin        uint64 // full internal time; 16 bits on the wire
+	beginHash    hash.Signature
+	dataReady    bool
+	informedOpen bool
+}
+
+type scrubEntry struct {
+	block mem.BlockAddr
+	begin uint64
+}
+
+// NewCacheChecker builds the CET checker for one node. cycleNow stamps
+// violations with the current processor cycle.
+func NewCacheChecker(node network.NodeID, cfg coherence.Config, net network.Network,
+	clock coherence.LogicalClock, cycleNow func() sim.Cycle, sink Sink) *CacheChecker {
+	return &CacheChecker{
+		node:     node,
+		cfg:      cfg,
+		net:      net,
+		clock:    clock,
+		sink:     sink,
+		cet:      make(map[mem.BlockAddr]*cetEntry),
+		cycleNow: cycleNow,
+	}
+}
+
+// Stats returns checker counters.
+func (c *CacheChecker) Stats() CETStats { return c.stats }
+
+// OpenEpochs returns the CET occupancy (tests).
+func (c *CacheChecker) OpenEpochs() int { return len(c.cet) }
+
+// Reset drops all epoch state (SafetyNet recovery: the caches were
+// invalidated, so no epochs are open).
+func (c *CacheChecker) Reset() {
+	c.cet = make(map[mem.BlockAddr]*cetEntry)
+	c.scrub = c.scrub[:0]
+}
+
+// EpochBegin implements coherence.EpochListener.
+func (c *CacheChecker) EpochBegin(b mem.BlockAddr, kind coherence.EpochKind, ltime uint64, dataKnown bool, data mem.Block) {
+	c.stats.EpochsBegun++
+	if _, exists := c.cet[b]; exists {
+		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v begins while another is open", kind))
+		// Recover conservatively: replace the entry.
+	}
+	e := &cetEntry{kind: kind, begin: ltime, dataReady: dataKnown}
+	if dataKnown {
+		e.beginHash = BlockHash(data)
+	}
+	c.cet[b] = e
+	c.pushScrub(b, ltime)
+}
+
+// EpochData implements coherence.EpochListener: the block's data arrived
+// after the epoch's ordering point (the CET's DataReadyBit case).
+func (c *CacheChecker) EpochData(b mem.BlockAddr, data mem.Block) {
+	e, ok := c.cet[b]
+	if !ok {
+		c.violate(b, CETStateViolation, "data arrived for a block with no open epoch")
+		return
+	}
+	if !e.dataReady {
+		e.beginHash = BlockHash(data)
+		e.dataReady = true
+	}
+}
+
+// EpochEnd implements coherence.EpochListener: ship the Inform-Epoch.
+func (c *CacheChecker) EpochEnd(b mem.BlockAddr, kind coherence.EpochKind, ltime uint64, data mem.Block) {
+	c.stats.EpochsEnded++
+	e, ok := c.cet[b]
+	if !ok {
+		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v ends but none open", kind))
+		return
+	}
+	if e.kind != kind {
+		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v ends but %v open", kind, e.kind))
+	}
+	endHash := BlockHash(data)
+	home := c.cfg.HomeOf(b)
+	if e.informedOpen {
+		c.stats.ClosedInforms++
+		c.net.Send(&network.Message{Src: c.node, Dst: home, Size: InformClosedBytes, Class: network.ClassInform,
+			Payload: InformClosedEpoch{Block: b, Kind: kind, End: Wrap(ltime), EndHash: endHash, From: c.node}})
+	} else {
+		c.stats.Informs++
+		c.net.Send(&network.Message{Src: c.node, Dst: home, Size: InformEpochBytes, Class: network.ClassInform,
+			Payload: InformEpoch{Block: b, Kind: kind, Begin: Wrap(e.begin), End: Wrap(ltime),
+				BeginHash: e.beginHash, EndHash: endHash, From: c.node}})
+	}
+	delete(c.cet, b)
+}
+
+// Access implements coherence.AccessListener: coherence rule 1 — reads
+// and writes are performed only during appropriate epochs.
+func (c *CacheChecker) Access(b mem.BlockAddr, write bool) {
+	c.stats.Accesses++
+	e, ok := c.cet[b]
+	if !ok {
+		c.violate(b, EpochAccessViolation, accessName(write)+" performed with no open epoch")
+		return
+	}
+	if write && e.kind != coherence.ReadWrite {
+		c.violate(b, EpochAccessViolation, "store performed during a Read-Only epoch")
+	}
+}
+
+func accessName(write bool) string {
+	if write {
+		return "store"
+	}
+	return "load"
+}
+
+// Tick implements sim.Clockable: the wraparound scrubbing walk.
+func (c *CacheChecker) Tick(now sim.Cycle) {
+	lnow := c.clock.LogicalNow()
+	for len(c.scrub) > 0 {
+		head := c.scrub[0]
+		if lnow-head.begin <= scrubThreshold {
+			break
+		}
+		c.scrub = c.scrub[1:]
+		c.scrubOne(head)
+	}
+}
+
+func (c *CacheChecker) pushScrub(b mem.BlockAddr, begin uint64) {
+	if len(c.scrub) >= scrubFIFOSize {
+		head := c.scrub[0]
+		c.scrub = c.scrub[1:]
+		c.scrubOne(head)
+	}
+	c.scrub = append(c.scrub, scrubEntry{block: b, begin: begin})
+}
+
+// scrubOne announces a still-open old epoch to the home MET so its begin
+// timestamp can be retired before wraparound.
+func (c *CacheChecker) scrubOne(s scrubEntry) {
+	e, ok := c.cet[s.block]
+	if !ok || e.begin != s.begin || e.informedOpen {
+		return // epoch already ended (or re-begun); nothing to scrub
+	}
+	if !e.dataReady {
+		// Cannot announce without the begin signature; re-queue.
+		c.scrub = append(c.scrub, s)
+		return
+	}
+	e.informedOpen = true
+	c.stats.OpenInforms++
+	home := c.cfg.HomeOf(s.block)
+	c.net.Send(&network.Message{Src: c.node, Dst: home, Size: InformOpenBytes, Class: network.ClassInform,
+		Payload: InformOpenEpoch{Block: s.block, Kind: e.kind, Begin: Wrap(e.begin), BeginHash: e.beginHash, From: c.node}})
+}
+
+func (c *CacheChecker) violate(b mem.BlockAddr, kind ViolationKind, detail string) {
+	c.stats.Violations++
+	c.sink.Violation(Violation{Kind: kind, Node: c.node, Block: b, Cycle: c.cycleNow(), Detail: detail})
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"dvmc/internal/coherence"
+	"dvmc/internal/hash"
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+)
+
+// BlockHash computes the CRC-16 signature of a block, as stored in CET
+// and MET entries and shipped in Inform-Epoch messages.
+func BlockHash(d mem.Block) hash.Signature {
+	var w [mem.WordsPerBlock]uint64
+	for i := range d {
+		w[i] = uint64(d[i])
+	}
+	return hash.SumWords(w[:])
+}
+
+// Wire sizes of the verification messages in bytes. An Inform-Epoch
+// carries the block address, epoch type, two 16-bit logical times, and
+// two 16-bit data signatures (the second omitted for Read-Only epochs,
+// but we account the worst case).
+const (
+	InformEpochBytes  = 16
+	InformOpenBytes   = 14
+	InformClosedBytes = 12
+)
+
+// InformEpoch reports a completed epoch to the block's home memory
+// controller (Section 4.3): address, epoch type, begin and end logical
+// times, and CRC-16 signatures of the block data at begin and end. For a
+// Read-Only epoch the end signature equals the begin signature (data
+// cannot change during the epoch).
+type InformEpoch struct {
+	Block     mem.BlockAddr
+	Kind      coherence.EpochKind
+	Begin     Time16
+	End       Time16
+	BeginHash hash.Signature
+	EndHash   hash.Signature
+	From      network.NodeID
+}
+
+// InformOpenEpoch notifies the home that an epoch is still in progress
+// and its begin timestamp is about to wrap around; the MET tracks it as
+// an open epoch and expects a single InformClosedEpoch later.
+type InformOpenEpoch struct {
+	Block     mem.BlockAddr
+	Kind      coherence.EpochKind
+	Begin     Time16
+	BeginHash hash.Signature
+	From      network.NodeID
+}
+
+// InformClosedEpoch completes a previously announced open epoch. The
+// paper's message carries only the address and end time; we add the end
+// signature for Read-Write epochs so the data-propagation chain stays
+// checkable across scrubbed epochs (noted as a deviation in DESIGN.md).
+type InformClosedEpoch struct {
+	Block   mem.BlockAddr
+	Kind    coherence.EpochKind
+	End     Time16
+	EndHash hash.Signature
+	From    network.NodeID
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapTruncates(t *testing.T) {
+	tests := []struct {
+		in   uint64
+		want Time16
+	}{
+		{0, 0},
+		{0xffff, 0xffff},
+		{0x10000, 0},
+		{0x12345, 0x2345},
+	}
+	for _, tt := range tests {
+		if got := Wrap(tt.in); got != tt.want {
+			t.Errorf("Wrap(%#x) = %#x, want %#x", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestReconstructExactWithinHalfRange(t *testing.T) {
+	// Any true time within half the 16-bit range of the reference must
+	// reconstruct exactly — including across wraparound boundaries.
+	f := func(ref uint32, offRaw uint16) bool {
+		near := uint64(ref)
+		off := int64(offRaw%halfRange) - halfRange/2
+		truth := int64(near) + off
+		if truth < 0 {
+			return true // skip unrepresentable
+		}
+		got := Wrap(uint64(truth)).Reconstruct(near)
+		return got == uint64(truth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstructAcrossWraparound(t *testing.T) {
+	tests := []struct {
+		truth, near uint64
+	}{
+		{0xfffe, 0x10002},      // stamp just before wrap, clock just after
+		{0x10002, 0xfffe},      // stamp after wrap, clock before
+		{0x2fff0, 0x30010},     // second wrap
+		{5, 5},                 // trivial
+		{0x17fff, 0x17fff + 9}, // mid-range
+	}
+	for _, tt := range tests {
+		if got := Wrap(tt.truth).Reconstruct(tt.near); got != tt.truth {
+			t.Errorf("Reconstruct(Wrap(%#x), near=%#x) = %#x", tt.truth, tt.near, got)
+		}
+	}
+}
+
+func TestBefore16Modular(t *testing.T) {
+	tests := []struct {
+		a, b Time16
+		want bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{5, 5, false},
+		{0xfffe, 0x0002, true}, // wraps: 0xfffe is just before 2
+		{0x0002, 0xfffe, false},
+	}
+	for _, tt := range tests {
+		if got := Before(tt.a, tt.b); got != tt.want {
+			t.Errorf("Before(%#x, %#x) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestViolationStrings(t *testing.T) {
+	kinds := []ViolationKind{UOMismatch, UOStoreMismatch, ReorderViolation, LostOperation,
+		OperationTimeout, EpochAccessViolation, EpochOverlap, DataPropagation,
+		CETStateViolation, ECCUncorrectable}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+	v := Violation{Kind: EpochOverlap, Node: 3, Block: 0x40, Cycle: 99, Detail: "x"}
+	if v.String() == "" {
+		t.Error("Violation.String empty")
+	}
+}
+
+func TestCollectorSink(t *testing.T) {
+	var c CollectorSink
+	if _, ok := c.First(); ok {
+		t.Error("empty collector reports a violation")
+	}
+	c.Violation(Violation{Kind: UOMismatch})
+	c.Violation(Violation{Kind: EpochOverlap})
+	if c.Count() != 2 {
+		t.Errorf("Count = %d", c.Count())
+	}
+	if v, ok := c.First(); !ok || v.Kind != UOMismatch {
+		t.Errorf("First = %v, %v", v, ok)
+	}
+	called := false
+	SinkFunc(func(Violation) { called = true }).Violation(Violation{})
+	if !called {
+		t.Error("SinkFunc did not forward")
+	}
+}

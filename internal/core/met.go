@@ -1,0 +1,333 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dvmc/internal/coherence"
+	"dvmc/internal/hash"
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// metQueueSize matches the paper's priority queue of 256 entries
+// (Table 6).
+const metQueueSize = 256
+
+// MemChecker is the memory-controller side of the Cache Coherence
+// checker: the Memory Epoch Table (MET). For every block it is home for,
+// it keeps the latest end time of any Read-Only epoch, the latest end
+// time of any Read-Write epoch, and the signature of the block at the end
+// of the latest Read-Write epoch (48 bits per entry in the paper).
+//
+// Incoming Inform-Epochs are sorted by epoch begin time in a fixed-size
+// priority queue and processed in begin-time order once they are older
+// than a settle window (or when the queue overflows). Each one is checked
+// for illegal overlap (rule 2 / SWMR) and correct data propagation (rule
+// 3) and then folded into the entry.
+type MemChecker struct {
+	node  network.NodeID
+	cfg   coherence.Config
+	clock coherence.LogicalClock
+	sink  Sink
+
+	met map[mem.BlockAddr]*metEntry
+	pq  informQueue
+
+	// window is how many logical ticks an inform rests in the queue
+	// before processing, giving stragglers time to sort in. It must cover
+	// the maximum inform network delay (in logical ticks) so that
+	// causally ordered informs are processed in begin-time order.
+	window uint64
+	// cycleWindow bounds how long (in cycles) an inform may wait when the
+	// logical clock stalls (idle snooping bus), keeping detection latency
+	// bounded.
+	cycleWindow sim.Cycle
+
+	cycleNow func() sim.Cycle
+	enqSeq   uint64
+
+	stats METStats
+}
+
+var _ sim.Clockable = (*MemChecker)(nil)
+
+// METStats counts checker activity.
+type METStats struct {
+	InformsProcessed uint64
+	OpensProcessed   uint64
+	ClosesProcessed  uint64
+	Overlaps         uint64
+	DataMismatches   uint64
+	QueueOverflows   uint64
+	Entries          int
+}
+
+type metEntry struct {
+	lastROEnd  uint64
+	lastRWEnd  uint64
+	lastRWHash hash.Signature
+	hashKnown  bool
+
+	openRO uint64         // bitmask of nodes with announced-open RO epochs
+	openRW network.NodeID // node with an announced-open RW epoch; -1 none
+}
+
+// queuedInform is an InformEpoch with its reconstructed full begin time.
+type queuedInform struct {
+	inform    InformEpoch
+	begin     uint64
+	seq       uint64
+	arrivedAt sim.Cycle
+}
+
+type informQueue []queuedInform
+
+func (q informQueue) Len() int { return len(q) }
+func (q informQueue) Less(i, j int) bool {
+	if q[i].begin != q[j].begin {
+		return q[i].begin < q[j].begin
+	}
+	return q[i].seq < q[j].seq // ties broken by arrival order (paper)
+}
+func (q informQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *informQueue) Push(x any)   { *q = append(*q, x.(queuedInform)) }
+func (q *informQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// NewMemChecker builds the MET checker for one home node.
+func NewMemChecker(node network.NodeID, cfg coherence.Config, clock coherence.LogicalClock,
+	cycleNow func() sim.Cycle, sink Sink) *MemChecker {
+	return &MemChecker{
+		node:        node,
+		cfg:         cfg,
+		clock:       clock,
+		sink:        sink,
+		met:         make(map[mem.BlockAddr]*metEntry),
+		window:      128,
+		cycleWindow: 4096,
+		cycleNow:    cycleNow,
+	}
+}
+
+// Stats returns checker counters.
+func (m *MemChecker) Stats() METStats {
+	s := m.stats
+	s.Entries = len(m.met)
+	return s
+}
+
+// Reset drops all MET entries and queued informs (SafetyNet recovery).
+// Entries are reconstructed from restored memory by the home
+// controllers' new-block hooks.
+func (m *MemChecker) Reset() {
+	m.met = make(map[mem.BlockAddr]*metEntry)
+	m.pq = nil
+}
+
+// BlockRequested constructs the MET entry for a block's first request:
+// last Read-Write epoch ended "now" with the signature of the memory
+// data (Section 4.3, MET operation). Wire this to the home controller's
+// new-block hook.
+func (m *MemChecker) BlockRequested(b mem.BlockAddr, data mem.Block) {
+	if _, ok := m.met[b]; ok {
+		return
+	}
+	m.met[b] = &metEntry{
+		lastRWEnd:  m.clock.LogicalNow(),
+		lastRWHash: BlockHash(data),
+		hashKnown:  true,
+		openRW:     -1,
+	}
+}
+
+// Handle consumes a verification message delivered at the home node.
+func (m *MemChecker) Handle(msg *network.Message) {
+	switch p := msg.Payload.(type) {
+	case InformEpoch:
+		m.enqueue(p)
+	case InformOpenEpoch:
+		m.processOpen(p)
+	case InformClosedEpoch:
+		m.processClosed(p)
+	default:
+		// Not a verification message; ignore (the dispatcher routes).
+	}
+}
+
+func (m *MemChecker) enqueue(p InformEpoch) {
+	m.enqSeq++
+	qi := queuedInform{inform: p, begin: p.Begin.Reconstruct(m.clock.LogicalNow()),
+		seq: m.enqSeq, arrivedAt: m.cycleNow()}
+	heap.Push(&m.pq, qi)
+	if len(m.pq) > metQueueSize {
+		m.stats.QueueOverflows++
+		m.processOne(heap.Pop(&m.pq).(queuedInform))
+	}
+}
+
+// Tick implements sim.Clockable: drain informs old enough to be safely
+// ordered, and force progress when the logical clock stalls.
+func (m *MemChecker) Tick(now sim.Cycle) {
+	lnow := m.clock.LogicalNow()
+	for len(m.pq) > 0 && m.pq[0].begin+m.window <= lnow {
+		m.processOne(heap.Pop(&m.pq).(queuedInform))
+	}
+	for len(m.pq) > 0 && now > m.oldestArrival()+m.cycleWindow {
+		m.processOne(heap.Pop(&m.pq).(queuedInform))
+	}
+}
+
+func (m *MemChecker) oldestArrival() sim.Cycle {
+	oldest := m.pq[0].arrivedAt
+	for _, qi := range m.pq[1:] {
+		if qi.arrivedAt < oldest {
+			oldest = qi.arrivedAt
+		}
+	}
+	return oldest
+}
+
+// Drain folds every queued inform into the MET immediately (end of
+// simulation). Informs younger than the settle window are folded without
+// running the overlap and data-propagation checks: their causal
+// predecessors may still be in flight in the network, so checking them
+// now would manufacture false positives. Mid-run detection is unaffected
+// — Tick always checks.
+func (m *MemChecker) Drain() {
+	lnow := m.clock.LogicalNow()
+	for len(m.pq) > 0 {
+		qi := heap.Pop(&m.pq).(queuedInform)
+		if qi.begin+m.window <= lnow {
+			m.processOne(qi)
+		} else {
+			m.foldOnly(qi)
+		}
+	}
+}
+
+// foldOnly updates MET state from an inform without checking it.
+func (m *MemChecker) foldOnly(qi queuedInform) {
+	p := qi.inform
+	m.stats.InformsProcessed++
+	e := m.entry(p.Block)
+	end := p.End.Reconstruct(qi.begin)
+	switch p.Kind {
+	case coherence.ReadOnly:
+		if end > e.lastROEnd {
+			e.lastROEnd = end
+		}
+	case coherence.ReadWrite:
+		if end > e.lastRWEnd {
+			e.lastRWEnd = end
+		}
+		e.lastRWHash = p.EndHash
+		e.hashKnown = true
+	}
+}
+
+func (m *MemChecker) entry(b mem.BlockAddr) *metEntry {
+	e, ok := m.met[b]
+	if !ok {
+		// Entry should exist via BlockRequested; create conservatively
+		// with an unknown data signature.
+		e = &metEntry{openRW: -1}
+		m.met[b] = e
+	}
+	return e
+}
+
+func (m *MemChecker) processOne(qi queuedInform) {
+	p := qi.inform
+	m.stats.InformsProcessed++
+	e := m.entry(p.Block)
+	end := p.End.Reconstruct(qi.begin)
+	m.checkBegin(p.Block, e, p.Kind, qi.begin, p.BeginHash, p.From)
+	switch p.Kind {
+	case coherence.ReadOnly:
+		if end > e.lastROEnd {
+			e.lastROEnd = end
+		}
+	case coherence.ReadWrite:
+		if end > e.lastRWEnd {
+			e.lastRWEnd = end
+		}
+		e.lastRWHash = p.EndHash
+		e.hashKnown = true
+	}
+}
+
+// checkBegin runs the overlap (rule 2) and data propagation (rule 3)
+// checks for an epoch beginning at begin.
+func (m *MemChecker) checkBegin(b mem.BlockAddr, e *metEntry, kind coherence.EpochKind, begin uint64,
+	beginHash hash.Signature, from network.NodeID) {
+	// Rule 2: a Read-Only epoch may not start before the latest
+	// Read-Write epoch's end; a Read-Write epoch may not start before the
+	// latest end of any epoch. Announced-open epochs conflict with any
+	// new Read-Write epoch (and an open RW with anything).
+	if begin < e.lastRWEnd {
+		m.overlap(b, fmt.Sprintf("%v epoch begins at %d before last RW end %d", kind, begin, e.lastRWEnd))
+	}
+	if kind == coherence.ReadWrite && begin < e.lastROEnd {
+		m.overlap(b, fmt.Sprintf("RW epoch begins at %d before last RO end %d", begin, e.lastROEnd))
+	}
+	if e.openRW >= 0 && e.openRW != from {
+		m.overlap(b, fmt.Sprintf("%v epoch begins while node %d holds an open RW epoch", kind, e.openRW))
+	}
+	if kind == coherence.ReadWrite && e.openRO&^(1<<uint(from)) != 0 {
+		m.overlap(b, fmt.Sprintf("RW epoch begins while RO epochs are open (mask %b)", e.openRO))
+	}
+	// Rule 3: data at the beginning of every epoch equals the data at the
+	// end of the most recent Read-Write epoch.
+	if e.hashKnown && beginHash != e.lastRWHash {
+		m.stats.DataMismatches++
+		m.sink.Violation(Violation{Kind: DataPropagation, Node: m.node, Block: b, Cycle: m.cycleNow(),
+			Detail: fmt.Sprintf("epoch begin signature %#04x != last RW end signature %#04x", beginHash, e.lastRWHash)})
+	}
+}
+
+func (m *MemChecker) processOpen(p InformOpenEpoch) {
+	m.stats.OpensProcessed++
+	e := m.entry(p.Block)
+	begin := p.Begin.Reconstruct(m.clock.LogicalNow())
+	m.checkBegin(p.Block, e, p.Kind, begin, p.BeginHash, p.From)
+	switch p.Kind {
+	case coherence.ReadOnly:
+		e.openRO |= 1 << uint(p.From)
+	case coherence.ReadWrite:
+		e.openRW = p.From
+	}
+}
+
+func (m *MemChecker) processClosed(p InformClosedEpoch) {
+	m.stats.ClosesProcessed++
+	e := m.entry(p.Block)
+	end := p.End.Reconstruct(m.clock.LogicalNow())
+	switch p.Kind {
+	case coherence.ReadOnly:
+		e.openRO &^= 1 << uint(p.From)
+		if end > e.lastROEnd {
+			e.lastROEnd = end
+		}
+	case coherence.ReadWrite:
+		if e.openRW == p.From {
+			e.openRW = -1
+		}
+		if end > e.lastRWEnd {
+			e.lastRWEnd = end
+		}
+		e.lastRWHash = p.EndHash
+		e.hashKnown = true
+	}
+}
+
+func (m *MemChecker) overlap(b mem.BlockAddr, detail string) {
+	m.stats.Overlaps++
+	m.sink.Violation(Violation{Kind: EpochOverlap, Node: m.node, Block: b, Cycle: m.cycleNow(), Detail: detail})
+}

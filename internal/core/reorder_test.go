@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+
+	"dvmc/internal/consistency"
+)
+
+func perf(r *ReorderChecker, seq uint64, cl consistency.OpClass, model consistency.Model) {
+	r.OpPerformed(PerformedOp{Seq: seq, Class: cl, Model: model}, 0)
+}
+
+func perfMembar(r *ReorderChecker, seq uint64, mask consistency.MembarMask, model consistency.Model) {
+	r.OpPerformed(PerformedOp{Seq: seq, Class: consistency.Membar, Mask: mask, Model: model}, 0)
+}
+
+func TestReorderInOrderIsClean(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	for seq := uint64(1); seq <= 100; seq++ {
+		cl := consistency.Load
+		if seq%3 == 0 {
+			cl = consistency.Store
+		}
+		perf(r, seq, cl, consistency.SC)
+	}
+	if sink.Count() != 0 {
+		t.Errorf("in-order SC stream produced %d violations: %v", sink.Count(), sink.Violations[0])
+	}
+}
+
+func TestReorderTSOAllowsStoreLoadReordering(t *testing.T) {
+	// TSO: a load may perform before an older store (write buffer).
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 2, consistency.Load, consistency.TSO)  // younger load first
+	perf(r, 1, consistency.Store, consistency.TSO) // older store later
+	if sink.Count() != 0 {
+		t.Errorf("TSO store-load reordering flagged: %v", sink.Violations)
+	}
+}
+
+func TestReorderSCDetectsStoreLoadReordering(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 2, consistency.Load, consistency.SC)
+	perf(r, 1, consistency.Store, consistency.SC)
+	if sink.Count() != 1 {
+		t.Fatalf("SC store-load reordering not detected (%d violations)", sink.Count())
+	}
+	if sink.Violations[0].Kind != ReorderViolation {
+		t.Errorf("kind = %v", sink.Violations[0].Kind)
+	}
+}
+
+func TestReorderTSODetectsLoadLoadReordering(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 5, consistency.Load, consistency.TSO)
+	perf(r, 3, consistency.Load, consistency.TSO)
+	if sink.Count() != 1 {
+		t.Errorf("TSO load-load reordering not detected")
+	}
+}
+
+func TestReorderTSODetectsStoreStoreReordering(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 7, consistency.Store, consistency.TSO)
+	perf(r, 6, consistency.Store, consistency.TSO)
+	if sink.Count() != 1 {
+		t.Errorf("TSO store-store reordering not detected")
+	}
+}
+
+func TestReorderPSOAllowsStoreStoreReordering(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 7, consistency.Store, consistency.PSO)
+	perf(r, 6, consistency.Store, consistency.PSO)
+	if sink.Count() != 0 {
+		t.Errorf("PSO store-store reordering flagged: %v", sink.Violations)
+	}
+}
+
+func TestReorderPSOStbarRestoresStoreOrder(t *testing.T) {
+	// Store(1), Stbar(2), Store(3): if Store(3) performs before the
+	// Stbar, that violates Stbar→Store ordering once the Stbar performs.
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 1, consistency.Store, consistency.PSO)
+	perf(r, 3, consistency.Store, consistency.PSO)    // younger store overtakes
+	perfMembar(r, 2, consistency.SS, consistency.PSO) // stbar performs after it
+	if sink.Count() == 0 {
+		t.Error("PSO Stbar overtaken by younger store not detected")
+	}
+}
+
+func TestReorderRMOAllowsEverythingWithoutMembars(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	seqs := []uint64{5, 2, 9, 1, 7, 3}
+	for i, s := range seqs {
+		cl := consistency.Load
+		if i%2 == 0 {
+			cl = consistency.Store
+		}
+		perf(r, s, cl, consistency.RMO)
+	}
+	if sink.Count() != 0 {
+		t.Errorf("RMO free reordering flagged: %v", sink.Violations)
+	}
+}
+
+func TestReorderRMOMembarEnforced(t *testing.T) {
+	// Membar #LL at seq 5 performs, then an older load (seq 3) performs:
+	// violation of Load→Membar ordering.
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perfMembar(r, 5, consistency.LL, consistency.RMO)
+	perf(r, 3, consistency.Load, consistency.RMO)
+	if sink.Count() != 1 {
+		t.Fatalf("RMO #LL membar overtaking old load not detected (%d)", sink.Count())
+	}
+}
+
+func TestReorderRMOMembarMaskSelective(t *testing.T) {
+	// Membar #SS does not order loads at all.
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perfMembar(r, 5, consistency.SS, consistency.RMO)
+	perf(r, 3, consistency.Load, consistency.RMO)
+	if sink.Count() != 0 {
+		t.Errorf("#SS membar wrongly ordered a load: %v", sink.Violations)
+	}
+	// But an older store performing after it is a violation.
+	perf(r, 4, consistency.Store, consistency.RMO)
+	if sink.Count() != 1 {
+		t.Errorf("#SS membar overtaking old store not detected")
+	}
+}
+
+func TestReorderRMWCheckedAsBoth(t *testing.T) {
+	// In TSO an RMW must respect load ordering: a younger load performing
+	// first makes the RMW's load half a violation.
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 5, consistency.Load, consistency.TSO)
+	r.OpPerformed(PerformedOp{Seq: 2, Class: consistency.Store, IsRMW: true, Model: consistency.TSO}, 0)
+	if sink.Count() == 0 {
+		t.Error("RMW load-half violation not detected")
+	}
+}
+
+func TestReorderModelSwitching(t *testing.T) {
+	// Ops decoded under different models are checked under their own
+	// tables: a PSO-decoded store may pass a TSO-decoded store... but the
+	// TSO store that performs after a younger performed store is flagged.
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 2, consistency.Store, consistency.PSO)
+	perf(r, 1, consistency.Store, consistency.PSO) // PSO: allowed
+	if sink.Count() != 0 {
+		t.Fatalf("PSO store reorder flagged")
+	}
+	perf(r, 4, consistency.Store, consistency.PSO)
+	perf(r, 3, consistency.Store, consistency.TSO) // TSO op: flagged
+	if sink.Count() != 1 {
+		t.Errorf("TSO-decoded op not checked under TSO (violations=%d)", sink.Count())
+	}
+}
+
+func TestLostOperationDetected(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	// Three stores commit; only two perform; a full membar catches it.
+	r.OpCommitted(consistency.Store, false)
+	r.OpCommitted(consistency.Store, false)
+	r.OpCommitted(consistency.Store, false)
+	perf(r, 1, consistency.Store, consistency.TSO)
+	perf(r, 2, consistency.Store, consistency.TSO)
+	r.MembarCommitted(4, true)
+	perfMembar(r, 4, consistency.FullMask, consistency.TSO)
+	if sink.Count() != 1 {
+		t.Fatalf("lost store not detected (%d violations)", sink.Count())
+	}
+	if sink.Violations[0].Kind != LostOperation {
+		t.Errorf("kind = %v", sink.Violations[0].Kind)
+	}
+}
+
+func TestLostOperationCleanWhenAllPerformed(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	for i := uint64(1); i <= 5; i++ {
+		r.OpCommitted(consistency.Store, false)
+		perf(r, i, consistency.Store, consistency.TSO)
+	}
+	r.MembarCommitted(6, false)
+	perfMembar(r, 6, consistency.FullMask, consistency.TSO)
+	if sink.Count() != 0 {
+		t.Errorf("clean membar check flagged: %v", sink.Violations)
+	}
+	if r.Stats().MembarsChecked != 1 {
+		t.Errorf("MembarsChecked = %d", r.Stats().MembarsChecked)
+	}
+}
+
+func TestLostLoadDetected(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	r.OpCommitted(consistency.Load, false)
+	r.OpCommitted(consistency.Load, false)
+	perf(r, 1, consistency.Load, consistency.RMO)
+	r.MembarCommitted(3, true)
+	perfMembar(r, 3, consistency.FullMask, consistency.RMO)
+	if sink.Count() != 1 {
+		t.Errorf("lost load not detected")
+	}
+}
+
+func TestReorderStatsCount(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	perf(r, 1, consistency.Load, consistency.TSO)
+	perf(r, 2, consistency.Store, consistency.TSO)
+	r.MembarCommitted(3, true)
+	perfMembar(r, 3, consistency.FullMask, consistency.TSO)
+	st := r.Stats()
+	if st.OpsChecked != 3 {
+		t.Errorf("OpsChecked = %d, want 3", st.OpsChecked)
+	}
+	if st.InjectedMembars != 1 {
+		t.Errorf("InjectedMembars = %d, want 1", st.InjectedMembars)
+	}
+}
+
+func TestReorderRMWCommitCountsBoth(t *testing.T) {
+	var sink CollectorSink
+	r := NewReorderChecker(0, &sink)
+	r.OpCommitted(consistency.Load, true)
+	// RMW performs as both halves.
+	r.OpPerformed(PerformedOp{Seq: 1, Class: consistency.Store, IsRMW: true, Model: consistency.TSO}, 0)
+	r.MembarCommitted(2, true)
+	perfMembar(r, 2, consistency.FullMask, consistency.TSO)
+	if sink.Count() != 0 {
+		t.Errorf("RMW commit/perform accounting mismatched: %v", sink.Violations)
+	}
+}

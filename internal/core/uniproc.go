@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// UniprocChecker dynamically verifies Uniprocessor Ordering (Section
+// 4.1): every load must return the value of the most recent store to the
+// same word in program order, unless another processor's store
+// intervened. The processor's verification pipeline stage replays all
+// memory operations at commit, in program order, against this checker's
+// Verification Cache (VC):
+//
+//   - A committed store allocates a VC entry for its word (stores are
+//     still speculative at commit and must not touch architectural
+//     state). The entry is freed when the store performs at the cache; at
+//     deallocation the value written to the cache is compared against the
+//     VC entry, catching write-buffer corruption and same-word
+//     reorderings.
+//   - A replayed load first reads the VC; on a miss it accesses the
+//     highest cache level (bypassing the write buffer). The replay value
+//     is compared with the original execution's value; a mismatch forces
+//     a pipeline flush.
+//
+// In models that do not order loads (RMO), loads perform at execute and
+// replay serves only Uniprocessor Ordering; the checker then caches load
+// values in the VC (kept coherent with local committed stores) so that
+// replay never pressures the L1 — the optimization of Section 4.1.
+type UniprocChecker struct {
+	node network.NodeID
+	sink Sink
+
+	vc       map[mem.Addr]*vcEntry
+	order    []mem.Addr // FIFO of load-value entries for capacity eviction
+	capacity int
+
+	// cacheLoadValues enables the RMO optimisation: executed load values
+	// live in the VC and satisfy replay without an L1 access.
+	cacheLoadValues bool
+
+	stats UniprocStats
+}
+
+// UniprocStats counts checker activity.
+type UniprocStats struct {
+	StoresTracked   uint64
+	LoadsReplayed   uint64
+	VCHits          uint64
+	VCMisses        uint64
+	LoadMismatches  uint64
+	StoreMismatches uint64
+}
+
+type vcEntry struct {
+	val           mem.Word
+	pendingStores int
+	loadValue     bool // entry holds a cached load value (RMO optimisation)
+}
+
+// NewUniprocChecker builds the checker for one processor. capacity bounds
+// the VC (the paper sizes it so that all committed-but-unperformed stores
+// fit; 32-256 bytes of storage).
+func NewUniprocChecker(node network.NodeID, capacity int, cacheLoadValues bool, sink Sink) *UniprocChecker {
+	if capacity < 1 {
+		panic("core: UniprocChecker capacity must be positive")
+	}
+	return &UniprocChecker{
+		node:            node,
+		sink:            sink,
+		vc:              make(map[mem.Addr]*vcEntry),
+		capacity:        capacity,
+		cacheLoadValues: cacheLoadValues,
+	}
+}
+
+// Stats returns checker counters.
+func (u *UniprocChecker) Stats() UniprocStats { return u.stats }
+
+// CanAllocateStore reports whether the VC has room for another store
+// entry. The verification stage stalls when it returns false ("the VC
+// must be big enough to hold all stores that have been verified but not
+// yet performed").
+func (u *UniprocChecker) CanAllocateStore(addr mem.Addr) bool {
+	if e, ok := u.vc[addr]; ok && !e.loadValue {
+		return true // merges into the existing entry
+	}
+	return u.storeEntries() < u.capacity
+}
+
+func (u *UniprocChecker) storeEntries() int {
+	n := 0
+	for _, e := range u.vc {
+		if !e.loadValue {
+			n++
+		}
+	}
+	return n
+}
+
+// StoreCommitted records a store entering the verification stage: the
+// replayed store writes the VC, not the cache.
+func (u *UniprocChecker) StoreCommitted(addr mem.Addr, val mem.Word) {
+	u.stats.StoresTracked++
+	e, ok := u.vc[addr]
+	if !ok || e.loadValue {
+		if ok {
+			u.removeLoadEntry(addr)
+		}
+		e = &vcEntry{}
+		u.vc[addr] = e
+	}
+	e.val = val
+	e.pendingStores++
+	e.loadValue = false
+}
+
+// StorePerformed records a store reaching the cache with the value
+// actually written. When the last outstanding store to the word performs,
+// the VC entry is deallocated and the values compared (Section 4.1 /
+// Proof 1).
+func (u *UniprocChecker) StorePerformed(addr mem.Addr, written mem.Word, now sim.Cycle) {
+	e, ok := u.vc[addr]
+	if !ok || e.loadValue {
+		// Entry lost (should not happen): conservative violation.
+		u.stats.StoreMismatches++
+		u.sink.Violation(Violation{Kind: UOStoreMismatch, Node: u.node, Block: addr.Block(), Cycle: now,
+			Detail: fmt.Sprintf("store to %#x performed without a VC entry", addr)})
+		return
+	}
+	e.pendingStores--
+	if e.pendingStores > 0 {
+		return
+	}
+	if written != e.val {
+		u.stats.StoreMismatches++
+		u.sink.Violation(Violation{Kind: UOStoreMismatch, Node: u.node, Block: addr.Block(), Cycle: now,
+			Detail: fmt.Sprintf("store to %#x wrote %#x to the cache but VC holds %#x", addr, written, e.val)})
+	}
+	if u.cacheLoadValues {
+		// Keep the word as a load-value entry: it is the newest local
+		// view of memory.
+		e.loadValue = true
+		u.noteLoadEntry(addr)
+		return
+	}
+	delete(u.vc, addr)
+}
+
+// LoadExecuted caches an executed load's value for replay (RMO
+// optimisation). No-op unless load-value caching is enabled.
+func (u *UniprocChecker) LoadExecuted(addr mem.Addr, val mem.Word) {
+	if !u.cacheLoadValues {
+		return
+	}
+	if e, ok := u.vc[addr]; ok {
+		if !e.loadValue {
+			return // a committed store's entry is newer than any load
+		}
+		e.val = val
+		return
+	}
+	u.vc[addr] = &vcEntry{val: val, loadValue: true}
+	u.noteLoadEntry(addr)
+	u.evictLoadEntries()
+}
+
+// ReplayLoad replays a load against the VC. If the VC holds the word, the
+// comparison happens immediately and hit=true is returned. Otherwise the
+// caller must read the cache hierarchy (bypassing the write buffer) and
+// finish with CompareReplay.
+func (u *UniprocChecker) ReplayLoad(addr mem.Addr, orig mem.Word, now sim.Cycle) (hit, match bool) {
+	u.stats.LoadsReplayed++
+	if e, ok := u.vc[addr]; ok {
+		u.stats.VCHits++
+		return true, u.compare(addr, orig, e.val, now)
+	}
+	u.stats.VCMisses++
+	return false, false
+}
+
+// CompareReplay finishes a VC-miss replay with the value read from the
+// cache hierarchy.
+func (u *UniprocChecker) CompareReplay(addr mem.Addr, orig, replay mem.Word, now sim.Cycle) bool {
+	return u.compare(addr, orig, replay, now)
+}
+
+func (u *UniprocChecker) compare(addr mem.Addr, orig, replay mem.Word, now sim.Cycle) bool {
+	if orig == replay {
+		return true
+	}
+	u.stats.LoadMismatches++
+	u.sink.Violation(Violation{Kind: UOMismatch, Node: u.node, Block: addr.Block(), Cycle: now,
+		Detail: fmt.Sprintf("load %#x executed with %#x but replays as %#x", addr, orig, replay)})
+	return false
+}
+
+// Reset empties the VC entirely (SafetyNet recovery).
+func (u *UniprocChecker) Reset() {
+	u.vc = make(map[mem.Addr]*vcEntry)
+	u.order = u.order[:0]
+}
+
+// Flush clears the VC (pipeline flush after a mismatch or recovery).
+// Store entries are preserved: committed stores survive a flush — only
+// speculative state (cached load values) is dropped.
+func (u *UniprocChecker) Flush() {
+	for a, e := range u.vc {
+		if e.loadValue {
+			delete(u.vc, a)
+		}
+	}
+	u.order = u.order[:0]
+}
+
+// Entries returns the VC occupancy for tests and stats.
+func (u *UniprocChecker) Entries() int { return len(u.vc) }
+
+// noteLoadEntry and evictLoadEntries implement FIFO bounded caching of
+// load values, keeping the VC at its configured capacity.
+func (u *UniprocChecker) noteLoadEntry(addr mem.Addr) {
+	u.order = append(u.order, addr)
+}
+
+func (u *UniprocChecker) removeLoadEntry(addr mem.Addr) {
+	for i, a := range u.order {
+		if a == addr {
+			u.order = append(u.order[:i], u.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (u *UniprocChecker) evictLoadEntries() {
+	for len(u.vc) > u.capacity && len(u.order) > 0 {
+		victim := u.order[0]
+		u.order = u.order[1:]
+		if e, ok := u.vc[victim]; ok && e.loadValue {
+			delete(u.vc, victim)
+		}
+	}
+}

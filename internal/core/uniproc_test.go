@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"dvmc/internal/mem"
+)
+
+func TestUniprocStoreLifecycleClean(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.StoreCommitted(0x100, 7)
+	if u.Entries() != 1 {
+		t.Fatalf("Entries = %d, want 1", u.Entries())
+	}
+	u.StorePerformed(0x100, 7, 10)
+	if sink.Count() != 0 {
+		t.Errorf("clean store flagged: %v", sink.Violations)
+	}
+	if u.Entries() != 0 {
+		t.Errorf("entry not freed at perform")
+	}
+}
+
+func TestUniprocStoreValueCorruptionDetected(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.StoreCommitted(0x100, 7)
+	u.StorePerformed(0x100, 8, 10) // write buffer corrupted the value
+	if sink.Count() != 1 || sink.Violations[0].Kind != UOStoreMismatch {
+		t.Fatalf("store corruption not detected: %v", sink.Violations)
+	}
+}
+
+func TestUniprocSameWordStoresMergeAndCompareLast(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.StoreCommitted(0x100, 1)
+	u.StoreCommitted(0x100, 2) // newer store to the same word
+	u.StorePerformed(0x100, 1, 10)
+	if sink.Count() != 0 {
+		t.Fatalf("intermediate perform flagged: %v", sink.Violations)
+	}
+	u.StorePerformed(0x100, 2, 11)
+	if sink.Count() != 0 {
+		t.Errorf("final perform of correct value flagged: %v", sink.Violations)
+	}
+	if u.Entries() != 0 {
+		t.Errorf("entry not freed after both performs")
+	}
+}
+
+func TestUniprocSameWordReorderDetected(t *testing.T) {
+	// If the write buffer reorders same-word stores, the cache ends with
+	// the older value: detected at deallocation.
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.StoreCommitted(0x100, 1)
+	u.StoreCommitted(0x100, 2)
+	u.StorePerformed(0x100, 2, 10) // newer first
+	u.StorePerformed(0x100, 1, 11) // older last: cache ends with 1
+	if sink.Count() != 1 || sink.Violations[0].Kind != UOStoreMismatch {
+		t.Fatalf("same-word reorder not detected: %v", sink.Violations)
+	}
+}
+
+func TestUniprocReplayHitsVCForPendingStores(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.StoreCommitted(0x200, 42)
+	// A later load replays and must see the committed store's value even
+	// though the store has not performed.
+	hit, match := u.ReplayLoad(0x200, 42, 5)
+	if !hit || !match {
+		t.Errorf("replay of forwarded value: hit=%v match=%v", hit, match)
+	}
+	hit, match = u.ReplayLoad(0x200, 41, 6)
+	if !hit || match {
+		t.Errorf("stale forwarded value not flagged: hit=%v match=%v", hit, match)
+	}
+	if sink.Count() != 1 || sink.Violations[0].Kind != UOMismatch {
+		t.Errorf("violations: %v", sink.Violations)
+	}
+}
+
+func TestUniprocReplayMissGoesToCache(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	hit, _ := u.ReplayLoad(0x300, 9, 5)
+	if hit {
+		t.Fatal("empty VC reported a hit")
+	}
+	if !u.CompareReplay(0x300, 9, 9, 6) {
+		t.Error("matching cache replay reported mismatch")
+	}
+	if u.CompareReplay(0x300, 9, 8, 7) {
+		t.Error("mismatching cache replay reported match")
+	}
+	st := u.Stats()
+	if st.VCMisses != 1 || st.LoadMismatches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUniprocCapacityBackpressure(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 2, false, &sink)
+	u.StoreCommitted(0x100, 1)
+	u.StoreCommitted(0x200, 2)
+	if u.CanAllocateStore(0x300) {
+		t.Error("full VC accepted a third word")
+	}
+	if !u.CanAllocateStore(0x100) {
+		t.Error("existing word refused (should merge)")
+	}
+	u.StorePerformed(0x100, 1, 10)
+	if !u.CanAllocateStore(0x300) {
+		t.Error("VC still full after deallocation")
+	}
+}
+
+func TestUniprocRMOLoadValueCaching(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, true, &sink)
+	u.LoadExecuted(0x400, 5)
+	hit, match := u.ReplayLoad(0x400, 5, 10)
+	if !hit || !match {
+		t.Errorf("cached load value not used: hit=%v match=%v", hit, match)
+	}
+	// A committed local store updates the view.
+	u.StoreCommitted(0x400, 6)
+	hit, match = u.ReplayLoad(0x400, 6, 11)
+	if !hit || !match {
+		t.Errorf("store did not update cached value: hit=%v match=%v", hit, match)
+	}
+	// After the store performs, the word remains cached (RMO keeps load
+	// values resident).
+	u.StorePerformed(0x400, 6, 12)
+	hit, match = u.ReplayLoad(0x400, 6, 13)
+	if !hit || !match {
+		t.Errorf("word evicted after perform under RMO: hit=%v", hit)
+	}
+	if sink.Count() != 0 {
+		t.Errorf("violations: %v", sink.Violations)
+	}
+}
+
+func TestUniprocLoadValueEvictionBounded(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 4, true, &sink)
+	for i := 0; i < 20; i++ {
+		u.LoadExecuted(mem.Addr(0x1000+8*i), mem.Word(i))
+	}
+	if u.Entries() > 4 {
+		t.Errorf("VC grew to %d entries, capacity 4", u.Entries())
+	}
+}
+
+func TestUniprocFlushDropsLoadValuesKeepsStores(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, true, &sink)
+	u.LoadExecuted(0x500, 1)
+	u.StoreCommitted(0x600, 2)
+	u.Flush()
+	if hit, _ := u.ReplayLoad(0x500, 1, 20); hit {
+		t.Error("flushed load value still resident")
+	}
+	if hit, match := u.ReplayLoad(0x600, 2, 21); !hit || !match {
+		t.Error("committed store lost by flush")
+	}
+}
+
+func TestUniprocLoadExecutedIgnoredWithoutCaching(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.LoadExecuted(0x700, 9)
+	if u.Entries() != 0 {
+		t.Error("LoadExecuted cached a value in ordered-load mode")
+	}
+}
+
+func TestUniprocPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewUniprocChecker(0, 0, false, nil)
+}

@@ -1,0 +1,58 @@
+// Package hash implements the CRC-16 data-block signatures used by the
+// DVMC cache-coherence checker.
+//
+// The paper hashes cache blocks down to 16 bits before storing them in the
+// Cache Epoch Table (CET) and Memory Epoch Table (MET) and before shipping
+// them in Inform-Epoch messages. CRC-16 guarantees detection of any burst
+// error shorter than 16 bits, so a single-bit or few-bit corruption of a
+// block can never alias; blocks with >=16 erroneous bits alias with
+// probability 1/65535.
+package hash
+
+// Poly is the CRC-16-CCITT generator polynomial (x^16 + x^12 + x^5 + 1) in
+// reversed (LSB-first) representation.
+const Poly = 0x8408
+
+// Signature is a 16-bit hash of a data block, as stored in CETs, METs, and
+// Inform-Epoch messages.
+type Signature uint16
+
+// table is the 256-entry lookup table for byte-at-a-time CRC computation.
+var table [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ Poly
+			} else {
+				crc >>= 1
+			}
+		}
+		table[i] = crc
+	}
+}
+
+// Sum returns the CRC-16 signature of data.
+func Sum(data []byte) Signature {
+	var crc uint16 = 0xffff
+	for _, b := range data {
+		crc = (crc >> 8) ^ table[byte(crc)^b]
+	}
+	return Signature(^crc)
+}
+
+// SumWords returns the CRC-16 signature of a block expressed as 64-bit
+// words, hashing each word in little-endian byte order. It is equivalent to
+// Sum over the same bytes but avoids materialising a byte slice on the hot
+// path of the coherence checker.
+func SumWords(words []uint64) Signature {
+	var crc uint16 = 0xffff
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			crc = (crc >> 8) ^ table[byte(crc)^byte(w>>(8*i))]
+		}
+	}
+	return Signature(^crc)
+}

@@ -1,0 +1,169 @@
+// Package mem provides the memory primitives shared by the processor model,
+// the cache-coherence substrate, and the DVMC checkers: word and block
+// addressing, data blocks, main memory, and a single-error-correcting /
+// double-error-detecting (SEC-DED) ECC model.
+//
+// Following the paper's proof of correctness (Appendix A), memory is
+// accessed at word granularity (64-bit words) and coherence operates at
+// block granularity (64-byte blocks, 8 words).
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+const (
+	// WordBytes is the size of a machine word in bytes.
+	WordBytes = 8
+	// BlockBytes is the coherence-unit (cache line) size in bytes.
+	BlockBytes = 64
+	// WordsPerBlock is the number of words in a coherence block.
+	WordsPerBlock = BlockBytes / WordBytes
+	// blockShift is log2(BlockBytes).
+	blockShift = 6
+)
+
+// Addr is a byte address. Memory operations use word-aligned addresses.
+type Addr uint64
+
+// Word is a 64-bit data word.
+type Word uint64
+
+// BlockAddr identifies a coherence block (Addr >> 6).
+type BlockAddr uint64
+
+// Block returns the coherence block containing the address.
+func (a Addr) Block() BlockAddr { return BlockAddr(a >> blockShift) }
+
+// WordIndex returns the index of the word within its block, in [0, 8).
+func (a Addr) WordIndex() int { return int(a>>3) & (WordsPerBlock - 1) }
+
+// WordAligned reports whether the address is word aligned.
+func (a Addr) WordAligned() bool { return a&(WordBytes-1) == 0 }
+
+// Addr returns the byte address of the first word of the block.
+func (b BlockAddr) Addr() Addr { return Addr(b) << blockShift }
+
+// WordAddr returns the byte address of word i of the block.
+func (b BlockAddr) WordAddr(i int) Addr { return Addr(b)<<blockShift + Addr(i)*WordBytes }
+
+// Block is the data of one coherence unit.
+type Block [WordsPerBlock]Word
+
+// String implements fmt.Stringer for debugging output.
+func (b Block) String() string {
+	return fmt.Sprintf("[%x %x %x %x %x %x %x %x]", b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7])
+}
+
+// Memory is the globally shared main memory, sparsely backed. The zero
+// value is not usable; create one with NewMemory.
+type Memory struct {
+	blocks map[BlockAddr]*Block
+	ecc    *ECC
+}
+
+// NewMemory returns an empty memory. If withECC is true, every block is
+// protected by the SEC-DED model: silent single-bit corruptions injected
+// via CorruptBit are corrected on the next read, as the paper requires for
+// main memory ("DVMC requires ECC on all main memory DRAMs").
+func NewMemory(withECC bool) *Memory {
+	m := &Memory{blocks: make(map[BlockAddr]*Block)}
+	if withECC {
+		m.ecc = NewECC()
+	}
+	return m
+}
+
+// ReadBlock returns the contents of block b. Unwritten blocks read as zero.
+func (m *Memory) ReadBlock(b BlockAddr) Block {
+	if m.ecc != nil {
+		if blk, ok := m.blocks[b]; ok {
+			m.ecc.Check(uint64(b), blk)
+		}
+	}
+	if blk, ok := m.blocks[b]; ok {
+		return *blk
+	}
+	return Block{}
+}
+
+// WriteBlock replaces the contents of block b.
+func (m *Memory) WriteBlock(b BlockAddr, data Block) {
+	blk, ok := m.blocks[b]
+	if !ok {
+		blk = new(Block)
+		m.blocks[b] = blk
+	}
+	*blk = data
+	if m.ecc != nil {
+		m.ecc.Protect(uint64(b), blk)
+	}
+}
+
+// ReadWord returns the word at addr.
+func (m *Memory) ReadWord(addr Addr) Word {
+	blk := m.ReadBlock(addr.Block())
+	return blk[addr.WordIndex()]
+}
+
+// WriteWord updates a single word in memory.
+func (m *Memory) WriteWord(addr Addr, w Word) {
+	b := addr.Block()
+	blk := m.ReadBlock(b)
+	blk[addr.WordIndex()] = w
+	m.WriteBlock(b, blk)
+}
+
+// CorruptBit flips one bit of the stored block without updating ECC,
+// modelling a particle strike in a DRAM cell. bit is in [0, 512).
+// It reports whether a stored block existed to corrupt (an absent block
+// cannot be corrupted; it has no physical cells in this model).
+func (m *Memory) CorruptBit(b BlockAddr, bit int) bool {
+	blk, ok := m.blocks[b]
+	if !ok {
+		return false
+	}
+	blk[bit/64] ^= Word(1) << (bit % 64)
+	return true
+}
+
+// Blocks returns the number of blocks ever written, for accounting.
+func (m *Memory) Blocks() int { return len(m.blocks) }
+
+// SampleBlocks returns up to max written block addresses in ascending
+// order (deterministic fault-injection targeting).
+func (m *Memory) SampleBlocks(max int) []BlockAddr {
+	out := make([]BlockAddr, 0, len(m.blocks))
+	for b := range m.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Snapshot returns a deep copy of the memory contents (SafetyNet
+// checkpointing).
+func (m *Memory) Snapshot() map[BlockAddr]Block {
+	snap := make(map[BlockAddr]Block, len(m.blocks))
+	for b, blk := range m.blocks {
+		snap[b] = *blk
+	}
+	return snap
+}
+
+// Restore replaces the memory contents with a snapshot (SafetyNet
+// recovery), re-protecting every block under ECC.
+func (m *Memory) Restore(snap map[BlockAddr]Block) {
+	m.blocks = make(map[BlockAddr]*Block, len(snap))
+	for b, blk := range snap {
+		cp := blk
+		m.blocks[b] = &cp
+		if m.ecc != nil {
+			m.ecc.Protect(uint64(b), &cp)
+		}
+	}
+}

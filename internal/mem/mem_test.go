@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrDecomposition(t *testing.T) {
+	tests := []struct {
+		addr      Addr
+		block     BlockAddr
+		wordIndex int
+	}{
+		{0x0, 0, 0},
+		{0x8, 0, 1},
+		{0x38, 0, 7},
+		{0x40, 1, 0},
+		{0x1000, 0x40, 0},
+		{0x1048, 0x41, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.addr.Block(); got != tt.block {
+			t.Errorf("Addr(%#x).Block() = %#x, want %#x", tt.addr, got, tt.block)
+		}
+		if got := tt.addr.WordIndex(); got != tt.wordIndex {
+			t.Errorf("Addr(%#x).WordIndex() = %d, want %d", tt.addr, got, tt.wordIndex)
+		}
+	}
+}
+
+func TestBlockAddrRoundTrip(t *testing.T) {
+	f := func(b uint32, i uint8) bool {
+		ba := BlockAddr(b)
+		idx := int(i) % WordsPerBlock
+		wa := ba.WordAddr(idx)
+		return wa.Block() == ba && wa.WordIndex() == idx && wa.WordAligned()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryReadWriteWord(t *testing.T) {
+	m := NewMemory(false)
+	if got := m.ReadWord(0x100); got != 0 {
+		t.Errorf("unwritten word = %#x, want 0", got)
+	}
+	m.WriteWord(0x100, 0xdeadbeef)
+	m.WriteWord(0x108, 0xcafe)
+	if got := m.ReadWord(0x100); got != 0xdeadbeef {
+		t.Errorf("ReadWord(0x100) = %#x, want 0xdeadbeef", got)
+	}
+	if got := m.ReadWord(0x108); got != 0xcafe {
+		t.Errorf("ReadWord(0x108) = %#x, want 0xcafe", got)
+	}
+	blk := m.ReadBlock(Addr(0x100).Block())
+	if blk[0] != 0xdeadbeef || blk[1] != 0xcafe {
+		t.Errorf("block readback mismatch: %v", blk)
+	}
+}
+
+func TestMemoryWriteBlockOverwrites(t *testing.T) {
+	m := NewMemory(false)
+	m.WriteWord(0x40, 1)
+	m.WriteBlock(1, Block{9, 8, 7})
+	if got := m.ReadWord(0x40); got != 9 {
+		t.Errorf("ReadWord after WriteBlock = %#x, want 9", got)
+	}
+}
+
+func TestMemoryECCCorrectsSingleBitFlip(t *testing.T) {
+	m := NewMemory(true)
+	m.WriteWord(0x200, 0xabcd)
+	if !m.CorruptBit(Addr(0x200).Block(), 3) {
+		t.Fatal("CorruptBit found no block")
+	}
+	if got := m.ReadWord(0x200); got != 0xabcd {
+		t.Errorf("ECC failed to correct: got %#x, want 0xabcd", got)
+	}
+}
+
+func TestMemoryWithoutECCKeepsCorruption(t *testing.T) {
+	m := NewMemory(false)
+	m.WriteWord(0x200, 0xabcd)
+	m.CorruptBit(Addr(0x200).Block(), 0)
+	if got := m.ReadWord(0x200); got == 0xabcd {
+		t.Error("corruption vanished without ECC")
+	}
+}
+
+func TestECCUncorrectableMultiBit(t *testing.T) {
+	e := NewECC()
+	var fired uint64
+	e.OnUncorrectable = func(tag uint64) { fired = tag }
+	b := Block{1, 2, 3}
+	e.Protect(42, &b)
+	b[0] ^= 0b11 // two-bit damage
+	if e.Check(42, &b) {
+		t.Error("Check corrected multi-bit damage")
+	}
+	if fired != 42 {
+		t.Errorf("OnUncorrectable tag = %d, want 42", fired)
+	}
+	if e.Uncorrectable() != 1 {
+		t.Errorf("Uncorrectable() = %d, want 1", e.Uncorrectable())
+	}
+}
+
+func TestECCCorrectionCount(t *testing.T) {
+	e := NewECC()
+	b := Block{0xff}
+	e.Protect(1, &b)
+	b[5] ^= 1 << 9
+	if !e.Check(1, &b) {
+		t.Fatal("single-bit flip not corrected")
+	}
+	if b[5] != 0 {
+		t.Errorf("data not restored: %#x", b[5])
+	}
+	if e.Corrected() != 1 {
+		t.Errorf("Corrected() = %d, want 1", e.Corrected())
+	}
+}
+
+func TestECCUnprotectedLineIsClean(t *testing.T) {
+	e := NewECC()
+	b := Block{7}
+	if !e.Check(99, &b) {
+		t.Error("unprotected line reported dirty")
+	}
+	e.Protect(99, &b)
+	e.Unprotect(99)
+	b[0] ^= 1
+	if !e.Check(99, &b) {
+		t.Error("deallocated line reported dirty")
+	}
+}
+
+func TestECCProtectIdempotent(t *testing.T) {
+	e := NewECC()
+	b := Block{1}
+	e.Protect(7, &b)
+	b[0] = 2
+	e.Protect(7, &b) // legitimate rewrite
+	if !e.Check(7, &b) {
+		t.Error("rewritten block reported corrupt")
+	}
+}

@@ -1,0 +1,165 @@
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"dvmc/internal/sim"
+)
+
+// BroadcastTree is the totally ordered address network of the snooping
+// system (paper Table 6: "bcast tree, 2.5 GB/s links, ordered"). A central
+// arbiter serialises requests; every node observes every request in the
+// same total order. The sequence number of a delivered broadcast doubles
+// as the snooping system's logical time base ("the number of cache
+// coherence requests that it has processed thus far").
+type BroadcastTree struct {
+	nodes     int
+	bw        float64
+	latency   sim.Cycle // root-to-leaf propagation
+	handlers  []Handler
+	queue     []*Message
+	busyUntil sim.Cycle
+	inFlight  *Message
+	deliverAt sim.Cycle
+	seq       uint64
+	fault     FaultHook
+	rng       *sim.Rand
+	stat      LinkStat
+	delayed   []*delayedSend
+
+	lastTick sim.Cycle
+}
+
+var _ sim.Clockable = (*BroadcastTree)(nil)
+
+// NewBroadcastTree builds the ordered address network for n nodes.
+func NewBroadcastTree(n int, bytesPerCycle float64, latency sim.Cycle, rng *sim.Rand) *BroadcastTree {
+	if n < 1 {
+		panic("network: broadcast tree needs at least one node")
+	}
+	if bytesPerCycle <= 0 {
+		panic("network: non-positive link bandwidth")
+	}
+	return &BroadcastTree{
+		nodes:    n,
+		bw:       bytesPerCycle,
+		latency:  latency,
+		handlers: make([]Handler, n),
+		rng:      rng,
+		stat:     LinkStat{Name: "bcast-root"},
+	}
+}
+
+// SetHandler installs the snoop callback for a node. Every node, including
+// the sender, observes every broadcast.
+func (b *BroadcastTree) SetHandler(n NodeID, h Handler) { b.handlers[n] = h }
+
+// SetFaultHook installs a message-fault injector; nil clears it.
+func (b *BroadcastTree) SetFaultHook(h FaultHook) { b.fault = h }
+
+// Nodes returns the endpoint count.
+func (b *BroadcastTree) Nodes() int { return b.nodes }
+
+// Sequence returns the number of broadcasts delivered so far — the
+// snooping logical time base.
+func (b *BroadcastTree) Sequence() uint64 { return b.seq }
+
+// Send enqueues a broadcast. Order of delivery equals order of Send calls
+// (arbitration is FIFO).
+func (b *BroadcastTree) Send(m *Message) {
+	if b.fault != nil {
+		switch b.fault(m) {
+		case FaultDrop:
+			return
+		case FaultDuplicate:
+			dup := *m
+			b.queue = append(b.queue, &dup)
+		case FaultDelay:
+			// A faulty arbiter holds the request back so that requests
+			// issued later overtake it — an ordering violation on a
+			// network that is supposed to be totally ordered.
+			b.delayed = append(b.delayed, &delayedSend{msg: m, at: b.lastTick + 64})
+			return
+		case FaultMisroute, FaultCorrupt, FaultNone:
+			// Misroute is meaningless on a broadcast; corrupt already
+			// mutated the payload.
+		}
+	}
+	b.queue = append(b.queue, m)
+}
+
+// Tick implements sim.Clockable: arbitrates one broadcast at a time,
+// delivering to all nodes after the serialisation plus tree latency.
+func (b *BroadcastTree) Tick(now sim.Cycle) {
+	b.lastTick = now
+	b.stat.Observed++
+	if len(b.delayed) > 0 {
+		var keep []*delayedSend
+		for _, d := range b.delayed {
+			if now >= d.at {
+				b.queue = append(b.queue, d.msg)
+			} else {
+				keep = append(keep, d)
+			}
+		}
+		b.delayed = keep
+	}
+	if b.inFlight != nil {
+		b.stat.Busy++
+		if now >= b.deliverAt {
+			m := b.inFlight
+			b.inFlight = nil
+			b.seq++
+			for _, h := range b.handlers {
+				if h != nil {
+					h(m)
+				}
+			}
+		}
+	}
+	if b.inFlight == nil && now >= b.busyUntil && len(b.queue) > 0 {
+		m := b.queue[0]
+		copy(b.queue, b.queue[1:])
+		b.queue = b.queue[:len(b.queue)-1]
+		ser := sim.Cycle(math.Ceil(float64(m.Size) / b.bw))
+		if ser < 1 {
+			ser = 1
+		}
+		b.inFlight = m
+		b.busyUntil = now + ser
+		b.deliverAt = now + ser + b.latency
+		b.stat.Bytes += uint64(m.Size)
+		if m.Class != 0 && int(m.Class) < int(numClasses) {
+			b.stat.ByClass[m.Class] += uint64(m.Size)
+		}
+	}
+}
+
+// LinkStats returns the root link's utilisation (the tree's bottleneck).
+func (b *BroadcastTree) LinkStats() []LinkStat { return []LinkStat{b.stat} }
+
+// DebugQueue reports pending broadcast state.
+func (b *BroadcastTree) DebugQueue() string {
+	return fmt.Sprintf("queued=%d inFlight=%v delayed=%d", len(b.queue), b.inFlight != nil, len(b.delayed))
+}
+
+// DebugQueue2 dumps arbitration state.
+func (b *BroadcastTree) DebugQueue2() string {
+	msg := "nil"
+	if b.inFlight != nil {
+		msg = fmt.Sprintf("%T src=%d payload=%+v", b.inFlight.Payload, b.inFlight.Src, b.inFlight.Payload)
+	}
+	return fmt.Sprintf("seq=%d busyUntil=%d deliverAt=%d lastTick=%d inFlight=%s queued=%d",
+		b.seq, b.busyUntil, b.deliverAt, b.lastTick, msg, len(b.queue))
+}
+
+// Reset drops queued and in-flight broadcasts (SafetyNet recovery). The
+// sequence counter keeps advancing: logical time is monotonic across
+// recoveries.
+func (b *BroadcastTree) Reset() {
+	b.queue = nil
+	b.inFlight = nil
+	b.delayed = nil
+	b.busyUntil = 0
+}

@@ -1,0 +1,135 @@
+// Package network models the multiprocessor interconnect: an unordered 2D
+// torus for data, coherence, and verification traffic (paper Table 6), and
+// a totally ordered broadcast tree used as the address network of the
+// snooping system. Links have finite bandwidth; per-link byte accounting
+// feeds the paper's Figure 7 (bandwidth on the highest-loaded link) and
+// Figure 8 (sensitivity to link bandwidth).
+//
+// The package also hosts the message-level fault-injection hooks used by
+// the error-detection experiments of Section 6.1: dropped, reordered,
+// mis-routed, and duplicated messages, and payload/address bit flips.
+package network
+
+import (
+	"fmt"
+
+	"dvmc/internal/sim"
+)
+
+// NodeID identifies a network endpoint. Each node hosts a processor, its
+// caches, and a slice of the distributed memory/directory controller.
+type NodeID int
+
+// Class categorises traffic for the bandwidth-breakdown experiments
+// (paper Figure 7 distinguishes base coherence traffic, SafetyNet
+// checkpointing traffic, and DVMC inform traffic).
+type Class uint8
+
+// Traffic classes.
+const (
+	ClassCoherence Class = iota + 1 // protocol requests and data
+	ClassInform                     // DVMC Inform-Epoch verification traffic
+	ClassSafetyNet                  // BER checkpoint/log traffic
+	ClassReplay                     // coherence transactions initiated by load replay
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCoherence:
+		return "coherence"
+	case ClassInform:
+		return "inform"
+	case ClassSafetyNet:
+		return "safetynet"
+	case ClassReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Message is the unit of transfer. Payload carries a protocol-defined
+// struct; the network treats it opaquely except for fault injection.
+type Message struct {
+	Src, Dst NodeID
+	Size     int // bytes on the wire
+	Class    Class
+	Payload  any
+}
+
+// Handler consumes messages delivered at a node.
+type Handler func(*Message)
+
+// Network is the point-to-point interconnect interface used by the
+// coherence protocols and DVMC checkers.
+type Network interface {
+	sim.Clockable
+	// Send enqueues a message for delivery. Delivery is asynchronous and,
+	// for the torus, unordered across source-destination pairs.
+	Send(m *Message)
+	// SetHandler installs the delivery callback for a node.
+	SetHandler(n NodeID, h Handler)
+	// Nodes returns the number of endpoints.
+	Nodes() int
+	// LinkStats returns per-link utilisation for bandwidth analysis.
+	LinkStats() []LinkStat
+	// SetFaultHook installs a message-fault injector; nil clears it.
+	SetFaultHook(h FaultHook)
+}
+
+// LinkStat describes the observed utilisation of one directed link.
+type LinkStat struct {
+	Name     string
+	Bytes    uint64             // total bytes carried
+	ByClass  [numClasses]uint64 // bytes per traffic class
+	Busy     uint64             // cycles the link was serialising a message
+	Observed sim.Cycle          // cycles of observation
+}
+
+// MeanBandwidth returns the mean bytes/cycle carried by the link.
+func (s LinkStat) MeanBandwidth() float64 {
+	if s.Observed == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.Observed)
+}
+
+// ClassBytes returns bytes carried for the given class.
+func (s LinkStat) ClassBytes(c Class) uint64 {
+	if c == 0 || int(c) >= int(numClasses) {
+		return 0
+	}
+	return s.ByClass[c]
+}
+
+// MaxLink returns the LinkStat with the highest mean bandwidth — the
+// paper's "mean bandwidth on the highest loaded link" (Figure 7).
+func MaxLink(stats []LinkStat) LinkStat {
+	var best LinkStat
+	for _, s := range stats {
+		if s.MeanBandwidth() > best.MeanBandwidth() {
+			best = s
+		}
+	}
+	return best
+}
+
+// FaultAction tells the network what to do with a message at send time.
+type FaultAction uint8
+
+// Fault actions for message-level error injection (paper Section 6.1).
+const (
+	FaultNone      FaultAction = iota // deliver normally
+	FaultDrop                         // lose the message
+	FaultDuplicate                    // deliver twice
+	FaultMisroute                     // deliver to the wrong node
+	FaultCorrupt                      // payload bit flip (hook mutates payload)
+	FaultDelay                        // hold back so later traffic overtakes it (reorder)
+)
+
+// FaultHook inspects an outgoing message and picks a fault. The hook may
+// mutate the payload for FaultCorrupt. It runs before serialisation so the
+// fault affects what travels on the wire.
+type FaultHook func(*Message) FaultAction

@@ -1,0 +1,1040 @@
+package proc
+
+import (
+	"fmt"
+
+	"dvmc/internal/coherence"
+	"dvmc/internal/consistency"
+	"dvmc/internal/core"
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// uopState tracks an operation through the pipeline.
+type uopState uint8
+
+const (
+	uFetched uopState = iota + 1
+	uExecuting
+	uExecuted
+)
+
+type uop struct {
+	op         Op
+	seq        uint64
+	model      consistency.Model // effective model (Bits32 forces TSO)
+	state      uopState
+	instrCost  int // 1 + gap instructions
+	genSnap    any
+	prevResult Result
+
+	loadVal   mem.Word
+	forwarded bool
+	// speculative marks an executed load whose value may still change
+	// (ordered-load models before the perform point).
+	speculative bool
+	execReadyAt sim.Cycle
+	squashed    bool
+
+	committed   bool
+	performed   bool
+	irrevocable bool // RMW / SC-store issued to the cache
+
+	replayStarted bool
+	replayDone    bool
+	replayMatch   bool
+	replayVal     mem.Word
+
+	injected bool // artificial membar for lost-op detection
+}
+
+// CPU is one processor core (or thread context) driving a cache
+// controller. It implements sim.Clockable; the system assembly forwards
+// epoch-end events to EpochEnd for load-order mis-speculation squashes.
+type CPU struct {
+	node  network.NodeID
+	cfg   Config
+	model consistency.Model
+	ctrl  coherence.Controller
+	prog  Program
+
+	rob      []*uop
+	instrs   int // instructions in flight (ops + gaps)
+	seqNext  uint64
+	now      sim.Cycle
+	finished bool
+
+	// Front end.
+	pendingOp       *uop
+	pendingGap      int
+	blockingOp      *uop // fetch stalls until this op's value is ready
+	nextResult      Result
+	fetchStallUntil sim.Cycle
+	lastInject      sim.Cycle
+
+	wb WriteBuffer
+	// wbModels remembers the effective model of stores in the write
+	// buffer so perform events check against the right ordering table.
+	wbModels map[uint64]consistency.Model
+
+	// DVMC checkers; nil when DVMC is disabled.
+	uo      *core.UniprocChecker
+	reorder *core.ReorderChecker
+
+	// Fault injection (Section 6.1): LSQ value and forwarding faults.
+	faultLoadValue   bool
+	faultForward     bool
+	faultActivated   sim.Cycle
+	faultDidActivate bool
+	faultUop         *uop
+	faultCaught      bool
+
+	// Watchdog: report a lost operation if the retire head makes no
+	// progress for this many cycles (a dropped protocol message hangs
+	// the pipeline; the lost-operation invariant still catches it).
+	watchdogCycles  sim.Cycle
+	headSeq         uint64
+	headSince       sim.Cycle
+	watchdogFired   bool
+	wbProgressAt    sim.Cycle
+	wbWatchdogFired bool
+
+	stats Stats
+}
+
+var (
+	_ sim.Clockable = (*CPU)(nil)
+)
+
+// NewCPU builds a core for the given model. ctrl is the node's cache
+// controller; prog the thread's program.
+func NewCPU(node network.NodeID, cfg Config, model consistency.Model, ctrl coherence.Controller, prog Program) *CPU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &CPU{
+		node:  node,
+		cfg:   cfg,
+		model: model,
+		ctrl:  ctrl,
+		prog:  prog,
+	}
+	c.wb = NewWriteBufferFor(model, cfg, ctrl, c.storePerformed)
+	c.watchdogCycles = 30000
+	return c
+}
+
+// InjectLoadValueFault arms a one-shot bit flip on the next executed
+// load's value (LSQ data-path corruption, Section 6.1).
+func (c *CPU) InjectLoadValueFault() { c.faultLoadValue = true }
+
+// InjectForwardFault arms a one-shot incorrect forwarding: the next
+// LSQ/write-buffer forwarded load receives a corrupted value.
+func (c *CPU) InjectForwardFault() { c.faultForward = true }
+
+// FaultActivatedAt returns when an armed LSQ fault actually corrupted a
+// value (injection campaigns measure detection latency from activation).
+func (c *CPU) FaultActivatedAt() (sim.Cycle, bool) { return c.faultActivated, c.faultDidActivate }
+
+// FaultOutcome reports the fate of an activated LSQ fault: caught means
+// the verification stage flagged the corrupted load; squashed means a
+// mis-speculation flush erased the corruption before verification (the
+// fault left no architectural trace).
+func (c *CPU) FaultOutcome() (caught, squashed bool) {
+	if c.faultUop == nil {
+		return false, false
+	}
+	return c.faultCaught, c.faultUop.squashed && !c.faultCaught
+}
+
+// AttachDVMC enables the Uniprocessor Ordering and Allowable Reordering
+// checkers. Call before the first Tick.
+func (c *CPU) AttachDVMC(uo *core.UniprocChecker, reorder *core.ReorderChecker) {
+	c.uo = uo
+	c.reorder = reorder
+}
+
+// Stats returns core counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Model returns the core's configured consistency model.
+func (c *CPU) Model() consistency.Model { return c.model }
+
+// Finished reports whether the program ended and the pipeline drained.
+func (c *CPU) Finished() bool { return c.finished && len(c.rob) == 0 && c.wbEmpty() }
+
+// Transactions returns the number of completed workload transactions.
+func (c *CPU) Transactions() uint64 { return c.stats.Transactions }
+
+// WriteBuffer exposes the write buffer for fault injection.
+func (c *CPU) WriteBuffer() WriteBuffer { return c.wb }
+
+func (c *CPU) wbEmpty() bool { return c.wb == nil || c.wb.Empty() }
+
+// effectiveModel applies the Table 8 rule: 32-bit SPARC v8 code runs
+// under TSO even on PSO/RMO systems.
+func (c *CPU) effectiveModel(op Op) consistency.Model {
+	if op.Bits32 && (c.model == consistency.PSO || c.model == consistency.RMO) {
+		return consistency.TSO
+	}
+	return c.model
+}
+
+// Tick implements sim.Clockable: one core cycle.
+func (c *CPU) Tick(now sim.Cycle) {
+	c.now = now
+	c.stats.Cycles++
+	c.retireStage(now)
+	c.executeStage(now)
+	c.fetchStage(now)
+	if c.wb != nil {
+		c.wb.Tick(now)
+	}
+	c.stats.ROBOccupancySum += uint64(len(c.rob))
+}
+
+// ---------- fetch ----------
+
+func (c *CPU) fetchStage(now sim.Cycle) {
+	if now < c.fetchStallUntil {
+		return
+	}
+	budget := c.cfg.Width
+	for budget > 0 {
+		if c.pendingOp == nil {
+			if !c.nextFromProgram(now) {
+				return
+			}
+		}
+		if c.pendingOp == nil {
+			return
+		}
+		// Reserve the whole footprint (op + its gap instructions).
+		if c.instrs+c.pendingOp.instrCost > c.cfg.ROBInstrs {
+			return
+		}
+		if c.pendingGap > 0 {
+			take := c.pendingGap
+			if take > budget {
+				take = budget
+			}
+			c.pendingGap -= take
+			budget -= take
+			if c.pendingGap > 0 {
+				return
+			}
+		}
+		if budget == 0 {
+			return
+		}
+		budget--
+		u := c.pendingOp
+		c.pendingOp = nil
+		c.instrs += u.instrCost
+		c.rob = append(c.rob, u)
+		if u.op.Blocking {
+			c.blockingOp = u
+		}
+	}
+}
+
+// nextFromProgram fills pendingOp, injecting artificial membars and
+// honouring Blocking stalls. Returns false if fetch cannot proceed.
+func (c *CPU) nextFromProgram(now sim.Cycle) bool {
+	if c.blockingOp != nil {
+		if !c.blockingValueReady(c.blockingOp) {
+			return false
+		}
+		c.nextResult = Result{Valid: true, Value: c.blockingOp.loadVal}
+		c.blockingOp = nil
+	}
+	if c.reorder != nil && c.cfg.MembarInjectionInterval > 0 &&
+		now-c.lastInject >= c.cfg.MembarInjectionInterval {
+		c.lastInject = now
+		c.stats.InjectedMembars++
+		c.pendingOp = &uop{
+			op:        Op{Kind: OpMembar, Mask: consistency.FullMask},
+			seq:       c.nextSeq(),
+			model:     c.model,
+			state:     uFetched,
+			instrCost: 1,
+			injected:  true,
+		}
+		c.pendingGap = 0
+		return true
+	}
+	if c.finished {
+		return false
+	}
+	snap := c.prog.Snapshot()
+	prev := c.nextResult
+	c.nextResult = Result{}
+	op, ok := c.prog.Next(prev)
+	if !ok {
+		c.finished = true
+		return false
+	}
+	cost := 1 + op.Gap
+	if cost > c.cfg.ROBInstrs {
+		cost = c.cfg.ROBInstrs // huge gaps must still fit the ROB
+	}
+	c.pendingOp = &uop{
+		op:         op,
+		seq:        c.nextSeq(),
+		model:      c.effectiveModel(op),
+		state:      uFetched,
+		instrCost:  cost,
+		genSnap:    snap,
+		prevResult: prev,
+	}
+	c.pendingGap = op.Gap
+	return true
+}
+
+func (c *CPU) nextSeq() uint64 {
+	c.seqNext++
+	return c.seqNext
+}
+
+// blockingValueReady reports whether a Blocking op's value is available:
+// loads at execute, RMWs at perform.
+func (c *CPU) blockingValueReady(u *uop) bool {
+	switch u.op.Kind {
+	case OpLoad:
+		return u.state == uExecuted
+	case OpRMW:
+		return u.performed
+	default:
+		return true
+	}
+}
+
+// ---------- execute ----------
+
+func (c *CPU) executeStage(now sim.Cycle) {
+	issued := 0
+	considered := 0
+	for _, u := range c.rob {
+		if issued >= c.cfg.Width {
+			break
+		}
+		if u.state == uExecuted {
+			continue
+		}
+		if u.state == uExecuting {
+			if u.op.Kind == OpLoad && u.forwarded && now >= u.execReadyAt {
+				c.loadExecuted(u)
+			}
+			continue
+		}
+		considered++
+		if considered > c.cfg.Window {
+			break
+		}
+		switch u.op.Kind {
+		case OpLoad:
+			if !c.canIssueLoad(u) {
+				continue
+			}
+			issued++
+			c.issueLoad(u, now)
+		case OpStore:
+			issued++
+			u.state = uExecuted
+			c.ctrl.PrefetchExclusive(u.op.Addr)
+		case OpRMW:
+			issued++
+			u.state = uExecuted // value comes at perform
+			c.ctrl.PrefetchExclusive(u.op.Addr)
+		case OpMembar:
+			issued++
+			u.state = uExecuted
+		}
+	}
+}
+
+// canIssueLoad enforces membar→load ordering and same-word dependences.
+func (c *CPU) canIssueLoad(u *uop) bool {
+	table := consistency.TableFor(u.model)
+	loadOp := consistency.Op{Class: consistency.Load}
+	for _, older := range c.rob {
+		if older.seq >= u.seq {
+			break
+		}
+		switch older.op.Kind {
+		case OpMembar:
+			if !older.performed &&
+				table.Ordered(consistency.Op{Class: consistency.Membar, Mask: older.op.Mask}, loadOp) {
+				return false
+			}
+		case OpRMW:
+			// An unperformed same-word RMW cannot forward; the load waits.
+			if !older.performed && older.op.Addr == u.op.Addr {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// issueLoad executes a load: forward from the LSQ (older in-flight
+// stores) or write buffer, else access the cache.
+func (c *CPU) issueLoad(u *uop, now sim.Cycle) {
+	u.state = uExecuting
+	// LSQ forwarding: newest older store to the same word.
+	for i := len(c.rob) - 1; i >= 0; i-- {
+		older := c.rob[i]
+		if older.seq >= u.seq {
+			continue
+		}
+		if older.op.Kind == OpStore && older.op.Addr == u.op.Addr {
+			u.loadVal = older.op.Data
+			u.forwarded = true
+			u.execReadyAt = now + 1
+			c.stats.ForwardedLoads++
+			return
+		}
+		if older.op.Kind == OpRMW && older.op.Addr == u.op.Addr {
+			// canIssueLoad lets us through only if the RMW performed; its
+			// written value is f(loadVal).
+			u.loadVal = older.op.RMW(older.loadVal)
+			u.forwarded = true
+			u.execReadyAt = now + 1
+			c.stats.ForwardedLoads++
+			return
+		}
+	}
+	if c.wb != nil {
+		if v, ok := c.wb.Lookup(u.op.Addr); ok {
+			u.loadVal = v
+			u.forwarded = true
+			u.execReadyAt = now + 1
+			c.stats.ForwardedLoads++
+			return
+		}
+	}
+	c.ctrl.Load(u.op.Addr, network.ClassCoherence, func(v mem.Word, _ bool) {
+		if u.squashed {
+			return
+		}
+		u.loadVal = v
+		c.loadExecuted(u)
+	})
+}
+
+// loadExecuted finalises a load's execution. Loads under ordered-load
+// models (SC/TSO/PSO, and TSO-mode ops on an RMO system) execute out of
+// order speculatively: they squash if the block is invalidated before
+// their perform point. RMO-model loads reorder non-speculatively and
+// perform here (Table 5).
+func (c *CPU) loadExecuted(u *uop) {
+	if u.state == uExecuted {
+		return
+	}
+	u.state = uExecuted
+	c.stats.LoadsExecuted++
+	if c.faultLoadValue {
+		c.faultLoadValue = false
+		c.faultActivated = c.now
+		c.faultDidActivate = true
+		c.faultUop = u
+		u.loadVal ^= 1 << 13
+	}
+	if c.faultForward && u.forwarded {
+		c.faultForward = false
+		c.faultActivated = c.now
+		c.faultDidActivate = true
+		c.faultUop = u
+		u.loadVal ^= 1 << 5
+	}
+	if u.model == consistency.RMO && !c.olderOrderedLoadInFlight(u) {
+		// RMO loads perform at execute (Section 4.1): non-speculative.
+		u.performed = true
+		if c.reorder != nil {
+			c.reorder.OpCommitted(consistency.Load, false)
+			c.reorder.OpPerformed(core.PerformedOp{Seq: u.seq, Class: consistency.Load, Model: u.model}, c.now)
+		}
+		if c.uo != nil {
+			c.uo.LoadExecuted(u.op.Addr, u.loadVal)
+		}
+		return
+	}
+	// Ordered-load behaviour (SC/TSO/PSO, TSO-mode ops on an RMO system,
+	// and RMO loads shadowed by an older in-flight ordered load): the
+	// value may still change before the perform point, so the load is
+	// speculative and performs at verification.
+	if !u.forwarded {
+		u.speculative = true
+	}
+}
+
+// olderOrderedLoadInFlight reports whether an unperformed load with
+// ordered-load semantics (a non-RMO effective model) precedes u in the
+// ROB. A younger RMO load must not perform before it — the older load's
+// model requires Load→Load ordering against *all* younger loads.
+func (c *CPU) olderOrderedLoadInFlight(u *uop) bool {
+	for _, o := range c.rob {
+		if o.seq >= u.seq {
+			return false
+		}
+		if o.op.Kind == OpLoad && o.model != consistency.RMO && !o.performed {
+			return true
+		}
+		if o.op.Kind == OpRMW && !o.performed {
+			return true // the RMW's load half is ordered under TSO
+		}
+	}
+	return false
+}
+
+// ---------- retire / verify ----------
+
+// verifyWindow is how many head-of-ROB operations may replay
+// concurrently: "multiple operations can be replayed in parallel ... as
+// long as they do not access the same address" (Section 4.1). It is
+// sized so an L1-hit replay completes before the operation reaches the
+// retire head at full commit width.
+const verifyWindow = 24
+
+// verifyStage starts replay cache accesses eagerly for committed loads
+// near the ROB head, so a VC-miss replay does not serialise retirement.
+// A load may only replay early if no older in-flight store or RMW
+// touches the same word (its replay would otherwise need the older op's
+// VC entry, which is written in program order at the retire head).
+func (c *CPU) verifyStage(now sim.Cycle) {
+	if c.uo == nil {
+		return
+	}
+	limit := verifyWindow
+	if limit > len(c.rob) {
+		limit = len(c.rob)
+	}
+	for i := 0; i < limit; i++ {
+		u := c.rob[i]
+		if u.op.Kind != OpLoad || u.state != uExecuted || u.replayStarted || u.performed {
+			continue
+		}
+		conflict := false
+		for j := 0; j < i; j++ {
+			o := c.rob[j]
+			if (o.op.Kind == OpStore || o.op.Kind == OpRMW) && o.op.Addr == u.op.Addr {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		hit, match := c.uo.ReplayLoad(u.op.Addr, u.loadVal, now)
+		u.replayStarted = true
+		if hit {
+			u.replayDone = true
+			u.replayMatch = match
+			continue
+		}
+		c.ctrl.Load(u.op.Addr, network.ClassReplay, func(v mem.Word, _ bool) {
+			if u.squashed {
+				return
+			}
+			u.replayVal = v
+			u.replayDone = true
+			u.replayMatch = c.uo.CompareReplay(u.op.Addr, u.loadVal, v, c.now)
+		})
+	}
+}
+
+func (c *CPU) retireStage(now sim.Cycle) {
+	c.verifyStage(now)
+	c.watchdog(now)
+	budget := c.cfg.Width
+	for budget > 0 && len(c.rob) > 0 {
+		u := c.rob[0]
+		if u.state != uExecuted {
+			c.stats.CommitStalls++
+			return
+		}
+		if !u.committed && u.op.Kind == OpMembar {
+			// The membar's lost-op snapshot captures the committed
+			// counters of everything older, all of which has already been
+			// counted (retirement is in order).
+			u.committed = true
+			if c.reorder != nil {
+				c.reorder.MembarCommitted(u.seq, u.injected)
+			}
+		}
+		done := false
+		switch u.op.Kind {
+		case OpLoad:
+			done = c.retireLoad(u, now)
+		case OpStore:
+			done = c.retireStore(u, now)
+		case OpRMW:
+			done = c.retireRMW(u, now)
+		case OpMembar:
+			done = c.retireMembar(u, now)
+		}
+		if !done {
+			c.stats.CommitStalls++
+			return
+		}
+		budget--
+		c.popHead(u)
+	}
+}
+
+func (c *CPU) popHead(u *uop) {
+	c.rob = c.rob[1:]
+	c.instrs -= u.instrCost
+	c.stats.OpsRetired++
+	c.stats.InstrsRetired += uint64(u.instrCost)
+	switch u.op.Kind {
+	case OpStore, OpRMW:
+		c.stats.StoresRetired++
+	case OpMembar:
+		c.stats.MembarsRetired++
+	}
+	if u.op.EndTxn {
+		c.stats.Transactions++
+	}
+}
+
+// retireLoad verifies (DVMC) and performs the load.
+func (c *CPU) retireLoad(u *uop, now sim.Cycle) bool {
+	if c.uo == nil {
+		// No verification stage: the load performs at retirement in
+		// ordered-load models (RMO performed at execute).
+		u.speculative = false
+		u.performed = true
+		return true
+	}
+	if !u.replayStarted {
+		// The eager verify window skipped this load (same-word conflict
+		// with an older store, now retired): replay at the head.
+		hit, match := c.uo.ReplayLoad(u.op.Addr, u.loadVal, now)
+		u.replayStarted = true
+		if hit {
+			u.replayDone = true
+			u.replayMatch = match
+		} else {
+			// VC miss: replay against the cache hierarchy, bypassing the
+			// write buffer (the paper's replay path).
+			c.ctrl.Load(u.op.Addr, network.ClassReplay, func(v mem.Word, _ bool) {
+				if u.squashed {
+					return
+				}
+				u.replayVal = v
+				u.replayDone = true
+				u.replayMatch = c.uo.CompareReplay(u.op.Addr, u.loadVal, v, c.now)
+			})
+		}
+	}
+	if !u.replayDone {
+		return false
+	}
+	if !u.replayMatch {
+		if u == c.faultUop {
+			c.faultCaught = true
+		}
+		// Value-update recovery: the replay value IS the load's correct
+		// value at its perform point (verification). Retire the load with
+		// it and squash only the younger operations that consumed the
+		// stale value. Unlike a full squash this guarantees forward
+		// progress under block ping-pong.
+		u.loadVal = u.replayVal
+		c.squashYounger(u)
+		c.performLoad(u)
+		return true
+	}
+	c.performLoad(u)
+	return true
+}
+
+// performLoad marks the perform point of a verified load (ordered-load
+// models; RMO loads performed at execute). The load is counted as
+// committed here: a load squashed before its perform point re-fetches
+// with a fresh sequence number, so counting earlier would double-count
+// it and trip the lost-operation check.
+func (c *CPU) performLoad(u *uop) {
+	u.speculative = false
+	if u.performed {
+		return // RMO: already performed at execute
+	}
+	u.performed = true
+	if c.reorder != nil {
+		c.reorder.OpCommitted(consistency.Load, false)
+		c.reorder.OpPerformed(core.PerformedOp{Seq: u.seq, Class: consistency.Load, Model: u.model}, c.now)
+	}
+}
+
+// retireStore writes the VC and hands the store to the write buffer (or
+// the cache directly under SC).
+func (c *CPU) retireStore(u *uop, now sim.Cycle) bool {
+	if c.uo != nil && !u.irrevocable && !c.uo.CanAllocateStore(u.op.Addr) {
+		c.stats.VCFullStalls++
+		return false
+	}
+	if c.model == consistency.SC {
+		// No write buffer: the store performs before retirement; its
+		// cache miss is on the critical path.
+		if !u.irrevocable {
+			u.irrevocable = true
+			if c.reorder != nil {
+				c.reorder.OpCommitted(consistency.Store, false)
+			}
+			if c.uo != nil {
+				c.uo.StoreCommitted(u.op.Addr, u.op.Data)
+			}
+			c.ctrl.Store(u.op.Addr, u.op.Data, func() {
+				if u.squashed {
+					return
+				}
+				u.performed = true
+				c.storePerformedChecks(u.seq, u.op.Addr, u.op.Data, u.model)
+			})
+		}
+		return u.performed
+	}
+	if !u.irrevocable {
+		ordered := u.model == consistency.TSO || u.model == consistency.SC
+		if !c.wb.Push(u.seq, u.op.Addr, u.op.Data, ordered) {
+			c.stats.WBFullStalls++
+			return false
+		}
+		u.irrevocable = true
+		if c.reorder != nil {
+			c.reorder.OpCommitted(consistency.Store, false)
+		}
+		if c.uo != nil {
+			c.uo.StoreCommitted(u.op.Addr, u.op.Data)
+		}
+		c.rememberModel(u.seq, u.model)
+	}
+	return true
+}
+
+// rememberModel records the effective model of a store entering the
+// write buffer.
+func (c *CPU) rememberModel(seq uint64, m consistency.Model) {
+	if c.wbModels == nil {
+		c.wbModels = make(map[uint64]consistency.Model)
+	}
+	c.wbModels[seq] = m
+}
+
+// storePerformed is the write buffer's perform callback.
+func (c *CPU) storePerformed(seq uint64, addr mem.Addr, written mem.Word) {
+	m := c.model
+	if c.wbModels != nil {
+		if mm, ok := c.wbModels[seq]; ok {
+			m = mm
+			delete(c.wbModels, seq)
+		}
+	}
+	c.storePerformedChecks(seq, addr, written, m)
+}
+
+func (c *CPU) storePerformedChecks(seq uint64, addr mem.Addr, written mem.Word, m consistency.Model) {
+	c.wbProgressAt = c.now
+	if c.uo != nil {
+		c.uo.StorePerformed(addr, written, c.now)
+	}
+	if c.reorder != nil {
+		c.reorder.OpPerformed(core.PerformedOp{Seq: seq, Class: consistency.Store, Model: m}, c.now)
+	}
+}
+
+// retireRMW issues the atomic to the cache at the verify head and waits
+// for it to perform. Atomics drain the write buffer first: the RMW's
+// store half must not perform before older buffered stores (its TSO-mode
+// Store→Store constraint), matching real SPARC implementations where
+// atomics flush the store buffer.
+func (c *CPU) retireRMW(u *uop, now sim.Cycle) bool {
+	if !u.irrevocable {
+		if !c.wbEmpty() {
+			c.stats.MembarStalls++
+			return false
+		}
+		if c.uo != nil && !c.uo.CanAllocateStore(u.op.Addr) {
+			c.stats.VCFullStalls++
+			return false
+		}
+		u.irrevocable = true
+		if c.reorder != nil {
+			c.reorder.OpCommitted(consistency.Load, true)
+		}
+		c.ctrl.RMW(u.op.Addr, u.op.RMW, func(old mem.Word) {
+			if u.squashed {
+				return
+			}
+			u.loadVal = old
+			newVal := u.op.RMW(old)
+			if c.uo != nil {
+				c.uo.StoreCommitted(u.op.Addr, newVal)
+				c.uo.StorePerformed(u.op.Addr, newVal, c.now)
+			}
+			u.performed = true
+			if c.reorder != nil {
+				c.reorder.OpPerformed(core.PerformedOp{
+					Seq: u.seq, Class: consistency.Store, IsRMW: true, Model: u.model}, c.now)
+			}
+		})
+	}
+	return u.performed
+}
+
+// retireMembar stalls until the membar's ordering conditions hold, then
+// performs it.
+func (c *CPU) retireMembar(u *uop, now sim.Cycle) bool {
+	// Older loads have performed (in-order retirement: they retired).
+	// Older stores must have performed for #SL/#SS masks: the write
+	// buffer must be empty (all buffered stores are older).
+	if u.op.Mask&(consistency.SL|consistency.SS) != 0 && !c.wbEmpty() {
+		c.stats.MembarStalls++
+		return false
+	}
+	if !u.performed {
+		u.performed = true
+		if c.reorder != nil {
+			c.reorder.OpPerformed(core.PerformedOp{
+				Seq: u.seq, Class: consistency.Membar, Mask: u.op.Mask, Model: u.model}, c.now)
+		}
+	}
+	return true
+}
+
+// watchdog reports a lost operation when the retire head is stuck: a
+// dropped coherence message leaves an operation committed forever
+// unperformed, which the paper's invariant covers ("it is crucial for
+// the checker that all committed operations perform eventually").
+func (c *CPU) watchdog(now sim.Cycle) {
+	if c.reorder == nil || c.watchdogCycles == 0 {
+		return
+	}
+	// A committed store stuck in the write buffer never stalls the
+	// retire head by itself; watch drain progress directly.
+	if c.wb != nil && c.wb.Len() > 0 {
+		if !c.wbWatchdogFired && now-c.wbProgressAt > c.watchdogCycles {
+			c.wbWatchdogFired = true
+			c.reorder.Stuck(now, fmt.Sprintf("write buffer made no progress for %d cycles (%d stores pending)",
+				now-c.wbProgressAt, c.wb.Len()))
+		}
+	} else {
+		c.wbProgressAt = now
+		c.wbWatchdogFired = false
+	}
+	if len(c.rob) == 0 {
+		c.headSince = now
+		return
+	}
+	head := c.rob[0].seq
+	if head != c.headSeq {
+		c.headSeq = head
+		c.headSince = now
+		c.watchdogFired = false
+		return
+	}
+	if !c.watchdogFired && now-c.headSince > c.watchdogCycles {
+		c.watchdogFired = true
+		c.reorder.Stuck(now, fmt.Sprintf("op seq %d stuck at retire head for %d cycles",
+			head, now-c.headSince))
+	}
+}
+
+// ---------- squash ----------
+
+// squashFrom flushes u and everything younger, rewinding the program.
+// spec marks a load-order mis-speculation squash (vs a verification
+// mismatch).
+func (c *CPU) squashFrom(u *uop, spec bool) {
+	idx := -1
+	for i, r := range c.rob {
+		if r == u {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("proc: squash target not in ROB")
+	}
+	if spec {
+		c.stats.SpecSquashes++
+	} else {
+		c.stats.VerifySquashes++
+	}
+	// Rewind the generator to just before the squashed op was fetched.
+	if u.genSnap != nil {
+		c.prog.Restore(u.genSnap)
+		c.nextResult = u.prevResult
+		c.finished = false
+	}
+	for _, r := range c.rob[idx:] {
+		r.squashed = true
+		c.instrs -= r.instrCost
+	}
+	c.rob = c.rob[:idx]
+	// The pending (not yet inserted) op is younger than the squash point;
+	// the generator rewind regenerates it.
+	c.pendingOp = nil
+	c.pendingGap = 0
+	c.blockingOp = nil
+	for _, r := range c.rob {
+		if r.op.Blocking && !c.blockingValueReady(r) {
+			c.blockingOp = r
+		}
+	}
+	c.fetchStallUntil = c.now + c.cfg.SquashPenalty
+}
+
+// ---------- SafetyNet checkpoint support ----------
+
+// ArchState is the processor's contribution to a SafetyNet checkpoint:
+// the program's architectural position (after the last retired, or
+// performed-irrevocable, operation) plus the pending stores the write
+// buffer holds for already-retired work.
+type ArchState struct {
+	ProgSnap any
+	Prev     Result
+	Pending  []PendingStore
+	Finished bool
+}
+
+// ArchSnapshot captures the architectural state. Call it at the start of
+// a cycle (before any controller event), so "performed" flags are
+// settled.
+func (c *CPU) ArchSnapshot() ArchState {
+	st := ArchState{Finished: c.finished}
+	if c.wb != nil {
+		st.Pending = c.wb.Pending()
+	}
+	// Skip head operations whose memory effect is already irrevocably
+	// applied (SC stores / RMWs that performed but have not retired).
+	i := 0
+	for i < len(c.rob) && c.rob[i].irrevocable && c.rob[i].performed {
+		i++
+	}
+	// The position is the snapshot of the first remaining op that carries
+	// one (injected membars do not).
+	for j := i; j < len(c.rob); j++ {
+		if c.rob[j].genSnap != nil {
+			st.ProgSnap = c.rob[j].genSnap
+			st.Prev = c.rob[j].prevResult
+			return st
+		}
+	}
+	if c.pendingOp != nil && c.pendingOp.genSnap != nil {
+		st.ProgSnap = c.pendingOp.genSnap
+		st.Prev = c.pendingOp.prevResult
+		return st
+	}
+	// Nothing speculative in flight: the generator's current state is the
+	// position. If an irrevocable blocking op (RMW) performed, its value
+	// is the pending Result.
+	st.ProgSnap = c.prog.Snapshot()
+	st.Prev = c.nextResult
+	if i > 0 && c.rob[i-1].op.Blocking {
+		st.Prev = Result{Valid: true, Value: c.rob[i-1].loadVal}
+	}
+	if c.blockingOp != nil && c.blockingValueReady(c.blockingOp) {
+		st.Prev = Result{Valid: true, Value: c.blockingOp.loadVal}
+	}
+	return st
+}
+
+// Recover rewinds the core to a checkpointed architectural state
+// (SafetyNet recovery): the pipeline and write buffer flush, the program
+// rewinds, and fetch restarts after the squash penalty.
+func (c *CPU) Recover(st ArchState) {
+	for _, u := range c.rob {
+		u.squashed = true
+	}
+	c.rob = nil
+	c.instrs = 0
+	c.pendingOp = nil
+	c.pendingGap = 0
+	c.blockingOp = nil
+	if c.wb != nil {
+		c.wb.Clear()
+	}
+	c.wbModels = nil
+	c.prog.Restore(st.ProgSnap)
+	c.nextResult = st.Prev
+	c.finished = false
+	c.fetchStallUntil = c.now + c.cfg.SquashPenalty
+}
+
+// squashYounger flushes everything younger than u (u itself survives,
+// typically with an updated value), rewinding the program to just after
+// u. Used by value-update recovery at verification mismatches.
+func (c *CPU) squashYounger(u *uop) {
+	c.stats.VerifySquashes++
+	idx := -1
+	for i, r := range c.rob {
+		if r == u {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("proc: squashYounger target not in ROB")
+	}
+	// Rewind the generator to the first younger op carrying a snapshot.
+	restored := false
+	for j := idx + 1; j < len(c.rob); j++ {
+		if c.rob[j].genSnap != nil {
+			c.prog.Restore(c.rob[j].genSnap)
+			c.nextResult = c.rob[j].prevResult
+			restored = true
+			break
+		}
+	}
+	if !restored && c.pendingOp != nil && c.pendingOp.genSnap != nil {
+		c.prog.Restore(c.pendingOp.genSnap)
+		c.nextResult = c.pendingOp.prevResult
+		restored = true
+	}
+	// If nothing younger was fetched, the generator already sits after u.
+	c.finished = c.finished && !restored
+	if u.op.Blocking {
+		// Younger ops will be regenerated from u's corrected value.
+		c.nextResult = Result{Valid: true, Value: u.loadVal}
+	}
+	for _, r := range c.rob[idx+1:] {
+		r.squashed = true
+		c.instrs -= r.instrCost
+	}
+	c.rob = c.rob[:idx+1]
+	c.pendingOp = nil
+	c.pendingGap = 0
+	c.blockingOp = nil
+	if u.op.Blocking && !c.blockingValueReady(u) {
+		c.blockingOp = u
+	}
+	c.fetchStallUntil = c.now + c.cfg.SquashPenalty
+}
+
+// EpochEnd implements load-order mis-speculation detection: when another
+// processor takes the block away, a speculative load of that block must
+// squash — but only if an older load has not yet performed. The oldest
+// unperformed load binds its value legally at execute (it is the next
+// load to perform; no reordering is observable), which both matches real
+// designs and guarantees forward progress under block ping-pong.
+func (c *CPU) EpochEnd(b mem.BlockAddr) {
+	olderUnperformed := false
+	for _, u := range c.rob {
+		isLoadClass := u.op.Kind == OpLoad || u.op.Kind == OpRMW
+		if u.op.Kind == OpLoad && u.speculative && u.state == uExecuted &&
+			u.op.Addr.Block() == b && olderUnperformed {
+			c.squashFrom(u, true)
+			return
+		}
+		if isLoadClass && !u.performed {
+			olderUnperformed = true
+		}
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (c *CPU) String() string {
+	return fmt.Sprintf("cpu%d[%v rob=%d instrs=%d]", c.node, c.model, len(c.rob), c.instrs)
+}

@@ -1,0 +1,182 @@
+// Package proc models the out-of-order processor core of the evaluated
+// system (paper Table 7): a 4-wide pipeline with a 128-entry reorder
+// buffer, a 64-entry scheduling window, a 32-entry write buffer, load
+// forwarding and load-order speculation, and per-model optimizations
+// (Table 5): an in-order write buffer for TSO, an out-of-order
+// write-combining buffer for PSO/RMO, and non-speculative out-of-order
+// load execution for RMO.
+//
+// When DVMC is enabled the pipeline grows the verification stage of
+// Section 4.1 before retirement: operations replay in program order
+// against the Uniprocessor Ordering checker's verification cache, and
+// perform events feed the Allowable Reordering checker. The stage extends
+// instruction lifetime and ROB occupancy — the dominant source of DVMC's
+// slowdown in the paper's evaluation.
+package proc
+
+import (
+	"fmt"
+
+	"dvmc/internal/consistency"
+	"dvmc/internal/mem"
+	"dvmc/internal/sim"
+)
+
+// OpKind is the kind of a program memory operation.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpLoad OpKind = iota + 1
+	OpStore
+	OpRMW    // atomic read-modify-write (SPARC swap/cas/ldstub)
+	OpMembar // memory barrier with a 4-bit mask; Stbar = mask #SS
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpRMW:
+		return "rmw"
+	case OpMembar:
+		return "membar"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Class maps the op kind to its ordering-table class.
+func (k OpKind) Class() consistency.OpClass {
+	switch k {
+	case OpLoad:
+		return consistency.Load
+	case OpStore, OpRMW:
+		return consistency.Store
+	case OpMembar:
+		return consistency.Membar
+	default:
+		panic("proc: Class of invalid OpKind")
+	}
+}
+
+// Op is one memory operation of a program, in program order.
+type Op struct {
+	Kind OpKind
+	Addr mem.Addr
+	Data mem.Word                // store value
+	RMW  func(mem.Word) mem.Word // RMW transform (nil for plain ops)
+	Mask consistency.MembarMask  // membars only
+
+	// Gap is the number of non-memory instructions preceding this op;
+	// they consume front-end and reorder-buffer bandwidth.
+	Gap int
+
+	// Bits32 marks 32-bit SPARC v8 code, which was written for TSO: a
+	// system configured for PSO or RMO must treat the op under TSO
+	// (paper Table 8).
+	Bits32 bool
+
+	// Blocking marks an op whose value feeds an unpredictable branch
+	// (e.g. a spinlock test): the front end cannot fetch past it until
+	// the value is available.
+	Blocking bool
+
+	// EndTxn marks the completion of one workload transaction, counted
+	// at retirement.
+	EndTxn bool
+}
+
+// Result carries the value of the previous Blocking operation into
+// Program.Next.
+type Result struct {
+	Valid bool
+	Value mem.Word
+}
+
+// Program is a per-thread memory-operation stream. Implementations must
+// be deterministic state machines supporting snapshot/restore, because
+// the processor fetches speculatively and rewinds on squashes, and the
+// backward-error-recovery mechanism restores older checkpoints.
+type Program interface {
+	// Next returns the operation following the current position. If the
+	// previous operation was Blocking, prev carries its value. ok=false
+	// ends the thread.
+	Next(prev Result) (op Op, ok bool)
+	// Snapshot captures the generator state before the next Next call.
+	Snapshot() any
+	// Restore rewinds to a previously captured state.
+	Restore(s any)
+}
+
+// Config sizes the core (defaults mirror paper Table 7).
+type Config struct {
+	Width      int // fetch/commit/verify width (4)
+	ROBInstrs  int // reorder buffer capacity in instructions (128)
+	Window     int // scheduling window: oldest unexecuted ops considered (64)
+	WBEntries  int // write buffer capacity in stores (32)
+	VCWords    int // verification cache capacity in words
+	WBOutstand int // out-of-order write buffer: concurrent drains
+
+	// MembarInjectionInterval is the period (cycles) of artificial full
+	// membars for lost-operation detection (about one per 100k cycles).
+	// Zero disables injection.
+	MembarInjectionInterval sim.Cycle
+
+	// SquashPenalty is the front-end refill delay after a pipeline flush.
+	SquashPenalty sim.Cycle
+}
+
+// DefaultConfig returns the paper's processor parameters.
+func DefaultConfig() Config {
+	return Config{
+		Width:                   4,
+		ROBInstrs:               128,
+		Window:                  64,
+		WBEntries:               32,
+		VCWords:                 64,
+		WBOutstand:              8,
+		MembarInjectionInterval: 100000,
+		SquashPenalty:           10,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 1:
+		return fmt.Errorf("proc: Width = %d", c.Width)
+	case c.ROBInstrs < 1:
+		return fmt.Errorf("proc: ROBInstrs = %d", c.ROBInstrs)
+	case c.Window < 1:
+		return fmt.Errorf("proc: Window = %d", c.Window)
+	case c.WBEntries < 0 || c.VCWords < 1:
+		return fmt.Errorf("proc: bad WBEntries/VCWords %d/%d", c.WBEntries, c.VCWords)
+	case c.WBOutstand < 1:
+		return fmt.Errorf("proc: WBOutstand = %d", c.WBOutstand)
+	}
+	return nil
+}
+
+// Stats counts core activity.
+type Stats struct {
+	Cycles          uint64
+	OpsRetired      uint64
+	InstrsRetired   uint64 // including gap instructions
+	LoadsExecuted   uint64
+	StoresRetired   uint64
+	MembarsRetired  uint64
+	Transactions    uint64
+	SpecSquashes    uint64 // load-order mis-speculation flushes
+	VerifySquashes  uint64 // UO replay mismatch flushes
+	WBFullStalls    uint64
+	VCFullStalls    uint64
+	MembarStalls    uint64
+	CommitStalls    uint64 // cycles the retire head was blocked
+	InjectedMembars uint64
+	ForwardedLoads  uint64
+	ROBOccupancySum uint64 // for mean occupancy
+}

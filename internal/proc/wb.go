@@ -1,0 +1,419 @@
+package proc
+
+import (
+	"dvmc/internal/coherence"
+	"dvmc/internal/consistency"
+	"dvmc/internal/mem"
+	"dvmc/internal/sim"
+)
+
+// performFn is invoked by a write buffer when a store performs at the
+// cache: seq is the store's sequence number, written the value that
+// reached the cache.
+type performFn func(seq uint64, addr mem.Addr, written mem.Word)
+
+// WriteBuffer is the post-retirement store queue. Implementations differ
+// per consistency model (paper Table 5): TSO uses an in-order buffer,
+// PSO/RMO an out-of-order write-combining buffer. SC has none.
+type WriteBuffer interface {
+	// Push enqueues a retired store; false means the buffer is full and
+	// retirement must stall. ordered marks stores that must not be
+	// reordered with other ordered stores (SC/TSO-mode ops on a relaxed
+	// system, per the Table 8 mode-switching requirement).
+	Push(seq uint64, addr mem.Addr, val mem.Word, ordered bool) bool
+	// Lookup returns the newest buffered value for a word (store-to-load
+	// forwarding).
+	Lookup(addr mem.Addr) (mem.Word, bool)
+	// Tick advances draining.
+	Tick(now sim.Cycle)
+	// Empty reports whether all stores have performed (membar condition).
+	Empty() bool
+	// Len returns the number of buffered (unperformed) stores.
+	Len() int
+	// Pending returns the buffered stores in commit (sequence) order, for
+	// SafetyNet checkpoint capture.
+	Pending() []PendingStore
+	// Clear drops every buffered store (SafetyNet recovery).
+	Clear()
+}
+
+// PendingStore is one committed-but-unperformed store in a write buffer.
+type PendingStore struct {
+	Seq  uint64
+	Addr mem.Addr
+	Val  mem.Word
+}
+
+// wbFault models injected write-buffer errors (Section 6.1: reorderings
+// and incorrect forwarding in the write buffer, dropped stores).
+type wbFault struct {
+	corruptSeq  uint64 // flip a data bit of this store when draining
+	dropSeq     uint64 // silently discard this store
+	swapNext    bool   // drain the second-oldest entry before the oldest
+	dropNext    bool   // discard the next store drained
+	corruptNext bool   // corrupt the next store drained
+}
+
+// InOrderWB is TSO's FIFO write buffer: one store drains at a time, in
+// commit order, moving store misses off the critical path while
+// preserving Store→Store order.
+type InOrderWB struct {
+	ctrl  coherence.Controller
+	perf  performFn
+	cap   int
+	queue []wbStore
+	busy  bool
+	fault wbFault
+}
+
+type wbStore struct {
+	seq     uint64
+	addr    mem.Addr
+	val     mem.Word
+	ordered bool
+}
+
+var _ WriteBuffer = (*InOrderWB)(nil)
+
+// NewInOrderWB builds the TSO write buffer.
+func NewInOrderWB(ctrl coherence.Controller, capacity int, perf performFn) *InOrderWB {
+	return &InOrderWB{ctrl: ctrl, cap: capacity, perf: perf}
+}
+
+// Push implements WriteBuffer.
+func (w *InOrderWB) Push(seq uint64, addr mem.Addr, val mem.Word, ordered bool) bool {
+	if len(w.queue) >= w.cap {
+		return false
+	}
+	w.queue = append(w.queue, wbStore{seq: seq, addr: addr, val: val, ordered: ordered})
+	return true
+}
+
+// Lookup implements WriteBuffer.
+func (w *InOrderWB) Lookup(addr mem.Addr) (mem.Word, bool) {
+	for i := len(w.queue) - 1; i >= 0; i-- {
+		if w.queue[i].addr == addr {
+			return w.queue[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// Empty implements WriteBuffer.
+func (w *InOrderWB) Empty() bool { return len(w.queue) == 0 && !w.busy }
+
+// Len implements WriteBuffer.
+func (w *InOrderWB) Len() int { return len(w.queue) }
+
+// Tick implements WriteBuffer: drain the head store.
+func (w *InOrderWB) Tick(now sim.Cycle) {
+	if w.busy || len(w.queue) == 0 {
+		return
+	}
+	idx := 0
+	if w.fault.swapNext && len(w.queue) > 1 {
+		idx = 1 // injected fault: younger store drains first
+		w.fault.swapNext = false
+	}
+	st := w.queue[idx]
+	w.queue = append(w.queue[:idx], w.queue[idx+1:]...)
+	if w.fault.dropNext || (w.fault.dropSeq != 0 && st.seq == w.fault.dropSeq) {
+		// Injected fault: the store vanishes; the buffer believes it
+		// performed.
+		w.fault.dropSeq = 0
+		w.fault.dropNext = false
+		return
+	}
+	if w.fault.corruptNext || (w.fault.corruptSeq != 0 && st.seq == w.fault.corruptSeq) {
+		st.val ^= 1 << 7
+		w.fault.corruptSeq = 0
+		w.fault.corruptNext = false
+	}
+	w.busy = true
+	w.ctrl.Store(st.addr, st.val, func() {
+		w.busy = false
+		w.perf(st.seq, st.addr, st.val)
+	})
+}
+
+// Pending implements WriteBuffer.
+func (w *InOrderWB) Pending() []PendingStore {
+	out := make([]PendingStore, 0, len(w.queue))
+	for _, st := range w.queue {
+		out = append(out, PendingStore{Seq: st.seq, Addr: st.addr, Val: st.val})
+	}
+	return out
+}
+
+// Clear implements WriteBuffer.
+func (w *InOrderWB) Clear() {
+	w.queue = nil
+	w.busy = false
+}
+
+// InjectReorder arms a one-shot illegal drain order fault.
+func (w *InOrderWB) InjectReorder() { w.fault.swapNext = true }
+
+// InjectDrop arms a one-shot dropped-store fault for the given store.
+func (w *InOrderWB) InjectDrop(seq uint64) { w.fault.dropSeq = seq }
+
+// InjectCorrupt arms a one-shot data-corruption fault for the given store.
+func (w *InOrderWB) InjectCorrupt(seq uint64) { w.fault.corruptSeq = seq }
+
+// InjectDropNext arms a one-shot dropped-store fault for the next drain.
+func (w *InOrderWB) InjectDropNext() { w.fault.dropNext = true }
+
+// InjectCorruptNext arms a one-shot corruption fault for the next drain.
+func (w *InOrderWB) InjectCorruptNext() { w.fault.corruptNext = true }
+
+// OOOWB is the out-of-order, write-combining buffer of PSO/RMO (paper
+// Table 5: "optimized store issue policy to reduce write buffer stalls
+// and coherence traffic"). Stores coalesce per block; multiple blocks
+// drain concurrently, oldest entry first. Ordered (TSO/SC-mode) stores
+// act as barriers: they drain only when oldest, and younger stores never
+// pass a pending ordered store.
+type OOOWB struct {
+	ctrl        coherence.Controller
+	perf        performFn
+	capStores   int
+	outstanding int
+	maxOut      int
+	entries     []*oooEntry
+	stores      int
+	fault       wbFault
+}
+
+type oooEntry struct {
+	block        mem.BlockAddr
+	words        [mem.WordsPerBlock]mem.Word
+	valid        [mem.WordsPerBlock]bool
+	constituents []wbStore
+	ordered      bool
+	draining     bool
+}
+
+var _ WriteBuffer = (*OOOWB)(nil)
+
+// NewOOOWB builds the PSO/RMO write buffer. maxOutstanding bounds
+// concurrent block drains.
+func NewOOOWB(ctrl coherence.Controller, capacity, maxOutstanding int, perf performFn) *OOOWB {
+	return &OOOWB{ctrl: ctrl, capStores: capacity, maxOut: maxOutstanding, perf: perf}
+}
+
+// Push implements WriteBuffer, coalescing same-block stores. While an
+// ordered (TSO/SC-mode) store is buffered, coalescing is suspended:
+// merging a young store into an entry older than the ordered one would
+// let it perform first and violate the ordered store's Store→Store
+// constraint.
+func (w *OOOWB) Push(seq uint64, addr mem.Addr, val mem.Word, ordered bool) bool {
+	if w.fault.dropNext {
+		w.fault.dropNext = false
+		w.fault.dropSeq = seq
+	}
+	b := addr.Block()
+	if !ordered && !w.hasOrdered() {
+		for _, e := range w.entries {
+			if e.block == b && !e.draining && !e.ordered {
+				e.words[addr.WordIndex()] = val
+				e.valid[addr.WordIndex()] = true
+				e.constituents = append(e.constituents, wbStore{seq: seq, addr: addr, val: val})
+				w.stores++
+				return true
+			}
+		}
+	}
+	if w.stores >= w.capStores {
+		return false
+	}
+	e := &oooEntry{block: b, ordered: ordered}
+	e.words[addr.WordIndex()] = val
+	e.valid[addr.WordIndex()] = true
+	e.constituents = []wbStore{{seq: seq, addr: addr, val: val}}
+	w.entries = append(w.entries, e)
+	w.stores++
+	return true
+}
+
+// Lookup implements WriteBuffer.
+func (w *OOOWB) Lookup(addr mem.Addr) (mem.Word, bool) {
+	b := addr.Block()
+	for i := len(w.entries) - 1; i >= 0; i-- {
+		e := w.entries[i]
+		if e.block == b && e.valid[addr.WordIndex()] {
+			return e.words[addr.WordIndex()], true
+		}
+	}
+	return 0, false
+}
+
+// Empty implements WriteBuffer.
+func (w *OOOWB) Empty() bool { return len(w.entries) == 0 && w.outstanding == 0 }
+
+// Len implements WriteBuffer.
+func (w *OOOWB) Len() int { return w.stores }
+
+// Tick implements WriteBuffer: start eligible drains. An ordered entry
+// is a full barrier: it drains only once every older entry has finished
+// (entries leave the slice at finish), and no younger entry may start
+// while an ordered entry is pending or draining.
+func (w *OOOWB) Tick(now sim.Cycle) {
+	for i := 0; i < len(w.entries) && w.outstanding < w.maxOut; i++ {
+		e := w.entries[i]
+		if e.draining {
+			continue
+		}
+		if e.ordered {
+			if i == 0 {
+				w.drain(e)
+			}
+			// Nothing younger may start behind a pending ordered store.
+			return
+		}
+		if w.olderOrderedBlocking(i) {
+			continue
+		}
+		if w.blockDraining(e.block) {
+			// Same-word stores must perform in program order: never
+			// drain two entries for one block concurrently.
+			continue
+		}
+		w.drain(e)
+	}
+}
+
+// blockDraining reports whether an entry for the block is in flight.
+func (w *OOOWB) blockDraining(b mem.BlockAddr) bool {
+	for _, e := range w.entries {
+		if e.draining && e.block == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *OOOWB) hasOrdered() bool {
+	for _, e := range w.entries {
+		if e.ordered {
+			return true
+		}
+	}
+	return false
+}
+
+// olderOrderedBlocking reports whether an ordered entry (pending or
+// draining) precedes index idx.
+func (w *OOOWB) olderOrderedBlocking(idx int) bool {
+	for i := 0; i < idx; i++ {
+		if w.entries[i].ordered {
+			return true
+		}
+	}
+	return false
+}
+
+// drain writes an entry's dirty words to the cache sequentially, then
+// reports each constituent store performed in commit order. An armed
+// drop fault removes the victim store's word (unless a later store also
+// wrote it), modelling buffer-control corruption that loses the store.
+func (w *OOOWB) drain(e *oooEntry) {
+	e.draining = true
+	w.outstanding++
+	dropped := uint64(0)
+	if w.fault.dropSeq != 0 {
+		for _, st := range e.constituents {
+			if st.seq == w.fault.dropSeq {
+				dropped = st.seq
+			}
+		}
+	}
+	skipWord := -1
+	if dropped != 0 {
+		for _, st := range e.constituents {
+			if st.seq == dropped {
+				skipWord = st.addr.WordIndex()
+			} else if st.addr.WordIndex() == skipWord {
+				skipWord = -1 // another store also wrote the word
+			}
+		}
+	}
+	words := make([]int, 0, mem.WordsPerBlock)
+	for i, v := range e.valid {
+		if v && i != skipWord {
+			words = append(words, i)
+		}
+	}
+	var writeNext func(i int)
+	writeNext = func(i int) {
+		if i >= len(words) {
+			w.finish(e)
+			return
+		}
+		addr := e.block.WordAddr(words[i])
+		w.ctrl.Store(addr, e.words[words[i]], func() { writeNext(i + 1) })
+	}
+	writeNext(0)
+}
+
+func (w *OOOWB) finish(e *oooEntry) {
+	w.outstanding--
+	for i, c := range w.entries {
+		if c == e {
+			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+			break
+		}
+	}
+	w.stores -= len(e.constituents)
+	for _, st := range e.constituents {
+		if w.fault.dropSeq != 0 && st.seq == w.fault.dropSeq {
+			w.fault.dropSeq = 0
+			continue
+		}
+		w.perf(st.seq, st.addr, st.val)
+	}
+}
+
+// Pending implements WriteBuffer.
+func (w *OOOWB) Pending() []PendingStore {
+	var out []PendingStore
+	for _, e := range w.entries {
+		for _, st := range e.constituents {
+			out = append(out, PendingStore{Seq: st.seq, Addr: st.addr, Val: st.val})
+		}
+	}
+	// Sort by sequence (commit order) so snapshot application is exact.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seq < out[j-1].Seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Clear implements WriteBuffer.
+func (w *OOOWB) Clear() {
+	w.entries = nil
+	w.stores = 0
+	w.outstanding = 0
+}
+
+// InjectDrop arms a one-shot lost-store fault (the perform notification
+// for the store vanishes, modelling buffer-control corruption).
+func (w *OOOWB) InjectDrop(seq uint64) { w.fault.dropSeq = seq }
+
+// InjectDropNext arms a one-shot lost-store fault for the next push.
+func (w *OOOWB) InjectDropNext() { w.fault.dropNext = true }
+
+// NewWriteBufferFor builds the write buffer matching a model's Table 5
+// optimization, or nil for SC (no write buffer).
+func NewWriteBufferFor(model consistency.Model, cfg Config, ctrl coherence.Controller, perf performFn) WriteBuffer {
+	switch model {
+	case consistency.SC:
+		return nil
+	case consistency.TSO, consistency.PC:
+		return NewInOrderWB(ctrl, cfg.WBEntries, perf)
+	case consistency.PSO, consistency.RMO:
+		return NewOOOWB(ctrl, cfg.WBEntries, cfg.WBOutstand, perf)
+	default:
+		panic("proc: unknown model")
+	}
+}

@@ -1,0 +1,224 @@
+// Package safetynet implements the backward error recovery (BER)
+// substrate the paper pairs DVMC with (Sorin et al.'s SafetyNet). DVMC
+// only detects errors; recovery rolls the system back to a pre-error
+// checkpoint. The package provides:
+//
+//   - a global checkpoint schedule (periodic, coordinated across nodes),
+//   - per-node write logging: old values are logged locally in
+//     checkpoint-log buffers; the log-ownership metadata for the first
+//     write to a block in each interval crosses the interconnect (the
+//     modest SafetyNet traffic visible in the paper's Figures 5 and 7),
+//   - checkpoint lifetime management: a checkpoint "expires" after the
+//     recovery window; an error is recoverable only while a checkpoint
+//     older than the error is still live — which bounds DVMC's allowed
+//     detection latency (~100k cycles in the paper's configuration).
+//
+// The architectural state captured per checkpoint is provided by the
+// system assembly through a CaptureFunc; recovery replays it through a
+// RestoreFunc. This keeps the package independent of the processor and
+// coherence implementations.
+package safetynet
+
+import (
+	"fmt"
+
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+// Config parameterises the BER mechanism.
+type Config struct {
+	// Interval is the cycle distance between coordinated checkpoints.
+	Interval sim.Cycle
+	// Keep is how many live checkpoints are retained; the recovery window
+	// is Keep*Interval.
+	Keep int
+}
+
+// DefaultConfig matches the paper's ~100k-cycle recovery window.
+func DefaultConfig() Config {
+	return Config{Interval: 25000, Keep: 4}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Interval < 1 || c.Keep < 1 {
+		return fmt.Errorf("safetynet: bad config interval=%d keep=%d", c.Interval, c.Keep)
+	}
+	return nil
+}
+
+// Window returns the recovery window in cycles.
+func (c Config) Window() sim.Cycle { return c.Interval * sim.Cycle(c.Keep) }
+
+// Checkpoint is one recovery point.
+type Checkpoint struct {
+	Seq   uint64
+	Cycle sim.Cycle
+	State any // opaque architectural state captured by the assembly
+}
+
+// CaptureFunc snapshots global architectural state.
+type CaptureFunc func(now sim.Cycle) any
+
+// RestoreFunc reinstalls a snapshot.
+type RestoreFunc func(state any)
+
+// Manager runs the checkpoint schedule.
+type Manager struct {
+	cfg     Config
+	capture CaptureFunc
+	restore RestoreFunc
+
+	live []Checkpoint
+	seq  uint64
+
+	stats Stats
+}
+
+var _ sim.Clockable = (*Manager)(nil)
+
+// Stats counts BER activity.
+type Stats struct {
+	CheckpointsTaken uint64
+	Recoveries       uint64
+	LogMessages      uint64
+	LogBytes         uint64
+}
+
+// NewManager builds the checkpoint manager.
+func NewManager(cfg Config, capture CaptureFunc, restore RestoreFunc) *Manager {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Manager{cfg: cfg, capture: capture, restore: restore}
+}
+
+// Stats returns BER counters (log traffic is accounted by the loggers).
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Tick implements sim.Clockable: takes coordinated checkpoints.
+func (m *Manager) Tick(now sim.Cycle) {
+	if now%m.cfg.Interval != 0 {
+		return
+	}
+	m.seq++
+	m.stats.CheckpointsTaken++
+	cp := Checkpoint{Seq: m.seq, Cycle: now, State: m.capture(now)}
+	m.live = append(m.live, cp)
+	if len(m.live) > m.cfg.Keep {
+		m.live = m.live[1:] // oldest checkpoint expires
+	}
+}
+
+// Live returns the retained checkpoints, oldest first.
+func (m *Manager) Live() []Checkpoint { return append([]Checkpoint(nil), m.live...) }
+
+// ValidFor returns the newest live checkpoint taken at or before
+// errorCycle — the checkpoint recovery must use. ok=false means the error
+// went undetected past the recovery window (all pre-error checkpoints
+// expired) and backward recovery is impossible.
+func (m *Manager) ValidFor(errorCycle sim.Cycle) (Checkpoint, bool) {
+	for i := len(m.live) - 1; i >= 0; i-- {
+		if m.live[i].Cycle <= errorCycle {
+			return m.live[i], true
+		}
+	}
+	return Checkpoint{}, false
+}
+
+// Recover rolls the system back to the newest checkpoint preceding
+// errorCycle. It reports whether recovery was possible.
+func (m *Manager) Recover(errorCycle sim.Cycle) (Checkpoint, bool) {
+	cp, ok := m.ValidFor(errorCycle)
+	if !ok {
+		return Checkpoint{}, false
+	}
+	m.stats.Recoveries++
+	m.restore(cp.State)
+	// Checkpoints after the recovery point describe squashed futures.
+	keep := m.live[:0]
+	for _, c := range m.live {
+		if c.Cycle <= cp.Cycle {
+			keep = append(keep, c)
+		}
+	}
+	m.live = keep
+	return cp, true
+}
+
+// Logger generates SafetyNet's write-logging traffic for one node: the
+// first store to a block in each checkpoint interval ships the block's
+// old value to its home memory controller. It implements
+// coherence.AccessListener semantics via the Access method, so the
+// assembly can fan accesses out to both DVMC's CET checker and this
+// logger.
+type Logger struct {
+	node   network.NodeID
+	homeOf func(mem.BlockAddr) network.NodeID
+	net    network.Network
+	mgr    *Manager
+
+	interval sim.Cycle
+	epoch    sim.Cycle // current interval index
+	logged   map[mem.BlockAddr]bool
+	now      sim.Cycle
+}
+
+// logMsgBytes is the wire size of one log record. SafetyNet logs old
+// block values *locally* in per-controller checkpoint-log buffers; only
+// the log-ownership metadata (block address, checkpoint number) crosses
+// the interconnect, which is why the paper reports SafetyNet's traffic
+// overhead as modest.
+const logMsgBytes = 16
+
+// LogRecord is the payload of a write-log message. The home controller
+// only accounts it; contents are immaterial to the simulation.
+type LogRecord struct {
+	Block mem.BlockAddr
+	From  network.NodeID
+}
+
+// NewLogger builds the write logger for one node.
+func NewLogger(node network.NodeID, homeOf func(mem.BlockAddr) network.NodeID,
+	net network.Network, mgr *Manager) *Logger {
+	return &Logger{
+		node:     node,
+		homeOf:   homeOf,
+		net:      net,
+		mgr:      mgr,
+		interval: mgr.cfg.Interval,
+		logged:   make(map[mem.BlockAddr]bool),
+	}
+}
+
+var _ sim.Clockable = (*Logger)(nil)
+
+// Tick implements sim.Clockable: reset the logged set at interval
+// boundaries.
+func (l *Logger) Tick(now sim.Cycle) {
+	l.now = now
+	if e := now / l.interval; e != l.epoch {
+		l.epoch = e
+		l.logged = make(map[mem.BlockAddr]bool)
+	}
+}
+
+// Access records a cache access; first writes per interval emit log
+// traffic.
+func (l *Logger) Access(b mem.BlockAddr, write bool) {
+	if !write || l.logged[b] {
+		return
+	}
+	l.logged[b] = true
+	l.mgr.stats.LogMessages++
+	l.mgr.stats.LogBytes += logMsgBytes
+	l.net.Send(&network.Message{
+		Src:     l.node,
+		Dst:     l.homeOf(b),
+		Size:    logMsgBytes,
+		Class:   network.ClassSafetyNet,
+		Payload: LogRecord{Block: b, From: l.node},
+	})
+}

@@ -1,0 +1,162 @@
+package safetynet
+
+import (
+	"testing"
+
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+)
+
+func newTestManager(interval sim.Cycle, keep int) (*Manager, *[]sim.Cycle, *int) {
+	captured := &[]sim.Cycle{}
+	restored := new(int)
+	m := NewManager(Config{Interval: interval, Keep: keep},
+		func(now sim.Cycle) any { *captured = append(*captured, now); return int(now) },
+		func(state any) { *restored = state.(int) })
+	return m, captured, restored
+}
+
+func TestManagerTakesPeriodicCheckpoints(t *testing.T) {
+	m, captured, _ := newTestManager(100, 3)
+	var k sim.Kernel
+	k.Register(m)
+	k.Run(501)
+	// Checkpoints at 0, 100, 200, 300, 400, 500 = 6 captures.
+	if len(*captured) != 6 {
+		t.Fatalf("captures = %d, want 6", len(*captured))
+	}
+	if live := m.Live(); len(live) != 3 {
+		t.Errorf("live checkpoints = %d, want 3 (keep)", len(live))
+	}
+	if m.Stats().CheckpointsTaken != 6 {
+		t.Errorf("CheckpointsTaken = %d", m.Stats().CheckpointsTaken)
+	}
+}
+
+func TestManagerValidFor(t *testing.T) {
+	m, _, _ := newTestManager(100, 3)
+	var k sim.Kernel
+	k.Register(m)
+	k.Run(501) // live: 300, 400, 500
+	if cp, ok := m.ValidFor(450); !ok || cp.Cycle != 400 {
+		t.Errorf("ValidFor(450) = %v, %v; want cycle 400", cp, ok)
+	}
+	if cp, ok := m.ValidFor(500); !ok || cp.Cycle != 500 {
+		t.Errorf("ValidFor(500) = %v, %v; want cycle 500", cp, ok)
+	}
+	if _, ok := m.ValidFor(250); ok {
+		t.Error("ValidFor(250) found a checkpoint although all pre-error ones expired")
+	}
+}
+
+func TestManagerRecover(t *testing.T) {
+	m, _, restored := newTestManager(100, 3)
+	var k sim.Kernel
+	k.Register(m)
+	k.Run(501)
+	cp, ok := m.Recover(450)
+	if !ok || cp.Cycle != 400 {
+		t.Fatalf("Recover(450) = %v, %v", cp, ok)
+	}
+	if *restored != 400 {
+		t.Errorf("restore got state %d, want 400", *restored)
+	}
+	// Checkpoints after the recovery point are dropped.
+	for _, c := range m.Live() {
+		if c.Cycle > 400 {
+			t.Errorf("post-recovery checkpoint %d still live", c.Cycle)
+		}
+	}
+	if m.Stats().Recoveries != 1 {
+		t.Errorf("Recoveries = %d", m.Stats().Recoveries)
+	}
+}
+
+func TestManagerRecoverImpossibleAfterExpiry(t *testing.T) {
+	m, _, _ := newTestManager(100, 2)
+	var k sim.Kernel
+	k.Register(m)
+	k.Run(1001) // live: 900, 1000
+	if _, ok := m.Recover(800); ok {
+		t.Error("recovered from an error older than the window")
+	}
+}
+
+func TestConfigWindow(t *testing.T) {
+	c := Config{Interval: 25000, Keep: 4}
+	if c.Window() != 100000 {
+		t.Errorf("Window = %d, want 100000", c.Window())
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestDefaultConfigMatchesPaperWindow(t *testing.T) {
+	if w := DefaultConfig().Window(); w != 100000 {
+		t.Errorf("default window = %d, want ~100k cycles", w)
+	}
+}
+
+type captureNet struct {
+	msgs []*network.Message
+}
+
+func (c *captureNet) Send(m *network.Message)                    { c.msgs = append(c.msgs, m) }
+func (c *captureNet) SetHandler(network.NodeID, network.Handler) {}
+func (c *captureNet) Nodes() int                                 { return 4 }
+func (c *captureNet) LinkStats() []network.LinkStat              { return nil }
+func (c *captureNet) SetFaultHook(network.FaultHook)             {}
+func (c *captureNet) Tick(sim.Cycle)                             {}
+
+func TestLoggerEmitsOncePerIntervalPerBlock(t *testing.T) {
+	m, _, _ := newTestManager(100, 2)
+	net := &captureNet{}
+	lg := NewLogger(1, func(b mem.BlockAddr) network.NodeID { return network.NodeID(uint64(b) % 4) }, net, m)
+	lg.Tick(1)
+	lg.Access(0x10, true)
+	lg.Access(0x10, true) // duplicate within interval: no traffic
+	lg.Access(0x20, true)
+	lg.Access(0x30, false) // read: no traffic
+	if len(net.msgs) != 2 {
+		t.Fatalf("log messages = %d, want 2", len(net.msgs))
+	}
+	if net.msgs[0].Class != network.ClassSafetyNet {
+		t.Errorf("class = %v", net.msgs[0].Class)
+	}
+	// New interval: the same block logs again.
+	lg.Tick(150)
+	lg.Access(0x10, true)
+	if len(net.msgs) != 3 {
+		t.Errorf("log messages after new interval = %d, want 3", len(net.msgs))
+	}
+	if m.Stats().LogMessages != 3 || m.Stats().LogBytes != 3*16 {
+		t.Errorf("stats = %+v", m.Stats())
+	}
+}
+
+func TestLoggerRoutesToHome(t *testing.T) {
+	m, _, _ := newTestManager(100, 2)
+	net := &captureNet{}
+	lg := NewLogger(2, func(b mem.BlockAddr) network.NodeID { return network.NodeID(uint64(b) % 4) }, net, m)
+	lg.Access(mem.BlockAddr(7), true)
+	if len(net.msgs) != 1 || net.msgs[0].Dst != 3 {
+		t.Fatalf("log routed to %v, want home 3", net.msgs)
+	}
+	if net.msgs[0].Src != 2 {
+		t.Errorf("src = %d, want 2", net.msgs[0].Src)
+	}
+}
+
+func TestNewManagerPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	NewManager(Config{}, nil, nil)
+}

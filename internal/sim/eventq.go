@@ -1,0 +1,51 @@
+package sim
+
+import "container/heap"
+
+// EventQueue schedules callbacks at future cycles. Events scheduled for
+// the same cycle fire in scheduling order (stable), which keeps the
+// simulation deterministic. The zero value is ready to use.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+type event struct {
+	at  Cycle
+	seq uint64 // tie-break: FIFO within a cycle
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// At schedules fn to run when the queue is ticked at cycle `at` or later.
+func (q *EventQueue) At(at Cycle, fn func()) {
+	q.seq++
+	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+}
+
+// After schedules fn delay cycles after now.
+func (q *EventQueue) After(now Cycle, delay Cycle, fn func()) { q.At(now+delay, fn) }
+
+// Tick runs every event due at or before now. Events scheduled during
+// Tick for the current cycle also run within the same Tick.
+func (q *EventQueue) Tick(now Cycle) {
+	for len(q.h) > 0 && q.h[0].at <= now {
+		e := heap.Pop(&q.h).(event)
+		e.fn()
+	}
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }

@@ -1,0 +1,116 @@
+// Package stats provides the small statistical helpers the experiment
+// harness needs: mean and standard deviation over repeated perturbed
+// runs (the paper runs each simulation ten times with small pseudo-random
+// perturbations and reports means with one-standard-deviation error
+// bars), plus ratio series for the normalised-runtime figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is a set of observations of one quantity.
+type Sample struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Values returns a copy of the observations.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.values...) }
+
+// String implements fmt.Stringer: "mean ± stddev".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean(), s.StdDev())
+}
+
+// Ratio divides two samples element-wise and returns the resulting
+// sample (normalised runtimes). Panics on length mismatch or zero
+// denominators.
+func Ratio(num, den *Sample) *Sample {
+	if num.N() != den.N() {
+		panic(fmt.Sprintf("stats: ratio of samples with %d vs %d observations", num.N(), den.N()))
+	}
+	out := &Sample{}
+	for i, n := range num.values {
+		d := den.values[i]
+		if d == 0 {
+			panic("stats: ratio with zero denominator")
+		}
+		out.Add(n / d)
+	}
+	return out
+}
+
+// NormalizeBy divides every observation by a scalar.
+func NormalizeBy(s *Sample, by float64) *Sample {
+	if by == 0 {
+		panic("stats: normalise by zero")
+	}
+	out := &Sample{}
+	for _, v := range s.values {
+		out.Add(v / by)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleOf(vs ...float64) *Sample {
+	s := &Sample{}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+func TestMeanStdDev(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Error("empty sample not all-zero")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	s := sampleOf(3)
+	if s.Mean() != 3 || s.StdDev() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Error("single-observation sample wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := sampleOf(5, -2, 9, 3)
+	if s.Min() != -2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	num := sampleOf(2, 4, 6)
+	den := sampleOf(1, 2, 3)
+	r := Ratio(num, den)
+	for _, v := range r.Values() {
+		if v != 2 {
+			t.Errorf("ratio values = %v, want all 2", r.Values())
+		}
+	}
+}
+
+func TestRatioPanics(t *testing.T) {
+	assertPanics(t, "length mismatch", func() { Ratio(sampleOf(1), sampleOf(1, 2)) })
+	assertPanics(t, "zero denominator", func() { Ratio(sampleOf(1), sampleOf(0)) })
+	assertPanics(t, "normalise by zero", func() { NormalizeBy(sampleOf(1), 0) })
+}
+
+func TestNormalizeBy(t *testing.T) {
+	s := NormalizeBy(sampleOf(10, 20), 10)
+	if s.Values()[0] != 1 || s.Values()[1] != 2 {
+		t.Errorf("NormalizeBy = %v", s.Values())
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(vs []float64) bool {
+		s := &Sample{}
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got := sampleOf(1, 3).String(); got != "2.000 ± 1.414" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,176 @@
+package dvmc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLitmusStoreBuffering(t *testing.T) {
+	// The canonical TSO relaxation: a younger load performs before an
+	// older store. Legal on TSO/PSO/RMO, illegal on SC.
+	events := []PerformEvent{
+		{Seq: 2, Class: LoadOp},
+		{Seq: 1, Class: StoreOp},
+	}
+	if len(VerifyPerformOrder(SC, events)) == 0 {
+		t.Error("SC permitted store buffering")
+	}
+	for _, m := range []Model{TSO, PSO, RMO} {
+		if v := VerifyPerformOrder(m, events); len(v) != 0 {
+			t.Errorf("%v flagged store buffering: %v", m, v[0])
+		}
+	}
+}
+
+func TestLitmusInOrderAlwaysLegal(t *testing.T) {
+	// Property: any in-order perform stream is legal under every model.
+	f := func(kinds []uint8) bool {
+		var events []PerformEvent
+		for i, k := range kinds {
+			cl := LoadOp
+			if k%2 == 0 {
+				cl = StoreOp
+			}
+			events = append(events, PerformEvent{Seq: uint64(i + 1), Class: cl})
+		}
+		for _, m := range Models {
+			if len(VerifyPerformOrder(m, events)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLitmusRMOPermitsAnyPlainOrder(t *testing.T) {
+	// Property: RMO without membars permits every permutation of plain
+	// loads and stores.
+	f := func(seqsRaw []uint8) bool {
+		seen := map[uint64]bool{}
+		var events []PerformEvent
+		for i, s := range seqsRaw {
+			seq := uint64(s) + 1
+			if seen[seq] {
+				continue
+			}
+			seen[seq] = true
+			cl := LoadOp
+			if i%2 == 0 {
+				cl = StoreOp
+			}
+			events = append(events, PerformEvent{Seq: seq, Class: cl})
+		}
+		return len(VerifyPerformOrder(RMO, events)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLitmusSCRejectsAnyInversion(t *testing.T) {
+	// Property: under SC, any adjacent inversion of plain ops is flagged.
+	f := func(a, b uint8, aLoad, bLoad bool) bool {
+		sa, sb := uint64(a)+1, uint64(b)+1
+		if sa == sb {
+			return true
+		}
+		if sa < sb {
+			sa, sb = sb, sa
+		}
+		cl := func(isLoad bool) OpClass {
+			if isLoad {
+				return LoadOp
+			}
+			return StoreOp
+		}
+		// Perform the younger (sa) before the older (sb).
+		events := []PerformEvent{
+			{Seq: sa, Class: cl(aLoad)},
+			{Seq: sb, Class: cl(bLoad)},
+		}
+		return len(VerifyPerformOrder(SC, events)) != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLitmusMembarMasksSelective(t *testing.T) {
+	// An #SS membar under RMO orders stores but not loads.
+	storesAcross := []PerformEvent{
+		{Seq: 1, Class: StoreOp},
+		{Seq: 3, Class: StoreOp}, // younger store overtakes the membar
+		{Seq: 2, Class: MembarOp, Mask: MaskSS},
+	}
+	if len(VerifyPerformOrder(RMO, storesAcross)) == 0 {
+		t.Error("#SS membar did not order stores")
+	}
+	loadsAcross := []PerformEvent{
+		{Seq: 1, Class: LoadOp},
+		{Seq: 3, Class: LoadOp},
+		{Seq: 2, Class: MembarOp, Mask: MaskSS},
+	}
+	// Wait: the membar performing after a younger LOAD is fine for #SS.
+	if v := VerifyPerformOrder(RMO, loadsAcross); len(v) != 0 {
+		t.Errorf("#SS membar ordered loads: %v", v[0])
+	}
+}
+
+func TestLitmusBits32ForcesTSO(t *testing.T) {
+	events := []PerformEvent{
+		{Seq: 2, Class: LoadOp, Bits32: true},
+		{Seq: 1, Class: LoadOp, Bits32: true},
+	}
+	if len(VerifyPerformOrder(RMO, events)) == 0 {
+		t.Error("32-bit loads reordered freely on RMO (Table 8 rule broken)")
+	}
+	plain := []PerformEvent{
+		{Seq: 2, Class: LoadOp},
+		{Seq: 1, Class: LoadOp},
+	}
+	if len(VerifyPerformOrder(RMO, plain)) != 0 {
+		t.Error("64-bit RMO loads wrongly ordered")
+	}
+}
+
+func TestOrderingRequiredMatchesTables(t *testing.T) {
+	// Spot-check the public table view against Tables 2-4.
+	tests := []struct {
+		m             Model
+		first, second OpClass
+		want          bool
+	}{
+		{TSO, StoreOp, LoadOp, false},
+		{TSO, StoreOp, StoreOp, true},
+		{PSO, StoreOp, StoreOp, false},
+		{PSO, LoadOp, StoreOp, true},
+		{RMO, LoadOp, LoadOp, false},
+		{SC, StoreOp, LoadOp, true},
+	}
+	for _, tt := range tests {
+		if got := OrderingRequired(tt.m, tt.first, tt.second, 0, 0); got != tt.want {
+			t.Errorf("OrderingRequired(%v, %v, %v) = %v, want %v", tt.m, tt.first, tt.second, got, tt.want)
+		}
+	}
+	if !OrderingRequired(PSO, StoreOp, MembarOp, 0, MaskSS) {
+		t.Error("PSO Store->Stbar not required")
+	}
+}
+
+func TestLitmusRMWBothHalves(t *testing.T) {
+	// Under TSO an RMW behaves as load and store: its perform after a
+	// younger load breaks Load→Load (via the load half).
+	events := []PerformEvent{
+		{Seq: 2, Class: LoadOp},
+		{Seq: 1, Class: StoreOp, IsRMW: true},
+	}
+	if len(VerifyPerformOrder(TSO, events)) == 0 {
+		t.Error("RMW load half not checked under TSO")
+	}
+	if len(VerifyPerformOrder(RMO, events)) != 0 {
+		t.Error("RMO flagged an RMW reorder with no membars")
+	}
+}

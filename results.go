@@ -1,0 +1,172 @@
+package dvmc
+
+import (
+	"fmt"
+
+	"dvmc/internal/coherence"
+	"dvmc/internal/core"
+	"dvmc/internal/network"
+	"dvmc/internal/proc"
+	"dvmc/internal/sim"
+)
+
+// Results summarises one simulation interval.
+type Results struct {
+	Cycles       uint64
+	Transactions uint64
+
+	// Core aggregates.
+	OpsRetired     uint64
+	LoadsExecuted  uint64
+	SpecSquashes   uint64
+	VerifySquashes uint64
+	MembarStalls   uint64
+	VCFullStalls   uint64
+	WBFullStalls   uint64
+
+	// Memory-system aggregates.
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	ReplayLoads      uint64
+	ReplayL1Misses   uint64
+	Writebacks       uint64
+
+	// Interconnect.
+	MaxLinkBandwidth float64 // bytes/cycle on the hottest link (Figure 7)
+	MaxLinkByClass   map[network.Class]float64
+	TotalLinkBytes   uint64
+
+	// Checkers.
+	Informs          uint64
+	OpenInforms      uint64
+	InformsProcessed uint64
+	Violations       int
+
+	// BER.
+	Checkpoints uint64
+	Recoveries  uint64
+	LogMessages uint64
+}
+
+// TPKC returns transactions per thousand cycles — the throughput metric
+// runtimes normalise from.
+func (r Results) TPKC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Transactions) * 1000 / float64(r.Cycles)
+}
+
+// ReplayMissRatio returns replay L1 misses normalised to demand L1
+// misses (Figure 6).
+func (r Results) ReplayMissRatio() float64 {
+	if r.L1Misses == 0 {
+		return 0
+	}
+	return float64(r.ReplayL1Misses) / float64(r.L1Misses)
+}
+
+// String implements fmt.Stringer with the headline numbers.
+func (r Results) String() string {
+	return fmt.Sprintf("cycles=%d txns=%d tpkc=%.3f l1miss=%d replayMissRatio=%.4f maxLinkBW=%.3f violations=%d",
+		r.Cycles, r.Transactions, r.TPKC(), r.L1Misses, r.ReplayMissRatio(), r.MaxLinkBandwidth, r.Violations)
+}
+
+// results gathers metrics since the given start cycle.
+func (s *System) results(start sim.Cycle) Results {
+	r := Results{
+		Cycles:       uint64(s.kernel.Now() - start),
+		Transactions: s.Transactions(),
+		Violations:   s.violations.Count(),
+	}
+	for _, c := range s.cpus {
+		st := c.Stats()
+		r.OpsRetired += st.OpsRetired
+		r.LoadsExecuted += st.LoadsExecuted
+		r.SpecSquashes += st.SpecSquashes
+		r.VerifySquashes += st.VerifySquashes
+		r.MembarStalls += st.MembarStalls
+		r.VCFullStalls += st.VCFullStalls
+		r.WBFullStalls += st.WBFullStalls
+	}
+	for _, c := range s.ctrls {
+		st := c.Stats()
+		r.L1Hits += st.L1Hits
+		r.L1Misses += st.L1Misses
+		r.L2Hits += st.L2Hits
+		r.L2Misses += st.L2Misses
+		r.ReplayLoads += st.ReplayLoads
+		r.ReplayL1Misses += st.ReplayL1Misses
+		r.Writebacks += st.WritebacksDirty
+	}
+	links := s.torus.LinkStats()
+	if s.bcast != nil {
+		links = append(links, s.bcast.LinkStats()...)
+	}
+	maxLink := network.MaxLink(links)
+	r.MaxLinkBandwidth = maxLink.MeanBandwidth()
+	r.MaxLinkByClass = make(map[network.Class]float64)
+	if maxLink.Observed > 0 {
+		for _, cl := range []network.Class{network.ClassCoherence, network.ClassInform,
+			network.ClassSafetyNet, network.ClassReplay} {
+			r.MaxLinkByClass[cl] = float64(maxLink.ClassBytes(cl)) / float64(maxLink.Observed)
+		}
+	}
+	for _, l := range links {
+		r.TotalLinkBytes += l.Bytes
+	}
+	for _, c := range s.cet {
+		st := c.Stats()
+		r.Informs += st.Informs
+		r.OpenInforms += st.OpenInforms
+	}
+	for _, m := range s.met {
+		r.InformsProcessed += m.Stats().InformsProcessed
+	}
+	if s.snMgr != nil {
+		st := s.snMgr.Stats()
+		r.Checkpoints = st.CheckpointsTaken
+		r.Recoveries = st.Recoveries
+		r.LogMessages = st.LogMessages
+	}
+	return r
+}
+
+// CPUStats exposes one core's counters (examples and tests).
+func (s *System) CPUStats(node int) proc.Stats { return s.cpus[node].Stats() }
+
+// ControllerStats exposes one cache controller's counters.
+func (s *System) ControllerStats(node int) coherence.ControllerStats { return s.ctrls[node].Stats() }
+
+// UOStats exposes one node's Uniprocessor Ordering checker counters
+// (zero value if the checker is disabled).
+func (s *System) UOStats(node int) core.UniprocStats {
+	if s.uo[node] == nil {
+		return core.UniprocStats{}
+	}
+	return s.uo[node].Stats()
+}
+
+// ReorderStats exposes one node's Allowable Reordering checker counters.
+func (s *System) ReorderStats(node int) core.ReorderStats {
+	if s.reorder[node] == nil {
+		return core.ReorderStats{}
+	}
+	return s.reorder[node].Stats()
+}
+
+// CETStats exposes one node's cache-epoch-table counters.
+func (s *System) CETStats(node int) core.CETStats {
+	if len(s.cet) == 0 {
+		return core.CETStats{}
+	}
+	return s.cet[node].Stats()
+}
+
+// METStats exposes one node's memory-epoch-table counters.
+func (s *System) METStats(node int) core.METStats {
+	if len(s.met) == 0 {
+		return core.METStats{}
+	}
+	return s.met[node].Stats()
+}

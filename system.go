@@ -1,0 +1,453 @@
+package dvmc
+
+import (
+	"fmt"
+
+	"dvmc/internal/coherence"
+	"dvmc/internal/core"
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/proc"
+	"dvmc/internal/safetynet"
+	"dvmc/internal/sim"
+	"dvmc/internal/workload"
+)
+
+// Workload re-exports the workload specification type.
+type Workload = workload.Spec
+
+// The five paper workloads (Table 8) and the synthetic stress generator.
+var (
+	Apache    = workload.Apache
+	OLTP      = workload.OLTP
+	JBB       = workload.JBB
+	Slashcode = workload.Slashcode
+	Barnes    = workload.Barnes
+	Uniform   = workload.Uniform
+	Workloads = workload.All
+)
+
+// WorkloadByName resolves a workload by its Table 8 name.
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// Violation re-exports the checker violation record.
+type Violation = core.Violation
+
+// System is one assembled multiprocessor with optional DVMC and
+// SafetyNet. Build with NewSystem; drive with Run or Step.
+type System struct {
+	cfg Config
+
+	kernel *sim.Kernel
+	torus  *network.Torus
+	bcast  *network.BroadcastTree // snooping only
+
+	ctrls []coherence.Controller
+	dirC  []*coherence.DirCache
+	dirH  []*coherence.DirHome
+	snpC  []*coherence.SnoopCache
+	snpH  []*coherence.SnoopHome
+
+	cpus  []*proc.CPU
+	progs []proc.Program
+
+	uo      []*core.UniprocChecker
+	reorder []*core.ReorderChecker
+	cet     []*core.CacheChecker
+	met     []*core.MemChecker
+
+	snMgr     *safetynet.Manager
+	snLoggers []*safetynet.Logger
+
+	violations  core.CollectorSink
+	onViolation func(Violation)
+	stop        bool
+
+	// msgFaultActivated records when an armed message fault fired.
+	msgFaultActivated sim.Cycle
+}
+
+// snoopClock adapts the broadcast sequence number as the snooping
+// logical time base.
+type snoopClock struct{ bt *network.BroadcastTree }
+
+func (c snoopClock) LogicalNow() uint64 { return c.bt.Sequence() }
+
+// fanEpoch fans epoch events out to the CET checker (if any) and the
+// CPU's mis-speculation squash hook.
+type fanEpoch struct {
+	cet *core.CacheChecker
+	cpu *proc.CPU
+}
+
+func (f fanEpoch) EpochBegin(b mem.BlockAddr, k coherence.EpochKind, lt uint64, known bool, d mem.Block) {
+	if f.cet != nil {
+		f.cet.EpochBegin(b, k, lt, known, d)
+	}
+}
+
+func (f fanEpoch) EpochData(b mem.BlockAddr, d mem.Block) {
+	if f.cet != nil {
+		f.cet.EpochData(b, d)
+	}
+}
+
+func (f fanEpoch) EpochEnd(b mem.BlockAddr, k coherence.EpochKind, lt uint64, d mem.Block) {
+	if f.cet != nil {
+		f.cet.EpochEnd(b, k, lt, d)
+	}
+	f.cpu.EpochEnd(b)
+}
+
+// fanAccess fans cache-access events out to the CET checker and the
+// SafetyNet write logger.
+type fanAccess struct {
+	cet    *core.CacheChecker
+	logger *safetynet.Logger
+}
+
+func (f fanAccess) Access(b mem.BlockAddr, write bool) {
+	if f.cet != nil {
+		f.cet.Access(b, write)
+	}
+	if f.logger != nil {
+		f.logger.Access(b, write)
+	}
+}
+
+// NewSystem assembles a multiprocessor running the given workload: one
+// thread per node.
+func NewSystem(cfg Config, w Workload) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Params.Validate(); err != nil {
+		return nil, err
+	}
+	w = w.WithThreads(cfg.Nodes).WithModel(cfg.Model)
+
+	s := &System{cfg: cfg, kernel: &sim.Kernel{}}
+	rng := sim.NewRand(cfg.Seed)
+	now := s.kernel.Now
+
+	s.torus = network.NewTorus(cfg.Nodes, cfg.bytesPerCycle(), cfg.HopLatency, rng.Fork(1000))
+	s.kernel.Register(s.torus)
+	if cfg.Protocol == Snooping {
+		s.bcast = network.NewBroadcastTree(cfg.Nodes, cfg.bytesPerCycle(), cfg.HopLatency/3+1, rng.Fork(1001))
+		s.kernel.Register(s.bcast)
+	}
+
+	// The directory system's logical time: a slow physical clock with
+	// per-node skew below the minimum network latency.
+	skewDiv := uint64(8)
+	nodeClock := func(n int) coherence.LogicalClock {
+		if cfg.Protocol == Snooping {
+			return snoopClock{bt: s.bcast}
+		}
+		return coherence.NewSkewedClock(now, uint64(n)%skewDiv, skewDiv)
+	}
+
+	// SafetyNet manager must tick first so checkpoints capture
+	// cycle-start state.
+	if cfg.SafetyNet {
+		s.snMgr = safetynet.NewManager(cfg.SNConfig, s.capture, s.restore)
+		s.kernel.Register(s.snMgr)
+	}
+
+	for n := 0; n < cfg.Nodes; n++ {
+		nid := network.NodeID(n)
+		clock := nodeClock(n)
+
+		// Coherence substrate.
+		var ctrl coherence.Controller
+		memory := mem.NewMemory(cfg.Memory.CacheECC)
+		var met *core.MemChecker
+		if cfg.DVMC.CacheCoherence {
+			met = core.NewMemChecker(nid, cfg.Memory, clock, now, s.sink())
+			s.met = append(s.met, met)
+		}
+		switch cfg.Protocol {
+		case Directory:
+			dc := coherence.NewDirCache(nid, cfg.Memory, s.torus, clock)
+			dh := coherence.NewDirHome(nid, cfg.Memory, s.torus, memory)
+			if met != nil {
+				dh.SetNewBlockListener(met.BlockRequested)
+			}
+			fallback := network.Handler(nil)
+			if met != nil {
+				fallback = met.Handle
+			}
+			s.torus.SetHandler(nid, coherence.DirectoryHandler(dc, dh, fallback))
+			s.dirC = append(s.dirC, dc)
+			s.dirH = append(s.dirH, dh)
+			ctrl = dc
+			s.kernel.Register(dh)
+			s.kernel.Register(dc)
+		case Snooping:
+			sc := coherence.NewSnoopCache(nid, cfg.Memory, s.bcast, s.torus)
+			sh := coherence.NewSnoopHome(nid, cfg.Memory, s.torus, memory)
+			if met != nil {
+				sh.SetNewBlockListener(met.BlockRequested)
+			}
+			fallback := network.Handler(nil)
+			if met != nil {
+				fallback = met.Handle
+			}
+			s.bcast.SetHandler(nid, coherence.SnoopingAddressHandler(sc, sh))
+			s.torus.SetHandler(nid, coherence.SnoopingDataHandler(sc, sh, fallback))
+			s.snpC = append(s.snpC, sc)
+			s.snpH = append(s.snpH, sh)
+			ctrl = sc
+			s.kernel.Register(sh)
+			s.kernel.Register(sc)
+		}
+		s.ctrls = append(s.ctrls, ctrl)
+		if met != nil {
+			s.kernel.Register(met)
+		}
+
+		// Core.
+		prog := w.NewProgram(n, cfg.Seed)
+		cpu := proc.NewCPU(nid, cfg.Proc, cfg.Model, ctrl, prog)
+		s.progs = append(s.progs, prog)
+		s.cpus = append(s.cpus, cpu)
+
+		// DVMC checkers.
+		var uo *core.UniprocChecker
+		var ro *core.ReorderChecker
+		if cfg.DVMC.UniprocessorOrdering {
+			uo = core.NewUniprocChecker(nid, cfg.Proc.VCWords, cfg.Model == RMO, s.sink())
+		}
+		if cfg.DVMC.AllowableReordering {
+			ro = core.NewReorderChecker(nid, s.sink())
+		}
+		if uo != nil || ro != nil {
+			// The pipeline's verification stage needs a VC even if only
+			// the reorder checker was requested; keep the pairing simple
+			// by requiring UO for the verify stage and tolerating a
+			// reorder-only configuration without it.
+			cpu.AttachDVMC(uo, ro)
+		}
+		s.uo = append(s.uo, uo)
+		s.reorder = append(s.reorder, ro)
+
+		var cet *core.CacheChecker
+		if cfg.DVMC.CacheCoherence {
+			cet = core.NewCacheChecker(nid, cfg.Memory, s.torus, clock, now, s.sink())
+			s.cet = append(s.cet, cet)
+			s.kernel.Register(cet)
+		}
+
+		var logger *safetynet.Logger
+		if cfg.SafetyNet {
+			logger = safetynet.NewLogger(nid, cfg.Memory.HomeOf, s.torus, s.snMgr)
+			s.snLoggers = append(s.snLoggers, logger)
+			s.kernel.Register(logger)
+		}
+
+		ctrl.SetEpochListener(fanEpoch{cet: cet, cpu: cpu})
+		if cet != nil || logger != nil {
+			ctrl.SetAccessListener(fanAccess{cet: cet, logger: logger})
+		}
+
+		s.kernel.Register(cpu)
+	}
+	return s, nil
+}
+
+// sink returns the violation sink shared by all checkers.
+func (s *System) sink() core.Sink {
+	return core.SinkFunc(func(v Violation) {
+		// Benign UO load mismatches are resolved by a pipeline flush and
+		// are not errors; everything else is a detected violation.
+		if v.Kind == core.UOMismatch {
+			return
+		}
+		s.violations.Violation(v)
+		if s.onViolation != nil {
+			s.onViolation(v)
+		}
+		if s.cfg.StopOnViolation {
+			s.stop = true
+		}
+	})
+}
+
+// OnViolation installs a callback fired for every detected violation.
+func (s *System) OnViolation(fn func(Violation)) { s.onViolation = fn }
+
+// Now returns the current cycle.
+func (s *System) Now() sim.Cycle { return s.kernel.Now() }
+
+// Transactions returns the total committed transactions across nodes.
+func (s *System) Transactions() uint64 {
+	var t uint64
+	for _, c := range s.cpus {
+		t += c.Transactions()
+	}
+	return t
+}
+
+// Step advances one cycle.
+func (s *System) Step() { s.kernel.Step() }
+
+// Run simulates until the system commits the given number of
+// transactions (across all nodes), a violation stops it (with
+// StopOnViolation), or the cycle budget expires. It returns the results
+// and an error if the budget expired first.
+func (s *System) Run(transactions uint64, maxCycles uint64) (Results, error) {
+	start := s.kernel.Now()
+	startTxns := s.Transactions()
+	done := func() bool {
+		return s.stop || s.Transactions()-startTxns >= transactions
+	}
+	finished := s.kernel.RunUntil(done, maxCycles)
+	res := s.results(start)
+	if !finished {
+		return res, fmt.Errorf("dvmc: %d of %d transactions after %d cycles",
+			s.Transactions()-startTxns, transactions, maxCycles)
+	}
+	return res, nil
+}
+
+// RunCycles simulates a fixed number of cycles.
+func (s *System) RunCycles(n uint64) Results {
+	start := s.kernel.Now()
+	s.kernel.RunUntil(func() bool { return s.stop }, n)
+	return s.results(start)
+}
+
+// DrainCheckers forces the MET priority queues to process every queued
+// inform (end-of-run flush so late violations are not lost).
+func (s *System) DrainCheckers() {
+	for _, m := range s.met {
+		if m != nil {
+			m.Drain()
+		}
+	}
+}
+
+// Violations returns all detected violations so far.
+func (s *System) Violations() []Violation { return s.violations.Violations }
+
+// checkpointState is the architectural state captured per checkpoint.
+type checkpointState struct {
+	memories []map[mem.BlockAddr]mem.Block
+	cpus     []proc.ArchState
+}
+
+// capture builds a checkpoint: per-home memory images with dirty cache
+// lines overlaid and write-buffer stores applied, plus each core's
+// architectural program position.
+func (s *System) capture(now sim.Cycle) any {
+	st := &checkpointState{}
+	for _, h := range s.homes() {
+		st.memories = append(st.memories, h.snapshot())
+	}
+	// Overlay dirty blocks (the owner's copy is newer than memory).
+	for _, c := range s.ctrls {
+		c.ForEachDirty(func(b mem.BlockAddr, data mem.Block) {
+			st.memories[int(s.cfg.Memory.HomeOf(b))][b] = data
+		})
+	}
+	// Apply committed-but-unperformed stores, then record positions.
+	for _, c := range s.cpus {
+		as := c.ArchSnapshot()
+		for _, p := range as.Pending {
+			home := int(s.cfg.Memory.HomeOf(p.Addr.Block()))
+			blk := st.memories[home][p.Addr.Block()]
+			blk[p.Addr.WordIndex()] = p.Val
+			st.memories[home][p.Addr.Block()] = blk
+		}
+		st.cpus = append(st.cpus, as)
+	}
+	return st
+}
+
+// restore reinstalls a checkpoint: caches and networks flush, memories
+// and program positions rewind, checkers reset.
+func (s *System) restore(state any) {
+	st := state.(*checkpointState)
+	s.torus.Reset()
+	if s.bcast != nil {
+		s.bcast.Reset()
+	}
+	for i, h := range s.homes() {
+		h.restore(st.memories[i])
+	}
+	for _, c := range s.ctrls {
+		c.Reset()
+	}
+	for i, c := range s.cpus {
+		c.Recover(st.cpus[i])
+	}
+	for _, u := range s.uo {
+		if u != nil {
+			u.Reset()
+		}
+	}
+	for _, r := range s.reorder {
+		if r != nil {
+			r.Reset()
+		}
+	}
+	for _, c := range s.cet {
+		c.Reset()
+	}
+	for _, m := range s.met {
+		m.Reset()
+	}
+}
+
+// homeView unifies the two home-controller types for checkpointing.
+type homeView struct {
+	snapshot func() map[mem.BlockAddr]mem.Block
+	restore  func(map[mem.BlockAddr]mem.Block)
+}
+
+func (s *System) homes() []homeView {
+	var out []homeView
+	for _, h := range s.dirH {
+		h := h
+		out = append(out, homeView{
+			snapshot: h.Memory().Snapshot,
+			restore: func(m map[mem.BlockAddr]mem.Block) {
+				h.Memory().Restore(m)
+				h.Reset()
+			},
+		})
+	}
+	for _, h := range s.snpH {
+		h := h
+		out = append(out, homeView{
+			snapshot: h.Memory().Snapshot,
+			restore: func(m map[mem.BlockAddr]mem.Block) {
+				h.Memory().Restore(m)
+				h.Reset()
+			},
+		})
+	}
+	return out
+}
+
+// Recover rolls back to the newest checkpoint preceding errorCycle,
+// reporting whether a live checkpoint existed (SafetyNet must be
+// enabled).
+func (s *System) Recover(errorCycle sim.Cycle) bool {
+	if s.snMgr == nil {
+		return false
+	}
+	_, ok := s.snMgr.Recover(errorCycle)
+	if ok {
+		s.stop = false
+	}
+	return ok
+}
+
+// RecoveryWindow returns the BER window in cycles (0 without SafetyNet).
+func (s *System) RecoveryWindow() sim.Cycle {
+	if s.snMgr == nil {
+		return 0
+	}
+	return s.cfg.SNConfig.Window()
+}
