@@ -310,6 +310,39 @@ func BenchmarkAblationBlockingDirectory(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures the simulation-speed cost of execution-
+// trace capture: wall-clock time for an identical OLTP run with the
+// recorder attached versus detached. The recorder's hot path is one ring
+// store per commit/perform event; the target (EXPERIMENTS.md) is <10%
+// overhead so differential verification can stay on in long campaigns.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		cfg := ScaledConfig()
+		if traced {
+			cfg = cfg.WithTrace(TraceOn())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := NewSystem(cfg, OLTP())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(60, 30_000_000); err != nil {
+				b.Fatal(err)
+			}
+			if traced {
+				data, err := s.TraceBytes()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(data)), "trace-bytes")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // Example of using the table printer (exercised by go vet's example
 // checks).
 func ExampleTable() {

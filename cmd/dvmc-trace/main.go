@@ -1,0 +1,247 @@
+// Command dvmc-trace records and re-verifies execution traces.
+//
+// The simulator's online DVMC checkers run inside the machine they
+// verify. dvmc-trace closes the loop from the outside: `record` runs a
+// full-system simulation with the trace recorder attached and writes the
+// captured per-processor commit/perform stream to disk; `check` replays
+// a trace through the offline consistency oracle (internal/oracle),
+// which re-derives the uniprocessor-ordering and allowable-reordering
+// verdicts from nothing but the trace and the consistency model's
+// ordering table; `info` summarises a trace without checking it.
+//
+// Examples:
+//
+//	dvmc-trace record -workload oltp -model TSO -txns 200 trace.trc
+//	dvmc-trace check trace.trc
+//	dvmc-trace record -model RMO - | dvmc-trace check -
+//
+// check exits 2 when the oracle reports violations, so the pair composes
+// into shell pipelines and CI jobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dvmc"
+	"dvmc/internal/oracle"
+	"dvmc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "check":
+		check(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fatalf("unknown subcommand %q (want record, check, or info)", os.Args[1])
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  dvmc-trace record [flags] <out.trc | ->   run a simulation, write its trace
+  dvmc-trace check  <in.trc | ->            verify a trace with the offline oracle
+  dvmc-trace info   <in.trc | ->            summarise a trace
+
+'-' reads from stdin / writes to stdout. 'record -h' lists its flags.
+check exits 2 if the oracle finds violations.
+`)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		workloadName = fs.String("workload", "oltp", "workload: apache|oltp|jbb|slash|barnes|uniform")
+		modelName    = fs.String("model", "TSO", "consistency model: SC|TSO|PSO|RMO")
+		protoName    = fs.String("protocol", "directory", "coherence protocol: directory|snooping")
+		nodes        = fs.Int("nodes", 4, "processor count")
+		txns         = fs.Uint64("txns", 200, "transactions to complete")
+		maxCycles    = fs.Uint64("max-cycles", 100_000_000, "cycle budget")
+		seed         = fs.Uint64("seed", 1, "simulation seed")
+		flight       = fs.Int("flight", 0, "flight-recorder mode: keep only the last N events (0 = full capture)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("record: need exactly one output path (or '-' for stdout)")
+	}
+	out := fs.Arg(0)
+
+	cfg := dvmc.ScaledConfig().WithNodes(*nodes).WithSeed(*seed)
+	model, ok := parseModel(*modelName)
+	if !ok {
+		fatalf("unknown model %q", *modelName)
+	}
+	cfg = cfg.WithModel(model)
+	switch strings.ToLower(*protoName) {
+	case "directory":
+		cfg = cfg.WithProtocol(dvmc.Directory)
+	case "snooping":
+		cfg = cfg.WithProtocol(dvmc.Snooping)
+	default:
+		fatalf("unknown protocol %q", *protoName)
+	}
+	tc := dvmc.TraceOn()
+	if *flight > 0 {
+		tc.FlightRecorder = true
+		tc.RingEvents = *flight
+	}
+	cfg = cfg.WithTrace(tc)
+
+	w, ok := dvmc.WorkloadByName(*workloadName)
+	if !ok {
+		fatalf("unknown workload %q", *workloadName)
+	}
+	sys, err := dvmc.NewSystem(cfg, w)
+	if err != nil {
+		fatalf("assemble: %v", err)
+	}
+	res, err := sys.Run(*txns, *maxCycles)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	sys.DrainCheckers()
+
+	data, err := sys.TraceBytes()
+	if err != nil {
+		fatalf("trace: %v", err)
+	}
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatalf("write stdout: %v", err)
+		}
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatalf("write %s: %v", out, err)
+	}
+	ts := sys.TraceStats()
+	fmt.Fprintf(os.Stderr,
+		"dvmc-trace: %s %v/%v ran %d txns in %d cycles; %d events (%d dropped), %d bytes\n",
+		w.Name, cfg.Protocol, cfg.Model, res.Transactions, res.Cycles,
+		ts.Events, ts.Dropped, len(data))
+	if onv := sys.Violations(); len(onv) > 0 {
+		fmt.Fprintf(os.Stderr, "dvmc-trace: online checkers reported %d violations during recording:\n", len(onv))
+		for _, v := range onv {
+			fmt.Fprintf(os.Stderr, "  %v\n", v)
+		}
+	}
+}
+
+func check(args []string) {
+	data := readTrace(args, "check")
+	rep, err := oracle.CheckBytes(data)
+	if err != nil {
+		fatalf("check: %v", err)
+	}
+	st := rep.Stats
+	fmt.Printf("trace:  v%d, %d nodes, %v, %s protocol, seed %d\n",
+		rep.Meta.Version, rep.Meta.Nodes, rep.Meta.Model, protoName(rep.Meta.Protocol), rep.Meta.Seed)
+	fmt.Printf("events: %d (%d loads, %d stores, %d rmws, %d membars, %d recoveries)\n",
+		st.Events, st.Loads, st.Stores, st.RMWs, st.Membars, st.Recoveries)
+	fmt.Printf("oracle: %d ordering pair checks, %d value checks (%d forwarded loads exempt), max window %d\n",
+		st.PairChecks, st.ValueChecks, st.SkippedForwarded, st.MaxWindow)
+	if st.UnperformedAtEnd > 0 {
+		fmt.Printf("note:   %d operations committed but unperformed when the trace ends\n", st.UnperformedAtEnd)
+	}
+	if rep.Clean() {
+		fmt.Println("verdict: clean — the trace satisfies the recorded consistency model")
+		return
+	}
+	fmt.Printf("verdict: %d violations\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Printf("  %v\n", v)
+	}
+	os.Exit(2)
+}
+
+func info(args []string) {
+	data := readTrace(args, "info")
+	meta, events, err := trace.Decode(data)
+	if err != nil {
+		fatalf("info: %v", err)
+	}
+	var commits, performs, recovers uint64
+	byNode := map[uint8]uint64{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.EvCommit:
+			commits++
+		case trace.EvPerform:
+			performs++
+		case trace.EvRecover:
+			recovers++
+		}
+		byNode[ev.Node]++
+	}
+	fmt.Printf("trace:  v%d, %d nodes, %v, %s protocol, seed %d\n",
+		meta.Version, meta.Nodes, meta.Model, protoName(meta.Protocol), meta.Seed)
+	if meta.Truncated {
+		fmt.Println("note:   truncated flight-recorder window (oracle will refuse it)")
+	}
+	fmt.Printf("size:   %d bytes, %d events (%.2f bytes/event)\n",
+		len(data), len(events), float64(len(data))/float64(max(1, len(events))))
+	fmt.Printf("events: %d commits, %d performs, %d recovery markers\n", commits, performs, recovers)
+	if len(events) > 0 {
+		fmt.Printf("span:   cycles %d..%d\n", events[0].Time, events[len(events)-1].Time)
+	}
+	for n := uint8(0); int(n) < int(meta.Nodes); n++ {
+		fmt.Printf("  node %d: %d events\n", n, byNode[n])
+	}
+}
+
+// readTrace resolves the single path argument of check/info.
+func readTrace(args []string, sub string) []byte {
+	if len(args) != 1 {
+		fatalf("%s: need exactly one trace path (or '-' for stdin)", sub)
+	}
+	if args[0] == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatalf("read stdin: %v", err)
+		}
+		return data
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return data
+}
+
+func protoName(p uint8) string {
+	if p == 1 {
+		return "snooping"
+	}
+	return "directory"
+}
+
+func parseModel(s string) (dvmc.Model, bool) {
+	switch strings.ToUpper(s) {
+	case "SC":
+		return dvmc.SC, true
+	case "TSO":
+		return dvmc.TSO, true
+	case "PSO":
+		return dvmc.PSO, true
+	case "RMO":
+		return dvmc.RMO, true
+	default:
+		return 0, false
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dvmc-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

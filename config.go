@@ -22,7 +22,14 @@ import (
 	"dvmc/internal/proc"
 	"dvmc/internal/safetynet"
 	"dvmc/internal/sim"
+	"dvmc/internal/trace"
 )
+
+// TraceConfig re-exports the execution-trace capture configuration.
+type TraceConfig = trace.Config
+
+// TraceOn returns a capture-enabled trace configuration with defaults.
+func TraceOn() TraceConfig { return trace.On() }
 
 // Protocol selects the coherence substrate (paper Table 6 evaluates
 // both).
@@ -110,6 +117,11 @@ type Config struct {
 	SafetyNet bool
 	SNConfig  safetynet.Config
 
+	// Trace captures per-processor commit/perform events into a binary
+	// execution trace that internal/oracle can re-verify offline
+	// (differential verification of the online checkers).
+	Trace TraceConfig
+
 	// Seed drives every pseudo-random choice; perturbing it provides the
 	// paper's "small pseudo-random perturbations" across repeated runs.
 	Seed uint64
@@ -186,6 +198,9 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Trace.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -217,6 +232,12 @@ func (c Config) WithLinkGBps(g float64) Config {
 // WithSeed returns a copy with a perturbed seed.
 func (c Config) WithSeed(s uint64) Config {
 	c.Seed = s
+	return c
+}
+
+// WithTrace returns a copy with execution-trace capture configured.
+func (c Config) WithTrace(t TraceConfig) Config {
+	c.Trace = t
 	return c
 }
 

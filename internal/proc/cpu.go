@@ -9,6 +9,7 @@ import (
 	"dvmc/internal/mem"
 	"dvmc/internal/network"
 	"dvmc/internal/sim"
+	"dvmc/internal/trace"
 )
 
 // uopState tracks an operation through the pipeline.
@@ -82,6 +83,11 @@ type CPU struct {
 	uo      *core.UniprocChecker
 	reorder *core.ReorderChecker
 
+	// tracer receives commit/perform events for the execution-trace
+	// subsystem; nil when tracing is off (the only per-event cost then is
+	// one nil check).
+	tracer trace.Sink
+
 	// Fault injection (Section 6.1): LSQ value and forwarding faults.
 	faultLoadValue   bool
 	faultForward     bool
@@ -153,6 +159,47 @@ func (c *CPU) FaultOutcome() (caught, squashed bool) {
 func (c *CPU) AttachDVMC(uo *core.UniprocChecker, reorder *core.ReorderChecker) {
 	c.uo = uo
 	c.reorder = reorder
+}
+
+// AttachTracer enables execution-trace event emission. Call before the
+// first Tick. Emission is independent of the DVMC toggles so a no-DVMC
+// run can still be verified offline.
+func (c *CPU) AttachTracer(t trace.Sink) { c.tracer = t }
+
+// emitTrace stamps and forwards one trace event. Controller callbacks can
+// run while another component holds the tick, so c.now may lag the true
+// cycle by one; the trace codec's signed time deltas absorb that.
+func (c *CPU) emitTrace(ev trace.Event) {
+	ev.Node = uint8(c.node)
+	ev.Time = c.now
+	c.tracer.Emit(ev)
+}
+
+// traceCommitPerformLoad emits the commit and perform records of a load
+// at its perform point (they coincide: a load's place in program order
+// becomes irrevocable exactly when its value binds architecturally).
+// loadVal at this point is the architectural value — after any
+// value-update repair by the verification stage. A speculative load may
+// legally bind a stale value early and be repaired at retirement, so the
+// trace records what the program observes, not the transient binding;
+// an unrepaired corruption (checker disabled or defeated) commits the
+// corrupt value and the offline oracle's value check catches it.
+func (c *CPU) traceCommitPerformLoad(u *uop) {
+	if c.tracer == nil {
+		return
+	}
+	ev := trace.Event{
+		Kind:  trace.EvCommit,
+		Class: consistency.Load,
+		Model: u.model,
+		Seq:   u.seq,
+		Addr:  u.op.Addr,
+		Val:   u.loadVal,
+		Fwd:   u.forwarded,
+	}
+	c.emitTrace(ev)
+	ev.Kind = trace.EvPerform
+	c.emitTrace(ev)
 }
 
 // Stats returns core counters.
@@ -451,6 +498,7 @@ func (c *CPU) loadExecuted(u *uop) {
 	if u.model == consistency.RMO && !c.olderOrderedLoadInFlight(u) {
 		// RMO loads perform at execute (Section 4.1): non-speculative.
 		u.performed = true
+		c.traceCommitPerformLoad(u)
 		if c.reorder != nil {
 			c.reorder.OpCommitted(consistency.Load, false)
 			c.reorder.OpPerformed(core.PerformedOp{Seq: u.seq, Class: consistency.Load, Model: u.model}, c.now)
@@ -559,6 +607,15 @@ func (c *CPU) retireStage(now sim.Cycle) {
 			// counters of everything older, all of which has already been
 			// counted (retirement is in order).
 			u.committed = true
+			if c.tracer != nil {
+				c.emitTrace(trace.Event{
+					Kind:  trace.EvCommit,
+					Class: consistency.Membar,
+					Mask:  u.op.Mask,
+					Model: u.model,
+					Seq:   u.seq,
+				})
+			}
 			if c.reorder != nil {
 				c.reorder.MembarCommitted(u.seq, u.injected)
 			}
@@ -604,8 +661,7 @@ func (c *CPU) retireLoad(u *uop, now sim.Cycle) bool {
 	if c.uo == nil {
 		// No verification stage: the load performs at retirement in
 		// ordered-load models (RMO performed at execute).
-		u.speculative = false
-		u.performed = true
+		c.performLoad(u)
 		return true
 	}
 	if !u.replayStarted {
@@ -661,6 +717,7 @@ func (c *CPU) performLoad(u *uop) {
 		return // RMO: already performed at execute
 	}
 	u.performed = true
+	c.traceCommitPerformLoad(u)
 	if c.reorder != nil {
 		c.reorder.OpCommitted(consistency.Load, false)
 		c.reorder.OpPerformed(core.PerformedOp{Seq: u.seq, Class: consistency.Load, Model: u.model}, c.now)
@@ -679,6 +736,7 @@ func (c *CPU) retireStore(u *uop, now sim.Cycle) bool {
 		// cache miss is on the critical path.
 		if !u.irrevocable {
 			u.irrevocable = true
+			c.traceCommitStore(u)
 			if c.reorder != nil {
 				c.reorder.OpCommitted(consistency.Store, false)
 			}
@@ -702,6 +760,7 @@ func (c *CPU) retireStore(u *uop, now sim.Cycle) bool {
 			return false
 		}
 		u.irrevocable = true
+		c.traceCommitStore(u)
 		if c.reorder != nil {
 			c.reorder.OpCommitted(consistency.Store, false)
 		}
@@ -734,8 +793,35 @@ func (c *CPU) storePerformed(seq uint64, addr mem.Addr, written mem.Word) {
 	c.storePerformedChecks(seq, addr, written, m)
 }
 
+// traceCommitStore emits a store's commit record at the point its place
+// in memory order becomes irrevocable (write-buffer insertion, or cache
+// issue under SC).
+func (c *CPU) traceCommitStore(u *uop) {
+	if c.tracer == nil {
+		return
+	}
+	c.emitTrace(trace.Event{
+		Kind:  trace.EvCommit,
+		Class: consistency.Store,
+		Model: u.model,
+		Seq:   u.seq,
+		Addr:  u.op.Addr,
+		Val:   u.op.Data,
+	})
+}
+
 func (c *CPU) storePerformedChecks(seq uint64, addr mem.Addr, written mem.Word, m consistency.Model) {
 	c.wbProgressAt = c.now
+	if c.tracer != nil {
+		c.emitTrace(trace.Event{
+			Kind:  trace.EvPerform,
+			Class: consistency.Store,
+			Model: m,
+			Seq:   seq,
+			Addr:  addr,
+			Val:   written,
+		})
+	}
 	if c.uo != nil {
 		c.uo.StorePerformed(addr, written, c.now)
 	}
@@ -760,6 +846,19 @@ func (c *CPU) retireRMW(u *uop, now sim.Cycle) bool {
 			return false
 		}
 		u.irrevocable = true
+		if c.tracer != nil {
+			// The atomic's written value is unknown until it performs (it
+			// is a function of the loaded value); the commit record carries
+			// a zero value and the perform record both values.
+			c.emitTrace(trace.Event{
+				Kind:  trace.EvCommit,
+				Class: consistency.Store,
+				IsRMW: true,
+				Model: u.model,
+				Seq:   u.seq,
+				Addr:  u.op.Addr,
+			})
+		}
 		if c.reorder != nil {
 			c.reorder.OpCommitted(consistency.Load, true)
 		}
@@ -769,6 +868,18 @@ func (c *CPU) retireRMW(u *uop, now sim.Cycle) bool {
 			}
 			u.loadVal = old
 			newVal := u.op.RMW(old)
+			if c.tracer != nil {
+				c.emitTrace(trace.Event{
+					Kind:  trace.EvPerform,
+					Class: consistency.Store,
+					IsRMW: true,
+					Model: u.model,
+					Seq:   u.seq,
+					Addr:  u.op.Addr,
+					Val:   newVal,
+					Val2:  old,
+				})
+			}
 			if c.uo != nil {
 				c.uo.StoreCommitted(u.op.Addr, newVal)
 				c.uo.StorePerformed(u.op.Addr, newVal, c.now)
@@ -795,6 +906,15 @@ func (c *CPU) retireMembar(u *uop, now sim.Cycle) bool {
 	}
 	if !u.performed {
 		u.performed = true
+		if c.tracer != nil {
+			c.emitTrace(trace.Event{
+				Kind:  trace.EvPerform,
+				Class: consistency.Membar,
+				Mask:  u.op.Mask,
+				Model: u.model,
+				Seq:   u.seq,
+			})
+		}
 		if c.reorder != nil {
 			c.reorder.OpPerformed(core.PerformedOp{
 				Seq: u.seq, Class: consistency.Membar, Mask: u.op.Mask, Model: u.model}, c.now)

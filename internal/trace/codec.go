@@ -1,0 +1,386 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dvmc/internal/consistency"
+	"dvmc/internal/hash"
+	"dvmc/internal/mem"
+	"dvmc/internal/sim"
+)
+
+// Binary trace format (version 1), little-endian varints throughout:
+//
+//	header:  "DVMCTR" | version u8 | flags u8 | nodes uvarint |
+//	         model u8 | protocol u8 | seed uvarint
+//	event:   tag u8 | fields (see below) | time-delta zigzag-varint
+//	footer:  0x00 sentinel | count uvarint | crc16 u16le
+//
+// The tag byte packs kind (bits 0..1, values 1..3 so a tag is never 0x00),
+// class (bits 2..3), IsRMW (bit 4), and Fwd (bit 5). Fields by shape:
+//
+//	recover:     node u8
+//	membar:      node u8 | model u8 | mask u8 | seq uvarint
+//	load/store:  node u8 | model u8 | seq uvarint | addr uvarint |
+//	             val uvarint | val2 uvarint (RMW performs only)
+//
+// Time is delta-encoded against the previous event's time with zigzag
+// signed varints: callback timestamps across CPUs can be up to one cycle
+// stale, so deltas may be slightly negative. The CRC-16 footer covers every
+// preceding byte of the stream (header, events, sentinel, count).
+
+// Magic is the 6-byte file signature of a trace.
+const Magic = "DVMCTR"
+
+// Version is the current format version. Bump on any incompatible change
+// and update the golden fixture deliberately.
+const Version = 1
+
+const (
+	tagKindBits   = 0x03
+	tagClassShift = 2
+	tagClassBits  = 0x03
+	tagRMWBit     = 1 << 4
+	tagFwdBit     = 1 << 5
+
+	// header flags byte
+	flagTruncated = 1 << 0
+)
+
+// ErrBadMagic is returned when the input does not start with Magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a DVMC trace)")
+
+// ErrChecksum is returned when the footer CRC does not match the stream.
+var ErrChecksum = errors.New("trace: checksum mismatch (corrupt trace)")
+
+// Writer encodes events to an io.Writer. Create with NewWriter (which
+// emits the header), append with Write, and call Close to emit the footer.
+type Writer struct {
+	w        io.Writer
+	d        *hash.Digest
+	scratch  []byte
+	lastTime int64
+	count    uint64
+	closed   bool
+	err      error
+}
+
+// NewWriter writes the header for meta and returns a Writer. meta.Version
+// is forced to Version.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	if meta.Nodes < 0 || meta.Nodes > 255 {
+		return nil, fmt.Errorf("trace: node count %d out of range", meta.Nodes)
+	}
+	tw := &Writer{w: w, d: hash.NewDigest(), scratch: make([]byte, 0, 64)}
+	b := tw.scratch[:0]
+	var flags byte
+	if meta.Truncated {
+		flags |= flagTruncated
+	}
+	b = append(b, Magic...)
+	b = append(b, Version, flags)
+	b = binary.AppendUvarint(b, uint64(meta.Nodes))
+	b = append(b, byte(meta.Model), meta.Protocol)
+	b = binary.AppendUvarint(b, meta.Seed)
+	if err := tw.flush(b); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// flush writes b to the underlying writer, teeing it into the digest.
+func (w *Writer) flush(b []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.d.Write(b)
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Write appends one event.
+func (w *Writer) Write(ev Event) error {
+	if w.closed {
+		return errors.New("trace: Write after Close")
+	}
+	if ev.Kind < EvCommit || ev.Kind > EvRecover {
+		return fmt.Errorf("trace: invalid event kind %d", ev.Kind)
+	}
+	tag := byte(ev.Kind) | byte(ev.Class)<<tagClassShift
+	if ev.IsRMW {
+		tag |= tagRMWBit
+	}
+	if ev.Fwd {
+		tag |= tagFwdBit
+	}
+	b := append(w.scratch[:0], tag, ev.Node)
+	switch {
+	case ev.Kind == EvRecover:
+		// node only
+	case ev.Class == consistency.Membar:
+		b = append(b, byte(ev.Model), byte(ev.Mask))
+		b = binary.AppendUvarint(b, ev.Seq)
+	default:
+		b = append(b, byte(ev.Model))
+		b = binary.AppendUvarint(b, ev.Seq)
+		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		b = binary.AppendUvarint(b, uint64(ev.Val))
+		if ev.IsRMW && ev.Kind == EvPerform {
+			b = binary.AppendUvarint(b, uint64(ev.Val2))
+		}
+	}
+	dt := int64(ev.Time) - w.lastTime
+	b = binary.AppendVarint(b, dt)
+	w.lastTime = int64(ev.Time)
+	if err := w.flush(b); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close writes the footer (sentinel, count, CRC-16). Idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	b := append(w.scratch[:0], 0x00)
+	b = binary.AppendUvarint(b, w.count)
+	if err := w.flush(b); err != nil {
+		return err
+	}
+	crc := w.d.Sum16()
+	tail := []byte{byte(crc), byte(crc >> 8)}
+	if _, err := w.w.Write(tail); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Reader decodes a trace held in memory. Create with NewReader (which
+// parses and validates the header) and iterate with Next until io.EOF; the
+// footer count and CRC are verified when the sentinel is reached.
+type Reader struct {
+	data     []byte
+	pos      int
+	meta     Meta
+	lastTime int64
+	count    uint64
+	done     bool
+}
+
+// NewReader parses the header of data and returns a Reader positioned at
+// the first event.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < len(Magic)+2 || string(data[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	r := &Reader{data: data, pos: len(Magic)}
+	ver := data[r.pos]
+	if ver != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", ver, Version)
+	}
+	flags := data[r.pos+1]
+	r.pos += 2 // version, flags
+	nodes, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	model, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	proto, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	r.meta = Meta{
+		Version: ver, Nodes: int(nodes), Model: consistency.Model(model),
+		Protocol: proto, Seed: seed, Truncated: flags&flagTruncated != 0,
+	}
+	return r, nil
+}
+
+// Meta returns the decoded header.
+func (r *Reader) Meta() Meta { return r.meta }
+
+func (r *Reader) byte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *Reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *Reader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return v, nil
+}
+
+// Next returns the next event, or io.EOF after the footer has been reached
+// and verified.
+func (r *Reader) Next() (Event, error) {
+	if r.done {
+		return Event{}, io.EOF
+	}
+	tag, err := r.byte()
+	if err != nil {
+		return Event{}, err
+	}
+	if tag == 0x00 {
+		return Event{}, r.finishFooter()
+	}
+	var ev Event
+	ev.Kind = Kind(tag & tagKindBits)
+	ev.Class = consistency.OpClass(tag >> tagClassShift & tagClassBits)
+	ev.IsRMW = tag&tagRMWBit != 0
+	ev.Fwd = tag&tagFwdBit != 0
+	if ev.Node, err = r.byte(); err != nil {
+		return Event{}, err
+	}
+	switch {
+	case ev.Kind == EvRecover:
+		// node only
+	case ev.Class == consistency.Membar:
+		var m, mask byte
+		if m, err = r.byte(); err != nil {
+			return Event{}, err
+		}
+		if mask, err = r.byte(); err != nil {
+			return Event{}, err
+		}
+		ev.Model, ev.Mask = consistency.Model(m), consistency.MembarMask(mask)
+		if ev.Seq, err = r.uvarint(); err != nil {
+			return Event{}, err
+		}
+	case ev.Class == consistency.Load || ev.Class == consistency.Store:
+		var m byte
+		if m, err = r.byte(); err != nil {
+			return Event{}, err
+		}
+		ev.Model = consistency.Model(m)
+		if ev.Seq, err = r.uvarint(); err != nil {
+			return Event{}, err
+		}
+		var a, v uint64
+		if a, err = r.uvarint(); err != nil {
+			return Event{}, err
+		}
+		if v, err = r.uvarint(); err != nil {
+			return Event{}, err
+		}
+		ev.Addr, ev.Val = mem.Addr(a), mem.Word(v)
+		if ev.IsRMW && ev.Kind == EvPerform {
+			if v, err = r.uvarint(); err != nil {
+				return Event{}, err
+			}
+			ev.Val2 = mem.Word(v)
+		}
+	default:
+		return Event{}, fmt.Errorf("trace: invalid tag %#02x at offset %d", tag, r.pos-2)
+	}
+	dt, err := r.varint()
+	if err != nil {
+		return Event{}, err
+	}
+	r.lastTime += dt
+	ev.Time = sim.Cycle(r.lastTime)
+	r.count++
+	return ev, nil
+}
+
+// finishFooter validates count and CRC after the sentinel, returning io.EOF
+// on success.
+func (r *Reader) finishFooter() error {
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n != r.count {
+		return fmt.Errorf("trace: footer count %d != decoded events %d", n, r.count)
+	}
+	if r.pos+2 > len(r.data) {
+		return io.ErrUnexpectedEOF
+	}
+	want := hash.Signature(uint16(r.data[r.pos]) | uint16(r.data[r.pos+1])<<8)
+	got := hash.Sum(r.data[:r.pos])
+	r.pos += 2
+	if got != want {
+		return ErrChecksum
+	}
+	r.done = true
+	return io.EOF
+}
+
+// Encode serialises meta and events into a complete trace byte stream.
+func Encode(meta Meta, events []Event) ([]byte, error) {
+	var buf writerBuf
+	w, err := NewWriter(&buf, meta)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// Decode parses a complete trace byte stream.
+func Decode(data []byte) (Meta, []Event, error) {
+	r, err := NewReader(data)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	var events []Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return r.Meta(), events, nil
+		}
+		if err != nil {
+			return r.Meta(), events, err
+		}
+		events = append(events, ev)
+	}
+}
+
+// writerBuf is a minimal append-only buffer (avoids bytes.Buffer's
+// interface indirection on the encode path).
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.trc from sampleEvents")
+
+// TestGoldenTrace pins the on-disk binary format: the encoder must
+// reproduce testdata/golden.trc byte for byte, and the decoder must read
+// the fixture back into the exact sample events. Any intentional format
+// change must bump Version and regenerate the fixture with
+//
+//	go test ./internal/trace -run TestGoldenTrace -update
+//
+// An unintentional byte difference — tag layout, varint widths, delta
+// encoding, checksum — fails here before it can silently orphan every
+// previously recorded trace.
+func TestGoldenTrace(t *testing.T) {
+	meta, events := sampleMeta(), sampleEvents()
+	data, err := Encode(meta, events)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	path := filepath.Join("testdata", "golden.trc")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(data))
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(data, golden) {
+		t.Fatalf("encoder output diverged from golden fixture: %d bytes vs %d\n"+
+			"if the format change is intentional, bump Version and re-run with -update",
+			len(data), len(golden))
+	}
+	gotMeta, gotEvents, err := Decode(golden)
+	if err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	if gotMeta != meta {
+		t.Errorf("fixture meta: got %+v want %+v", gotMeta, meta)
+	}
+	if !reflect.DeepEqual(gotEvents, events) {
+		t.Errorf("fixture events mismatch:\n got %v\nwant %v", gotEvents, events)
+	}
+}

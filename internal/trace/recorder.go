@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RecorderStats reports capture accounting.
+type RecorderStats struct {
+	// Events is the number of events emitted to the recorder.
+	Events uint64
+	// Dropped is the number of events evicted in flight-recorder mode
+	// (always 0 in spill mode).
+	Dropped uint64
+	// Spills is the number of times the ring was encoded and drained in
+	// spill mode.
+	Spills uint64
+}
+
+// Recorder buffers events in a ring and encodes them into the binary trace
+// format. In spill mode (default) the ring is drained into the encoder
+// whenever it fills, so the complete run is captured; in flight-recorder
+// mode only the most recent window survives. A Recorder is a Sink.
+//
+// Not safe for concurrent use; the simulator is single-goroutine.
+type Recorder struct {
+	cfg      Config
+	meta     Meta
+	ring     *ring
+	buf      writerBuf
+	w        *Writer
+	stats    RecorderStats
+	out      []byte
+	err      error
+	finished bool
+}
+
+// NewRecorder returns a recorder for a run described by meta.
+func NewRecorder(cfg Config, meta Meta) (*Recorder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Recorder{cfg: cfg, meta: meta, ring: newRing(cfg.ringEvents())}
+	if !cfg.FlightRecorder {
+		w, err := NewWriter(&r.buf, meta)
+		if err != nil {
+			return nil, err
+		}
+		r.w = w
+	}
+	return r, nil
+}
+
+// Meta returns the header the recorder was created with.
+func (r *Recorder) Meta() Meta { return r.meta }
+
+// Emit implements Sink. The hot path is one ring store; encoding happens in
+// batches when the ring fills.
+func (r *Recorder) Emit(ev Event) {
+	if r.finished {
+		return
+	}
+	r.stats.Events++
+	if r.cfg.FlightRecorder {
+		if r.ring.push(ev) {
+			r.stats.Dropped++
+		}
+		return
+	}
+	if r.ring.full() {
+		r.spill()
+	}
+	r.ring.push(ev)
+}
+
+// spill encodes and drains the ring (spill mode only).
+func (r *Recorder) spill() {
+	if r.ring.len() == 0 {
+		return
+	}
+	r.stats.Spills++
+	r.ring.drain(func(ev Event) {
+		if r.err == nil {
+			r.err = r.w.Write(ev)
+		}
+	})
+}
+
+// Finish flushes remaining events, closes the stream, and returns the
+// encoded trace. Idempotent: subsequent calls return the same bytes. After
+// Finish, further Emit calls are ignored.
+func (r *Recorder) Finish() ([]byte, error) {
+	if r.finished {
+		return r.out, r.err
+	}
+	r.finished = true
+	if r.cfg.FlightRecorder {
+		// Flight mode encodes the surviving window in one pass. Time
+		// deltas restart from the window's first event, which is fine:
+		// deltas are relative within the stream. If the ring evicted
+		// anything, the header carries the truncation flag so readers
+		// know completeness checks do not apply.
+		meta := r.meta
+		meta.Truncated = r.stats.Dropped > 0
+		w, err := NewWriter(&r.buf, meta)
+		if err != nil {
+			r.err = err
+			return nil, err
+		}
+		r.w = w
+	}
+	r.spill()
+	if r.err == nil {
+		r.err = r.w.Close()
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("trace: finish: %w", r.err)
+	}
+	r.out = r.buf.b
+	return r.out, nil
+}
+
+// Stats returns capture accounting.
+func (r *Recorder) Stats() RecorderStats { return r.stats }
+
+// ErrTruncated marks a flight-recorder trace that lost events; callers that
+// need a complete trace (the oracle) should refuse such traces.
+var ErrTruncated = errors.New("trace: flight recorder dropped events; trace is truncated")
+
+// Complete reports whether the recorder captured every emitted event.
+func (r *Recorder) Complete() bool { return r.stats.Dropped == 0 }

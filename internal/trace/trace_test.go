@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dvmc/internal/consistency"
+)
+
+func sampleMeta() Meta {
+	return Meta{Version: Version, Nodes: 4, Model: consistency.TSO, Protocol: 1, Seed: 42}
+}
+
+// sampleEvents exercises every field shape the codec supports: loads,
+// stores, membars, RMW commits and performs, forwarded loads, a recovery
+// marker, large varint values, and a negative time delta (cross-CPU
+// callback timestamps can be up to one cycle stale).
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: EvCommit, Node: 0, Class: consistency.Store, Model: consistency.TSO,
+			Seq: 1, Addr: 0x40, Val: 7, Time: 10},
+		{Kind: EvPerform, Node: 0, Class: consistency.Store, Model: consistency.TSO,
+			Seq: 1, Addr: 0x40, Val: 7, Time: 12},
+		{Kind: EvCommit, Node: 1, Class: consistency.Load, Model: consistency.RMO,
+			Seq: 5, Addr: 0x1234_5678_9ab8, Val: 0xdead_beef_cafe_f00d, Time: 11}, // negative delta
+		{Kind: EvPerform, Node: 1, Class: consistency.Load, Fwd: true, Model: consistency.RMO,
+			Seq: 5, Addr: 0x1234_5678_9ab8, Val: 0xdead_beef_cafe_f00d, Time: 11},
+		{Kind: EvCommit, Node: 2, Class: consistency.Membar, Mask: consistency.SL | consistency.SS,
+			Model: consistency.PSO, Seq: 9, Time: 20},
+		{Kind: EvPerform, Node: 2, Class: consistency.Membar, Mask: consistency.SL | consistency.SS,
+			Model: consistency.PSO, Seq: 9, Time: 25},
+		{Kind: EvCommit, Node: 3, Class: consistency.Store, IsRMW: true, Model: consistency.SC,
+			Seq: 2, Addr: 0x80, Val: 0, Time: 30},
+		{Kind: EvPerform, Node: 3, Class: consistency.Store, IsRMW: true, Model: consistency.SC,
+			Seq: 2, Addr: 0x80, Val: 99, Val2: 98, Time: 33},
+		{Kind: EvRecover, Node: 0, Time: 40},
+		{Kind: EvCommit, Node: 0, Class: consistency.Load, Model: consistency.TSO,
+			Seq: 6, Addr: 0x40, Val: 0, Time: 45},
+		{Kind: EvPerform, Node: 0, Class: consistency.Load, Model: consistency.TSO,
+			Seq: 6, Addr: 0x40, Val: 0, Time: 45},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	meta, events := sampleMeta(), sampleEvents()
+	data, err := Encode(meta, events)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	gotMeta, gotEvents, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta round-trip: got %+v want %+v", gotMeta, meta)
+	}
+	if !reflect.DeepEqual(gotEvents, events) {
+		t.Errorf("events round-trip mismatch:\n got %v\nwant %v", gotEvents, events)
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	data, err := Encode(sampleMeta(), nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	meta, events, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(events) != 0 || meta != sampleMeta() {
+		t.Errorf("empty trace: got %d events, meta %+v", len(events), meta)
+	}
+}
+
+func TestCodecDetectsCorruption(t *testing.T) {
+	data, err := Encode(sampleMeta(), sampleEvents())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Flip one bit in every byte position in turn; decoding must never
+	// silently succeed with different content.
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x10
+		meta, events, err := Decode(mut)
+		if err == nil {
+			if meta == sampleMeta() && reflect.DeepEqual(events, sampleEvents()) {
+				t.Fatalf("byte %d: corruption produced identical decode with no error", i)
+			}
+			t.Fatalf("byte %d: corruption decoded silently", i)
+		}
+	}
+	// Truncation must be detected too.
+	if _, _, err := Decode(data[:len(data)-1]); err == nil {
+		t.Error("truncated trace decoded silently")
+	}
+	if _, err := NewReader([]byte("not a trace")); !errors.Is(err, ErrBadMagic) {
+		t.Error("bad magic not detected")
+	}
+}
+
+func TestRecorderSpillCapturesAll(t *testing.T) {
+	meta, events := sampleMeta(), sampleEvents()
+	rec, err := NewRecorder(Config{Enabled: true, RingEvents: 3}, meta)
+	if err != nil {
+		t.Fatalf("new recorder: %v", err)
+	}
+	for _, ev := range events {
+		rec.Emit(ev)
+	}
+	data, err := rec.Finish()
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	_, got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("spill recorder lost or reordered events:\n got %v\nwant %v", got, events)
+	}
+	st := rec.Stats()
+	if st.Events != uint64(len(events)) || st.Dropped != 0 || st.Spills == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if !rec.Complete() {
+		t.Error("spill recorder reported incomplete")
+	}
+	// Idempotent Finish.
+	again, err := rec.Finish()
+	if err != nil || !reflect.DeepEqual(again, data) {
+		t.Error("Finish not idempotent")
+	}
+	// Emit after Finish is ignored.
+	rec.Emit(events[0])
+	if rec.Stats().Events != st.Events {
+		t.Error("Emit after Finish was counted")
+	}
+}
+
+func TestRecorderFlightWindow(t *testing.T) {
+	meta, events := sampleMeta(), sampleEvents()
+	const window = 4
+	rec, err := NewRecorder(Config{Enabled: true, RingEvents: window, FlightRecorder: true}, meta)
+	if err != nil {
+		t.Fatalf("new recorder: %v", err)
+	}
+	for _, ev := range events {
+		rec.Emit(ev)
+	}
+	data, err := rec.Finish()
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	_, got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := events[len(events)-window:]
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("flight window:\n got %v\nwant %v", got, want)
+	}
+	if rec.Complete() {
+		t.Error("flight recorder with drops reported complete")
+	}
+	if d := rec.Stats().Dropped; d != uint64(len(events)-window) {
+		t.Errorf("dropped = %d, want %d", d, len(events)-window)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{RingEvents: -1}).Validate(); err == nil {
+		t.Error("negative RingEvents accepted")
+	}
+	if err := On().Validate(); err != nil {
+		t.Errorf("On(): %v", err)
+	}
+	if (Config{}).ringEvents() != DefaultRingEvents {
+		t.Error("default ring size not applied")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"dvmc/internal/proc"
 	"dvmc/internal/safetynet"
 	"dvmc/internal/sim"
+	"dvmc/internal/trace"
 	"dvmc/internal/workload"
 )
 
@@ -58,6 +59,11 @@ type System struct {
 
 	snMgr     *safetynet.Manager
 	snLoggers []*safetynet.Logger
+
+	// rec captures the execution trace when Config.Trace is enabled. One
+	// shared recorder preserves the global chronological order of events
+	// across processors, which the offline oracle's value checks rely on.
+	rec *trace.Recorder
 
 	violations  core.CollectorSink
 	onViolation func(Violation)
@@ -129,6 +135,20 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	s := &System{cfg: cfg, kernel: &sim.Kernel{}}
 	rng := sim.NewRand(cfg.Seed)
 	now := s.kernel.Now
+
+	if cfg.Trace.Enabled {
+		rec, err := trace.NewRecorder(cfg.Trace, trace.Meta{
+			Version:  trace.Version,
+			Nodes:    cfg.Nodes,
+			Model:    cfg.Model,
+			Protocol: uint8(cfg.Protocol - 1), // 0 directory, 1 snooping
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.rec = rec
+	}
 
 	s.torus = network.NewTorus(cfg.Nodes, cfg.bytesPerCycle(), cfg.HopLatency, rng.Fork(1000))
 	s.kernel.Register(s.torus)
@@ -209,6 +229,9 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		// Core.
 		prog := w.NewProgram(n, cfg.Seed)
 		cpu := proc.NewCPU(nid, cfg.Proc, cfg.Model, ctrl, prog)
+		if s.rec != nil {
+			cpu.AttachTracer(s.rec)
+		}
 		s.progs = append(s.progs, prog)
 		s.cpus = append(s.cpus, cpu)
 
@@ -330,6 +353,28 @@ func (s *System) DrainCheckers() {
 // Violations returns all detected violations so far.
 func (s *System) Violations() []Violation { return s.violations.Violations }
 
+// Tracing reports whether this system captures an execution trace.
+func (s *System) Tracing() bool { return s.rec != nil }
+
+// TraceBytes finalises the execution trace and returns its binary
+// encoding (feed it to internal/oracle or write it for dvmc-trace).
+// Returns an error if tracing was not enabled. Idempotent; call after the
+// run completes — events emitted afterwards are discarded.
+func (s *System) TraceBytes() ([]byte, error) {
+	if s.rec == nil {
+		return nil, fmt.Errorf("dvmc: tracing not enabled (set Config.Trace)")
+	}
+	return s.rec.Finish()
+}
+
+// TraceStats returns recorder accounting (zero value if tracing is off).
+func (s *System) TraceStats() trace.RecorderStats {
+	if s.rec == nil {
+		return trace.RecorderStats{}
+	}
+	return s.rec.Stats()
+}
+
 // checkpointState is the architectural state captured per checkpoint.
 type checkpointState struct {
 	memories []map[mem.BlockAddr]mem.Block
@@ -368,6 +413,14 @@ func (s *System) capture(now sim.Cycle) any {
 // and program positions rewind, checkers reset.
 func (s *System) restore(state any) {
 	st := state.(*checkpointState)
+	if s.rec != nil {
+		// Mark the rollback in the trace: committed-but-unperformed
+		// operations before this point were discarded, and previously
+		// exposed values may legally reappear. The offline oracle clears
+		// its pending state at this marker, mirroring the online
+		// checkers' Reset below.
+		s.rec.Emit(trace.Event{Kind: trace.EvRecover, Time: s.kernel.Now()})
+	}
 	s.torus.Reset()
 	if s.bcast != nil {
 		s.bcast.Reset()
