@@ -1,0 +1,106 @@
+// Command dvmc-lint runs the dvmc static-analysis suite (internal/analysis)
+// over the module containing the working directory: maprange, detsource,
+// time16cmp, and exhaustive. It prints findings as
+//
+//	file:line:col: [analyzer] message
+//
+// and exits 0 when clean, 1 on any diagnostic, 2 when the module fails to
+// load or type-check. Package patterns are accepted for familiarity
+// ("go run ./cmd/dvmc-lint ./...") but the suite always analyzes the
+// whole module: the determinism contract is a whole-module property.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dvmc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dvmc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzers := fs.String("analyzers", "", "comma-separated subset to run (maprange,detsource,time16cmp,exhaustive); empty = all")
+	listDoc := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: dvmc-lint [flags] [packages]\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listDoc {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected, err := analysis.ByName(*analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "dvmc-lint:", err)
+		return 2
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "dvmc-lint:", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "dvmc-lint:", err)
+		return 2
+	}
+	if len(mod.TypeErrors) > 0 {
+		for _, e := range mod.TypeErrors {
+			fmt.Fprintln(stderr, "dvmc-lint: type error:", e)
+		}
+		fmt.Fprintf(stderr, "dvmc-lint: %d type error(s); findings would be unreliable\n", len(mod.TypeErrors))
+		return 2
+	}
+
+	diags := analysis.Run(mod, selected)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "dvmc-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

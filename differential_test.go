@@ -397,39 +397,49 @@ func TestDifferentialInjectedFaults(t *testing.T) {
 	})
 }
 
-// TestTraceDeterministic is the determinism regression: two runs with the
-// same seed must produce byte-identical traces and identical Results —
-// the contract every benchmark and the whole differential harness rely
-// on.
+// TestTraceDeterministic is the determinism regression: for every
+// protocol and a spread of seeds, two runs with the same configuration
+// must produce byte-identical traces and identical Results — the
+// contract every benchmark, the offline oracle, and the whole
+// differential harness rely on. It pins the maprange fixes: a single
+// unordered map walk whose order leaks into message timing shows up
+// here as a trace mismatch.
 func TestTraceDeterministic(t *testing.T) {
-	run := func() ([]byte, Results) {
-		s, res := runTraced(t, tracedConfig(), smallWorkload(), 60)
+	seeds := []uint64{1, 7, 99}
+	protocols := []Protocol{Directory, Snooping}
+	run := func(p Protocol, seed uint64) ([]byte, Results) {
+		cfg := tracedConfig().WithProtocol(p).WithSeed(seed)
+		s, res := runTraced(t, cfg, smallWorkload(), 60)
 		data, err := s.TraceBytes()
 		if err != nil {
 			t.Fatal(err)
 		}
 		return data, res
 	}
-	d1, r1 := run()
-	d2, r2 := run()
-	if !bytes.Equal(d1, d2) {
-		t.Errorf("traces differ between identical runs: %d vs %d bytes", len(d1), len(d2))
-	}
-	if !reflect.DeepEqual(r1, r2) {
-		t.Errorf("results differ between identical runs:\n%+v\n%+v", r1, r2)
-	}
-	if len(d1) == 0 {
-		t.Fatal("empty trace")
-	}
-	// A different seed must (overwhelmingly) change the trace — guards
-	// against the recorder ignoring the run entirely.
-	cfg := tracedConfig().WithSeed(99)
-	s3, _ := runTraced(t, cfg, smallWorkload(), 60)
-	d3, err := s3.TraceBytes()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if bytes.Equal(d1, d3) {
-		t.Error("different seeds produced identical traces")
+	for _, p := range protocols {
+		bySeed := make(map[uint64][]byte)
+		for _, seed := range seeds {
+			d1, r1 := run(p, seed)
+			d2, r2 := run(p, seed)
+			if !bytes.Equal(d1, d2) {
+				t.Errorf("%v seed %d: traces differ between identical runs: %d vs %d bytes", p, seed, len(d1), len(d2))
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("%v seed %d: results differ between identical runs:\n%+v\n%+v", p, seed, r1, r2)
+			}
+			if len(d1) == 0 {
+				t.Fatalf("%v seed %d: empty trace", p, seed)
+			}
+			bySeed[seed] = d1
+		}
+		// Different seeds must (overwhelmingly) change the trace —
+		// guards against the recorder ignoring the run entirely.
+		for i, a := range seeds {
+			for _, b := range seeds[i+1:] {
+				if bytes.Equal(bySeed[a], bySeed[b]) {
+					t.Errorf("%v: seeds %d and %d produced identical traces", p, a, b)
+				}
+			}
+		}
 	}
 }

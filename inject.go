@@ -317,8 +317,9 @@ func (s *System) armMessageFault(kind FaultKind, rng *sim.Rand) bool {
 			s.msgFaultActivated = s.Now()
 			s.torus.SetFaultHook(nil)
 			return network.FaultDelay
+		default:
+			panic(fmt.Sprintf("dvmc: armMessageFault with non-message fault %v", kind))
 		}
-		return network.FaultNone
 	}
 	s.torus.SetFaultHook(hook)
 	return true
@@ -398,6 +399,9 @@ func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (Injecti
 		if at, ok := s.cpus[inj.Node%s.cfg.Nodes].FaultActivatedAt(); ok {
 			res.ActivatedAt = at
 		}
+	default:
+		// Other fault kinds activate at injection; ActivatedAt is set
+		// where they are armed.
 	case FaultMsgDrop, FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder, FaultMsgDataFlip:
 		if s.msgFaultActivated > 0 {
 			res.ActivatedAt = s.msgFaultActivated
@@ -464,6 +468,10 @@ func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (Injecti
 		// per word, exactly because intermediate values are not
 		// architecturally visible.)
 		res.Masked = true
+	default:
+		// FaultMsgDrop, FaultMsgDataFlip, FaultWBReorder,
+		// FaultPermissionDrop, FaultSilentWrite: an undetected run is an
+		// escape, never maskable.
 	}
 	return res, nil
 }

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetSource bans sources of nondeterminism in the deterministic packages:
+// wall-clock reads (time.Now), the global math/rand generators,
+// environment lookups (os.Getenv / os.LookupEnv), goroutines, and select
+// statements. The simulator is a single-threaded discrete-event machine;
+// randomness must come from seed-forked sim.Rand streams and time from
+// the event kernel's cycle counter.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc: "ban time.Now, math/rand, os.Getenv, go statements, and select " +
+		"in deterministic packages; use sim.Rand and the event kernel instead",
+	Run: runDetSource,
+}
+
+func runDetSource(p *Pass) {
+	if !p.Deterministic() {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(spec.Pos(), "import of %s seeds from global, run-varying state; use a forked sim.Rand stream instead", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "go statement introduces scheduler-dependent ordering in a deterministic package; schedule the work as an event on the sim event kernel (sim.EventQueue)")
+			case *ast.SelectStmt:
+				p.Reportf(n.Pos(), "select statement resolves ready channels in random order; deterministic packages must sequence work through the sim event kernel")
+			case *ast.SelectorExpr:
+				pkg, sel := selectorPkgFunc(info, n)
+				switch {
+				case pkg == "time" && sel == "Now":
+					p.Reportf(n.Pos(), "time.Now reads the wall clock, which differs across runs; deterministic packages must derive time from the event kernel's cycle counter (sim.Cycle)")
+				case pkg == "os" && (sel == "Getenv" || sel == "LookupEnv" || sel == "Environ"):
+					p.Reportf(n.Pos(), "os.%s makes behavior depend on the host environment; thread configuration through Config instead", sel)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// selectorPkgFunc resolves pkg.Name selector expressions to the imported
+// package path and selected name; it returns "" for non-package
+// selectors (field or method accesses).
+func selectorPkgFunc(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

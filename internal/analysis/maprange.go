@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for … range` over map-typed values inside the
+// deterministic packages. Go randomizes map iteration order per run, so
+// any observable effect of such a loop breaks the byte-identical-trace
+// contract the differential harness depends on. A loop is accepted when
+// it feeds the sorted-keys idiom (collect keys/values with append, sort
+// before use) or carries a `//dvmc:orderinsensitive <reason>` annotation.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flag nondeterministic map iteration in deterministic packages " +
+		"unless sorted or annotated //dvmc:orderinsensitive",
+	Run: runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	if !p.Deterministic() {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		file := f
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if ok, reason := directiveFor(p.Mod.Fset, file, rs, OrderInsensitive); ok {
+				if reason == "" {
+					p.Reportf(rs.Pos(), "//%s annotation requires a reason explaining why iteration order cannot matter", OrderInsensitive)
+				}
+				return
+			}
+			if feedsSortedKeys(info, rs, stack) {
+				return
+			}
+			p.Reportf(rs.Pos(), "range over map %s iterates in nondeterministic order inside a deterministic package; collect and sort the keys first, or annotate the loop with //%s <reason>",
+				types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)), OrderInsensitive)
+		})
+	}
+}
+
+// feedsSortedKeys recognizes the canonical deterministic-iteration idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, …)            // or slices.Sort(keys), sort.Sort(…)
+//
+// The loop body may only append to slices; each appended-to slice must be
+// passed to a sort call later in the same enclosing block.
+func feedsSortedKeys(info *types.Info, rs *ast.RangeStmt, stack []ast.Node) bool {
+	targets := appendOnlyTargets(info, rs.Body)
+	if len(targets) == 0 {
+		return false
+	}
+	// Find the innermost block that directly contains rs.
+	var block *ast.BlockStmt
+	idx := -1
+	for i := len(stack) - 1; i >= 0 && block == nil; i-- {
+		b, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for j, st := range b.List {
+			if st == ast.Stmt(rs) {
+				block, idx = b, j
+				break
+			}
+		}
+	}
+	if block == nil {
+		return false
+	}
+	// Every appended-to slice must be sorted afterwards.
+	for v := range targets {
+		sorted := false
+		for _, st := range block.List[idx+1:] {
+			if stmtSorts(info, st, v) {
+				sorted = true
+				break
+			}
+		}
+		if !sorted {
+			return false
+		}
+	}
+	return true
+}
+
+// appendOnlyTargets returns the slice variables the body appends to, or
+// nil if the body does anything other than `x = append(x, …)`.
+func appendOnlyTargets(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	if body == nil || len(body.List) == 0 {
+		return nil
+	}
+	out := make(map[*types.Var]bool)
+	for _, st := range body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return nil
+		}
+		if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return nil
+		}
+		v, ok := objOf(info, lhs).(*types.Var)
+		if !ok {
+			return nil
+		}
+		out[v] = true
+	}
+	return out
+}
+
+// stmtSorts reports whether st is a call into package sort or slices that
+// mentions v among its arguments.
+func stmtSorts(info *types.Info, st ast.Stmt, v *types.Var) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok && objOf(info, id) == types.Object(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// objOf resolves an identifier to its object, via either Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

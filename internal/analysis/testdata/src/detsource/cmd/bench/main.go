@@ -1,0 +1,16 @@
+// Command bench sits outside the deterministic allowlist: wall-clock
+// reads and goroutines are legitimate here and must not be flagged.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	fmt.Println(time.Since(start))
+}

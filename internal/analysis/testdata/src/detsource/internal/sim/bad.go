@@ -1,0 +1,42 @@
+// Package sim is a seeded-bad fixture for the detsource analyzer.
+package sim
+
+import (
+	"math/rand" // want "seeds from global, run-varying state"
+	"os"
+	"time"
+)
+
+// Clock reads the wall clock: flagged.
+func Clock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Env reads the host environment: flagged.
+func Env() string {
+	return os.Getenv("DVMC_MODE") // want "os.Getenv makes behavior depend on the host environment"
+}
+
+// Roll uses the global math/rand stream (the import is what gets
+// flagged; the call resolves through it).
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Spawn starts a goroutine: flagged.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement introduces scheduler-dependent ordering"
+}
+
+// Race selects between ready channels: flagged.
+func Race(a, b chan int) int {
+	select { // want "select statement resolves ready channels in random order"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Since is not time.Now: allowed (only wall-clock *reads* are banned).
+func Since(d time.Duration) time.Duration { return d }

@@ -1,0 +1,96 @@
+// Package coherence is a seeded-bad fixture for the exhaustive analyzer:
+// an enum-like kind with a sentinel, and a Msg* payload family.
+package coherence
+
+// Kind is an enum-like constant set.
+type Kind uint8
+
+// Kind variants; numKinds is a sentinel and not a variant.
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+	numKinds
+)
+
+var _ = int(numKinds)
+
+// Message payload family.
+type (
+	// MsgGet is a request payload.
+	MsgGet struct{}
+	// MsgPut is a writeback payload.
+	MsgPut struct{}
+	// MsgAck is an acknowledgment payload.
+	MsgAck struct{}
+)
+
+// BadKind misses KindB and KindC with no default: flagged (and the
+// sentinel must not be demanded).
+func BadKind(k Kind) int {
+	switch k { // want "missing KindB, KindC"
+	case KindA:
+		return 1
+	}
+	return 0
+}
+
+// FullKind covers every variant: allowed without a default.
+func FullKind(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB, KindC:
+		return 2
+	}
+	return 0
+}
+
+// DefaultKind is partial but acknowledges it with a default: allowed.
+func DefaultKind(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		panic("unhandled kind")
+	}
+}
+
+// BadRoute misses MsgPut and MsgAck with no default: flagged.
+func BadRoute(payload any) int {
+	switch payload.(type) { // want "missing MsgAck, MsgPut"
+	case MsgGet:
+		return 1
+	}
+	return 0
+}
+
+// FullRoute covers the whole family: allowed.
+func FullRoute(payload any) int {
+	switch payload.(type) {
+	case MsgGet:
+		return 1
+	case MsgPut, MsgAck:
+		return 2
+	}
+	return 0
+}
+
+// DefaultRoute routes unknown payloads explicitly: allowed.
+func DefaultRoute(payload any) int {
+	switch payload.(type) {
+	case MsgGet:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// NonEnum switches over a plain int: never flagged.
+func NonEnum(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

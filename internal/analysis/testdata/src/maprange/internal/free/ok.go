@@ -1,0 +1,12 @@
+// Package free is outside the deterministic allowlist; map iteration
+// here is fine and must not be flagged.
+package free
+
+// Collect may iterate in any order.
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

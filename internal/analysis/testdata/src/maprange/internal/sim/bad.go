@@ -1,0 +1,63 @@
+// Package sim is a seeded-bad fixture for the maprange analyzer: it sits
+// on the deterministic-package allowlist, so unordered map iteration must
+// be flagged unless sorted or annotated.
+package sim
+
+import "sort"
+
+// Bad iterates a map with an observable, order-dependent effect.
+func Bad(m map[uint64]int) []int {
+	var out []int
+	for _, v := range m { // want "nondeterministic order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// BadString leaks iteration order into a string.
+func BadString(m map[string]bool) string {
+	s := ""
+	for k := range m { // want "nondeterministic order"
+		s += k
+	}
+	return s
+}
+
+// SortedIdiom collects keys and sorts them before use: allowed.
+func SortedIdiom(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Annotated carries a reviewed order-insensitivity claim: allowed.
+func Annotated(m map[uint64]int) int {
+	total := 0
+	//dvmc:orderinsensitive commutative sum over values
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// AnnotatedNoReason has the directive but no justification: flagged.
+func AnnotatedNoReason(m map[uint64]int) int {
+	total := 0
+	//dvmc:orderinsensitive
+	for _, v := range m { // want "requires a reason"
+		total += v
+	}
+	return total
+}
+
+// SliceRange ranges over a slice: never flagged.
+func SliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

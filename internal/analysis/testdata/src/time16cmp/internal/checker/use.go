@@ -1,0 +1,32 @@
+// Package checker consumes core.Time16 stamps; every raw relational
+// comparison is a wraparound bug waiting for an epoch longer than 2^15.
+package checker
+
+import "fixture/internal/core"
+
+// Expired compares wire stamps directly: flagged (all four operators).
+func Expired(now, stamp core.Time16) bool {
+	if stamp > now { // want "raw > comparison of core.Time16"
+		return false
+	}
+	if stamp <= now { // want "raw <= comparison of core.Time16"
+		return true
+	}
+	return now >= stamp // want "raw >= comparison of core.Time16"
+}
+
+// MixedOperand is flagged even when only one side is a Time16.
+func MixedOperand(stamp core.Time16) bool {
+	return stamp < core.Time16(100) // want "raw < comparison of core.Time16"
+}
+
+// Safe widens through Reconstruct, or tests equality: allowed.
+func Safe(now uint64, stamp core.Time16) bool {
+	if stamp == core.Time16(0) { // equality is wraparound-safe
+		return false
+	}
+	return stamp.Reconstruct(now) < now
+}
+
+// Widened compares plain integers: allowed.
+func Widened(a, b uint64) bool { return a < b }

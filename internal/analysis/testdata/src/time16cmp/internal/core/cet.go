@@ -1,0 +1,7 @@
+package core
+
+// Stale compares raw stamps outside ltime.go: flagged even inside the
+// core package itself.
+func Stale(a, b Time16) bool {
+	return a < b // want "raw < comparison of core.Time16"
+}

@@ -1,0 +1,18 @@
+// Package core mirrors the real internal/core just enough to exercise
+// the time16cmp analyzer: ltime.go is the one file allowed to compare
+// raw 16-bit stamps.
+package core
+
+// Time16 is a wraparound-prone 16-bit logical timestamp.
+type Time16 uint16
+
+// Before is the sanctioned modular comparison; raw < here is exempt
+// because this file implements the safe primitives.
+func Before(a, b Time16) bool {
+	return int16(a-b) < 0 || a < b
+}
+
+// Reconstruct widens t against a reference (simplified stand-in).
+func (t Time16) Reconstruct(near uint64) uint64 {
+	return near&^0xffff | uint64(t)
+}

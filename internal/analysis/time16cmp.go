@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Time16Cmp forbids raw relational comparison (< > <= >=) of core.Time16
+// operands anywhere except internal/core/ltime.go. A Time16 is a 16-bit
+// logical timestamp that wraps around; ordering two stamps with raw
+// integer comparison is wrong as soon as they straddle the wraparound
+// point — the exact ambiguity the paper's scrubbing protocol bounds.
+// Callers must widen through Time16.Reconstruct against a local reference
+// clock (or use core.Before for stamps known to be within half the range).
+var Time16Cmp = &Analyzer{
+	Name: "time16cmp",
+	Doc: "forbid raw </>/<=/>= on core.Time16; widen with Reconstruct or " +
+		"use core.Before, which are wraparound-safe",
+	Run: runTime16Cmp,
+}
+
+func runTime16Cmp(p *Pass) {
+	info := p.Pkg.Info
+	inCore := p.Mod.Rel(p.Pkg.Path) == "internal/core"
+	for _, f := range p.Pkg.Files {
+		if inCore && filepath.Base(p.Mod.Fset.Position(f.Pos()).Filename) == "ltime.go" {
+			// ltime.go is the one place allowed to reason about raw
+			// 16-bit arithmetic: it implements Reconstruct and Before.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			default:
+				return true
+			}
+			if isTime16(typeOf(info, be.X)) || isTime16(typeOf(info, be.Y)) {
+				p.Reportf(be.Pos(), "raw %s comparison of core.Time16 is unsafe across 16-bit wraparound; widen both sides with Reconstruct against a local reference clock, or use core.Before", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isTime16 reports whether t is the named type Time16 from internal/core
+// (matched by path suffix so fixture modules exercise the same logic).
+func isTime16(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Time16" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/core" || strings.HasSuffix(path, "/internal/core")
+}

@@ -369,6 +369,8 @@ func (c *DirCache) evict(l *line) {
 		c.stats.EvictionsClean++
 		c.net.Send(&network.Message{Src: c.node, Dst: home, Size: CtrlBytes, Class: network.ClassCoherence,
 			Payload: MsgPutS{Block: b, Requestor: c.node}})
+	default:
+		panic(fmt.Sprintf("DirCache %d: evict of %v line %#x", c.node, l.state, b))
 	}
 	c.l1.invalidate(b)
 	c.l2.invalidate(l)
@@ -617,8 +619,13 @@ func (c *DirCache) ForEachDirty(fn func(b mem.BlockAddr, data mem.Block)) {
 			fn(l.block, l.data)
 		}
 	}
-	for b, e := range c.wb {
-		if e.hasData {
+	wbs := make([]mem.BlockAddr, 0, len(c.wb))
+	for b := range c.wb {
+		wbs = append(wbs, b)
+	}
+	sort.Slice(wbs, func(i, j int) bool { return wbs[i] < wbs[j] })
+	for _, b := range wbs {
+		if e := c.wb[b]; e.hasData {
 			fn(b, e.data)
 		}
 	}

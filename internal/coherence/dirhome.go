@@ -179,6 +179,8 @@ func (h *DirHome) start(e *dirEntry, m *network.Message) {
 		h.startPutS(e, p)
 	case MsgPutM:
 		h.startPutM(e, p)
+	default:
+		panic(fmt.Sprintf("DirHome %d: queued message with unexpected payload %T", h.node, p))
 	}
 }
 

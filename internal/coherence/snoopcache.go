@@ -450,6 +450,8 @@ func (c *SnoopCache) evictSnoop(l *line) {
 	case Shared:
 		c.epochEnd(b, ReadOnly, c.seqNow(), data)
 		c.stats.EvictionsClean++
+	default:
+		panic(fmt.Sprintf("SnoopCache %d: evict of %v line %#x", c.node, l.state, b))
 	}
 	c.l1.invalidate(b)
 	c.l2.invalidate(l)
@@ -541,14 +543,31 @@ func (c *SnoopCache) onOwnPutM(b mem.BlockAddr) {
 // DebugMSHRs dumps outstanding transaction state.
 func (c *SnoopCache) DebugMSHRs() string {
 	out := ""
-	for b, ms := range c.mshrs {
+	blocks := make([]mem.BlockAddr, 0, len(c.mshrs))
+	for b := range c.mshrs {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		ms := c.mshrs[b]
 		out += fmt.Sprintf("[blk=%#x wantM=%v issued=%v ordered=%v@%d dataArrived=%v cur=%v waiters=%d trans=%d pending=%v] ",
 			b, ms.wantM, ms.issued, ms.ordered, ms.orderedAt, ms.dataArrived, ms.curState, len(ms.waiters), len(ms.transitions), ms.pending)
 	}
-	for b := range c.wb {
+	for _, b := range c.sortedWB() {
 		out += fmt.Sprintf("[wb blk=%#x] ", b)
 	}
 	return out
+}
+
+// sortedWB returns the pending-writeback block addresses in ascending
+// order, so every scan over c.wb is deterministic.
+func (c *SnoopCache) sortedWB() []mem.BlockAddr {
+	keys := make([]mem.BlockAddr, 0, len(c.wb))
+	for b := range c.wb {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // HandleData processes a block arriving over the torus.
@@ -736,8 +755,8 @@ func (c *SnoopCache) ForEachDirty(fn func(b mem.BlockAddr, data mem.Block)) {
 			fn(l.block, l.data)
 		}
 	}
-	for b, e := range c.wb {
-		if !e.superseded {
+	for _, b := range c.sortedWB() {
+		if e := c.wb[b]; !e.superseded {
 			fn(b, e.data)
 		}
 	}

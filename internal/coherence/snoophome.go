@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"dvmc/internal/mem"
 	"dvmc/internal/network"
@@ -93,7 +94,12 @@ func (h *SnoopHome) OwnerOf(b mem.BlockAddr) network.NodeID { return h.ownerOf(b
 // DebugPending dumps pending writebacks and deferred supplies.
 func (h *SnoopHome) DebugPending() string {
 	out := ""
+	pending := make([]mem.BlockAddr, 0, len(h.pendingWB))
 	for b := range h.pendingWB {
+		pending = append(pending, b)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, b := range pending {
 		out += fmt.Sprintf("[pendingWB %#x owner=%d deferred=%d] ", b, h.ownerOf(b), len(h.deferred[b]))
 	}
 	return out

@@ -57,6 +57,78 @@ func TestReconstructAcrossWraparound(t *testing.T) {
 	}
 }
 
+// TestReconstructNearWrapBoundary pins the cases the time16cmp analyzer
+// exists to protect: references exactly at (or next to) a multiple of
+// 2^16, where the truncated stamp and the reference clock live on
+// opposite sides of a wraparound and raw 16-bit comparison would order
+// them wrongly.
+func TestReconstructNearWrapBoundary(t *testing.T) {
+	nears := []uint64{1 << 16, 2 << 16, 3 << 16, 1 << 32, 1 << 48}
+	offs := []int64{-(halfRange - 1), -0x1000, -2, -1, 0, 1, 2, 0x1000, halfRange - 1}
+	for _, near := range nears {
+		for _, off := range offs {
+			truth := uint64(int64(near) + off)
+			if got := Wrap(truth).Reconstruct(near); got != truth {
+				t.Errorf("Reconstruct(Wrap(%#x), near=%#x) = %#x, want %#x", truth, near, got, truth)
+			}
+		}
+	}
+}
+
+// TestReconstructAtRangeEnds exercises the candidate arithmetic at the
+// ends of the uint64 range, where cand-2^16 would underflow (near ~ 0)
+// and cand+2^16 overflows (near ~ 2^64); both must be rejected as
+// candidates, never chosen via wrapped distances.
+func TestReconstructAtRangeEnds(t *testing.T) {
+	maxU := ^uint64(0)
+	cases := []struct{ truth, near uint64 }{
+		// Bottom of the range: no negative candidates exist.
+		{0, 0},
+		{1, 0},
+		{halfRange - 1, 0},
+		{0, halfRange - 1},
+		// dist is halfRange-1: the last unambiguous point below a tie.
+		{0xffff, 0x10000 + halfRange - 2},
+		// Top of the range: cand+2^16 overflows and must not win.
+		{maxU, maxU},
+		{maxU - (halfRange - 1), maxU},
+		{maxU, maxU - (halfRange - 1)},
+		{maxU - 0x7fff, maxU - 0x10},
+	}
+	for _, tt := range cases {
+		if got := Wrap(tt.truth).Reconstruct(tt.near); got != tt.truth {
+			t.Errorf("Reconstruct(Wrap(%#x), near=%#x) = %#x, want %#x", tt.truth, tt.near, got, tt.truth)
+		}
+	}
+}
+
+// TestReconstructPicksClosestCongruent documents behavior outside the
+// scrubbing guarantee: the result is always congruent to the stamp
+// mod 2^16 and is the congruent value closest to the reference.
+func TestReconstructPicksClosestCongruent(t *testing.T) {
+	f := func(stampRaw uint16, nearRaw uint64) bool {
+		stamp := Time16(stampRaw)
+		near := nearRaw
+		got := stamp.Reconstruct(near)
+		if Wrap(got) != stamp {
+			return false
+		}
+		// No congruent value one period up or down may be strictly
+		// closer (where representable).
+		d := dist(got, near)
+		if got >= 1<<16 && dist(got-1<<16, near) < d {
+			return false
+		}
+		if got <= ^uint64(0)-1<<16 && dist(got+1<<16, near) < d {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestBefore16Modular(t *testing.T) {
 	tests := []struct {
 		a, b Time16

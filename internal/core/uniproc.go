@@ -93,6 +93,7 @@ func (u *UniprocChecker) CanAllocateStore(addr mem.Addr) bool {
 
 func (u *UniprocChecker) storeEntries() int {
 	n := 0
+	//dvmc:orderinsensitive commutative count of store entries; no per-entry effect
 	for _, e := range u.vc {
 		if !e.loadValue {
 			n++
@@ -208,6 +209,7 @@ func (u *UniprocChecker) Reset() {
 // Store entries are preserved: committed stores survive a flush — only
 // speculative state (cached load values) is dropped.
 func (u *UniprocChecker) Flush() {
+	//dvmc:orderinsensitive deletes a value-independent subset; resulting map is order-independent
 	for a, e := range u.vc {
 		if e.loadValue {
 			delete(u.vc, a)

@@ -149,8 +149,8 @@ func (m *Memory) SampleBlocks(max int) []BlockAddr {
 // checkpointing).
 func (m *Memory) Snapshot() map[BlockAddr]Block {
 	snap := make(map[BlockAddr]Block, len(m.blocks))
-	for b, blk := range m.blocks {
-		snap[b] = *blk
+	for _, b := range m.SampleBlocks(len(m.blocks)) {
+		snap[b] = *m.blocks[b]
 	}
 	return snap
 }
@@ -159,8 +159,13 @@ func (m *Memory) Snapshot() map[BlockAddr]Block {
 // recovery), re-protecting every block under ECC.
 func (m *Memory) Restore(snap map[BlockAddr]Block) {
 	m.blocks = make(map[BlockAddr]*Block, len(snap))
-	for b, blk := range snap {
-		cp := blk
+	order := make([]BlockAddr, 0, len(snap))
+	for b := range snap {
+		order = append(order, b)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, b := range order {
+		cp := snap[b]
 		m.blocks[b] = &cp
 		if m.ecc != nil {
 			m.ecc.Protect(uint64(b), &cp)

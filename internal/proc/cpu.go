@@ -415,6 +415,10 @@ func (c *CPU) canIssueLoad(u *uop) bool {
 				table.Ordered(consistency.Op{Class: consistency.Membar, Mask: older.op.Mask}, loadOp) {
 				return false
 			}
+		default:
+			// Older loads and stores impose no issue-order constraint on
+			// a younger load (store-to-load forwarding is modelled at
+			// perform time).
 		case OpRMW:
 			// An unperformed same-word RMW cannot forward; the load waits.
 			if !older.performed && older.op.Addr == u.op.Addr {
@@ -650,6 +654,8 @@ func (c *CPU) popHead(u *uop) {
 		c.stats.StoresRetired++
 	case OpMembar:
 		c.stats.MembarsRetired++
+	default:
+		// Loads count only toward OpsRetired.
 	}
 	if u.op.EndTxn {
 		c.stats.Transactions++
