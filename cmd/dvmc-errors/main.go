@@ -6,9 +6,13 @@
 // Example:
 //
 //	dvmc-errors -n 40 -workload slash -model TSO -protocol directory
+//
+// Exit codes: 0 every applied fault was detected or masked, 1 usage or
+// setup error, 2 undetected faults or unrecoverable detections.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,16 +22,31 @@ import (
 )
 
 func main() {
+	fs := flag.NewFlagSet("dvmc-errors", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
 	var (
-		n            = flag.Int("n", 20, "number of faults to inject")
-		workloadName = flag.String("workload", "oltp", "workload under test")
-		modelName    = flag.String("model", "TSO", "consistency model: SC|TSO|PSO|RMO")
-		protoName    = flag.String("protocol", "directory", "coherence protocol")
-		budget       = flag.Uint64("budget", 400_000, "post-injection observation cycles")
-		seed         = flag.Uint64("seed", 1, "campaign seed")
-		each         = flag.Bool("each", false, "print every injection result")
+		n            = fs.Int("n", 20, "number of faults to inject")
+		workloadName = fs.String("workload", "oltp", "workload under test")
+		modelName    = fs.String("model", "TSO", "consistency model: SC|TSO|PSO|RMO")
+		protoName    = fs.String("protocol", "directory", "coherence protocol")
+		budget       = fs.Uint64("budget", 400_000, "post-injection observation cycles")
+		seed         = fs.Uint64("seed", 1, "campaign seed")
+		each         = fs.Bool("each", false, "print every injection result")
 	)
-	flag.Parse()
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dvmc-errors [flags]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(os.Stderr, `
+exit codes: 0 every applied fault detected or masked, 1 usage or setup
+error, 2 undetected faults or unrecoverable detections.
+`)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0) // help was requested and printed
+		}
+		os.Exit(1) // usage error (ContinueOnError already printed it)
+	}
 
 	cfg := dvmc.ScaledConfig().WithSeed(*seed)
 	cfg.Memory.CacheECC = true
@@ -50,9 +69,9 @@ func main() {
 		cfg = cfg.WithProtocol(dvmc.Snooping)
 	}
 
-	w, ok := dvmc.WorkloadByName(*workloadName)
-	if !ok {
-		fatalf("unknown workload %q", *workloadName)
+	w, err := dvmc.WorkloadByName(*workloadName)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	fmt.Printf("dvmc-errors: %d faults into %s on %v/%v (recovery window %d cycles)\n",

@@ -1,0 +1,324 @@
+// Command dvmc-fuzz runs randomized litmus-program fuzzing campaigns
+// against the DVMC simulator and cross-checks three verdicts per run:
+// the online checkers, the offline trace oracle, and the injected-fault
+// ground truth. Any disagreement — an escape the online checkers missed
+// or a false alarm on a clean run — is delta-debugged to a 1-minimal
+// reproducer and written to a corpus directory.
+//
+// Subcommands:
+//
+//	gen     generate one case (program + config) as JSON
+//	run     run a fuzzing campaign, print the classification table
+//	shrink  delta-debug one failing case to a minimal reproducer
+//	replay  re-run corpus reproducers and check their classifications
+//
+// Campaigns are deterministic: the same -seed produces byte-identical
+// classification tables and corpus artifacts regardless of -workers.
+//
+// Exit codes (all subcommands): 0 clean, 1 usage or I/O error, 2 a
+// failure was found (escape, false alarm, crash, or replay mismatch).
+//
+// Examples:
+//
+//	dvmc-fuzz run -seed 1 -n 500 -fault-frac 0.5 -workers 8 -corpus corpus/
+//	dvmc-fuzz gen -seed 7 -threads 4 -ops 32 > case.json
+//	dvmc-fuzz shrink case.json > min.json
+//	dvmc-fuzz replay internal/fuzz/testdata/corpus
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"dvmc/internal/fuzz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	case "shrink":
+		shrink(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fatalf("unknown subcommand %q (want gen, run, shrink, or replay)", os.Args[1])
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  dvmc-fuzz gen    [flags]                 generate one case as JSON on stdout
+  dvmc-fuzz run    [flags]                 run a fuzzing campaign
+  dvmc-fuzz shrink [flags] <case.json>     minimize a failing case to stdout
+  dvmc-fuzz replay <dir | case.json>...    re-run corpus reproducers
+
+Campaigns are deterministic: the same -seed gives byte-identical results
+regardless of -workers. '<sub> -h' lists each subcommand's flags.
+
+exit codes: 0 clean, 1 usage or I/O error, 2 failure found
+(escape, false alarm, crash, or replay mismatch).
+`)
+	os.Exit(1)
+}
+
+// newFlagSet builds a flag set that exits 1 (usage), not 2, on parse
+// errors — exit 2 is reserved for found failures.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(1)
+	}
+}
+
+func gen(args []string) {
+	fs := newFlagSet("gen")
+	var (
+		seed     = fs.Uint64("seed", 1, "generator seed")
+		threads  = fs.Int("threads", 4, "thread count")
+		ops      = fs.Int("ops", 32, "operations per thread")
+		blocks   = fs.Int("blocks", 4, "shared address pool size in blocks")
+		words    = fs.Int("words", 4, "distinct words exposed per block (false sharing)")
+		readFrac = fs.Float64("read-frac", 0.45, "fraction of data ops that are loads")
+		rmwFrac  = fs.Float64("rmw-frac", 0.10, "fraction of ops that are atomic RMWs")
+		mbFrac   = fs.Float64("membar-frac", 0.10, "fraction of ops that are membars")
+		b32Frac  = fs.Float64("bits32-frac", 0.10, "fraction of data ops marked 32-bit")
+		model    = fs.String("model", "TSO", "consistency model: SC|TSO|PSO|RMO")
+		proto    = fs.String("protocol", "directory", "coherence protocol: directory|snooping")
+		simSeed  = fs.Uint64("sim-seed", 1, "simulator seed")
+		budget   = fs.Uint64("budget", fuzz.DefaultBudget, "cycle budget")
+		faultStr = fs.String("fault", "", "fault to inject as kind:node:cycle (e.g. msg-drop:1:400); known kinds: "+strings.Join(fuzz.FaultKindNames(), ", "))
+	)
+	parseFlags(fs, args)
+	if fs.NArg() != 0 {
+		fatalf("gen: unexpected arguments %v", fs.Args())
+	}
+	gp := fuzz.DefaultGenParams(*seed)
+	gp.Threads = *threads
+	gp.OpsPerThread = *ops
+	gp.Blocks = *blocks
+	gp.WordsPerBlock = *words
+	gp.ReadFrac = *readFrac
+	gp.RMWFrac = *rmwFrac
+	gp.MembarFrac = *mbFrac
+	gp.Bits32Frac = *b32Frac
+	prog, err := gp.Generate()
+	if err != nil {
+		fatalf("gen: %v", err)
+	}
+	c := &fuzz.Case{
+		Name:     fmt.Sprintf("gen-seed%d", *seed),
+		Model:    *model,
+		Protocol: *proto,
+		Seed:     *simSeed,
+		Budget:   *budget,
+		DVMC:     true,
+		Program:  *prog,
+	}
+	if *faultStr != "" {
+		f, err := parseFault(*faultStr)
+		if err != nil {
+			fatalf("gen: %v", err)
+		}
+		c.Fault = f
+	}
+	if err := c.Validate(); err != nil {
+		fatalf("gen: %v", err)
+	}
+	data, err := c.Encode()
+	if err != nil {
+		fatalf("gen: %v", err)
+	}
+	os.Stdout.Write(data)
+}
+
+func parseFault(s string) (*fuzz.FaultSpec, error) {
+	var f fuzz.FaultSpec
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("fault %q: want kind:node:cycle", s)
+	}
+	f.Kind = parts[0]
+	if _, err := fmt.Sscanf(parts[1], "%d", &f.Node); err != nil {
+		return nil, fmt.Errorf("fault node %q: %v", parts[1], err)
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &f.Cycle); err != nil {
+		return nil, fmt.Errorf("fault cycle %q: %v", parts[2], err)
+	}
+	if _, err := f.Injection(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+func run(args []string) {
+	fs := newFlagSet("run")
+	var (
+		seed      = fs.Uint64("seed", 1, "campaign master seed")
+		n         = fs.Int("n", 200, "number of runs")
+		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size")
+		faultFrac = fs.Float64("fault-frac", 0.5, "fraction of runs that inject a fault")
+		budget    = fs.Uint64("budget", fuzz.DefaultBudget, "per-run cycle budget")
+		corpus    = fs.String("corpus", "", "directory for minimized failure reproducers")
+		minimize  = fs.Bool("minimize", true, "delta-debug failures before writing them")
+		minBudget = fs.Int("minimize-budget", fuzz.DefaultMinimizeBudget, "max re-runs per minimized failure")
+		jsonOut   = fs.Bool("json", false, "print the summary as JSON")
+		verbose   = fs.Bool("v", false, "print one line per non-clean run")
+	)
+	parseFlags(fs, args)
+	if fs.NArg() != 0 {
+		fatalf("run: unexpected arguments %v", fs.Args())
+	}
+	cp, err := fuzz.NewCampaign(fuzz.CampaignConfig{
+		Seed: *seed, Runs: *n, Workers: *workers, FaultFrac: *faultFrac,
+		Budget: *budget, CorpusDir: *corpus,
+		Minimize: *minimize, MinimizeBudget: *minBudget,
+	})
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	records, summary, err := cp.Run()
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			fatalf("run: %v", err)
+		}
+	} else {
+		fmt.Print(summary)
+	}
+	if *verbose {
+		for _, r := range fuzz.SortRecordsByClass(records) {
+			if r.Result.Class == fuzz.ClassAgreeClean {
+				continue
+			}
+			fmt.Printf("  run %d: %s %s/%s", r.Index, r.Result.Class, r.Case.Model, r.Case.Protocol)
+			if r.Case.Fault != nil {
+				fmt.Printf(" fault=%s@%d", r.Case.Fault.Kind, r.Case.Fault.Cycle)
+			}
+			if r.Result.Detail != "" {
+				fmt.Printf(" (%s)", r.Result.Detail)
+			}
+			if r.CorpusFile != "" {
+				fmt.Printf(" -> %s", r.CorpusFile)
+			}
+			fmt.Println()
+		}
+	}
+	if summary.Failed() {
+		fmt.Fprintf(os.Stderr, "dvmc-fuzz: %d failing runs\n", summary.Failures)
+		os.Exit(2)
+	}
+}
+
+func shrink(args []string) {
+	fs := newFlagSet("shrink")
+	var (
+		budget = fs.Int("budget", fuzz.DefaultMinimizeBudget, "max re-runs")
+		out    = fs.String("o", "-", "output path ('-' for stdout)")
+	)
+	parseFlags(fs, args)
+	if fs.NArg() != 1 {
+		fatalf("shrink: need exactly one case file")
+	}
+	c, err := fuzz.LoadCase(fs.Arg(0))
+	if err != nil {
+		fatalf("shrink: %v", err)
+	}
+	min, err := fuzz.Minimize(c, *budget)
+	if err != nil {
+		fatalf("shrink: %v", err)
+	}
+	data, err := min.Encode()
+	if err != nil {
+		fatalf("shrink: %v", err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("shrink: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dvmc-fuzz: shrunk to %d threads, %d ops (%s)\n",
+		min.Program.NumThreads(), min.Program.NumOps(), min.Expect)
+}
+
+func replay(args []string) {
+	if len(args) == 0 {
+		fatalf("replay: need at least one corpus directory or case file")
+	}
+	bad := 0
+	total := 0
+	for _, arg := range args {
+		var results []fuzz.ReplayResult
+		info, err := os.Stat(arg)
+		switch {
+		case err != nil:
+			fatalf("replay: %v", err)
+		case info.IsDir():
+			results, err = fuzz.ReplayDir(arg)
+			if err != nil {
+				fatalf("replay: %v", err)
+			}
+		default:
+			c, err := fuzz.LoadCase(arg)
+			if err != nil {
+				fatalf("replay: %v", err)
+			}
+			res, _, err := fuzz.RunCase(c)
+			if err != nil {
+				fatalf("replay: %v", err)
+			}
+			results = []fuzz.ReplayResult{{
+				Path: arg, Expect: c.Expect, Got: res.Class, Result: res,
+				OK: c.Expect == "" || res.Class == c.Expect,
+			}}
+		}
+		for _, r := range results {
+			total++
+			status := "ok"
+			if !r.OK {
+				status = "MISMATCH"
+				bad++
+			}
+			fmt.Printf("%-8s %s: expect %s, got %s\n", status, r.Path, orDash(string(r.Expect)), orDash(string(r.Got)))
+			if r.Result.Panic != "" {
+				fmt.Printf("         %s\n", r.Result.Panic)
+			}
+		}
+	}
+	fmt.Printf("replayed %d cases, %d mismatches\n", total, bad)
+	if bad > 0 {
+		os.Exit(2)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dvmc-fuzz: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -59,9 +59,9 @@ func main() {
 		cfg.SafetyNet = false
 	}
 
-	w, ok := dvmc.WorkloadByName(*workloadName)
-	if !ok {
-		fatalf("unknown workload %q", *workloadName)
+	w, err := dvmc.WorkloadByName(*workloadName)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	sys, err := dvmc.NewSystem(cfg, w)

@@ -15,11 +15,12 @@
 //	dvmc-trace check trace.trc
 //	dvmc-trace record -model RMO - | dvmc-trace check -
 //
-// check exits 2 when the oracle reports violations, so the pair composes
-// into shell pipelines and CI jobs.
+// Exit codes: 0 clean, 1 usage or I/O error, 2 the oracle found
+// violations — so the pair composes into shell pipelines and CI jobs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,26 +44,34 @@ func main() {
 	case "info":
 		info(os.Args[2:])
 	case "-h", "-help", "--help", "help":
-		usage()
+		printUsage()
+		os.Exit(0)
 	default:
 		fatalf("unknown subcommand %q (want record, check, or info)", os.Args[1])
 	}
 }
 
 func usage() {
+	printUsage()
+	os.Exit(1)
+}
+
+func printUsage() {
 	fmt.Fprintf(os.Stderr, `usage:
   dvmc-trace record [flags] <out.trc | ->   run a simulation, write its trace
   dvmc-trace check  <in.trc | ->            verify a trace with the offline oracle
   dvmc-trace info   <in.trc | ->            summarise a trace
 
 '-' reads from stdin / writes to stdout. 'record -h' lists its flags.
-check exits 2 if the oracle finds violations.
+
+exit codes: 0 clean, 1 usage or I/O error, 2 the oracle found
+violations.
 `)
-	os.Exit(1)
 }
 
 func record(args []string) {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
 	var (
 		workloadName = fs.String("workload", "oltp", "workload: apache|oltp|jbb|slash|barnes|uniform")
 		modelName    = fs.String("model", "TSO", "consistency model: SC|TSO|PSO|RMO")
@@ -73,7 +82,12 @@ func record(args []string) {
 		seed         = fs.Uint64("seed", 1, "simulation seed")
 		flight       = fs.Int("flight", 0, "flight-recorder mode: keep only the last N events (0 = full capture)")
 	)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(1)
+	}
 	if fs.NArg() != 1 {
 		fatalf("record: need exactly one output path (or '-' for stdout)")
 	}
@@ -100,9 +114,9 @@ func record(args []string) {
 	}
 	cfg = cfg.WithTrace(tc)
 
-	w, ok := dvmc.WorkloadByName(*workloadName)
-	if !ok {
-		fatalf("unknown workload %q", *workloadName)
+	w, err := dvmc.WorkloadByName(*workloadName)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	sys, err := dvmc.NewSystem(cfg, w)
 	if err != nil {

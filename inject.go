@@ -88,6 +88,13 @@ func AllFaultKinds() []FaultKind {
 	return out
 }
 
+// finishGraceCycles is how long an injection run keeps observing after
+// every finite program has finished and drained: long enough for
+// in-flight coherence messages and queued checker informs to settle so a
+// late violation still lands inside the observation window, short enough
+// that fuzz campaigns do not burn the whole budget on finished systems.
+const finishGraceCycles = 2000
+
 // Injection describes one fault to inject.
 type Injection struct {
 	Kind  FaultKind
@@ -356,23 +363,36 @@ func flipMessageData(m *network.Message, rng *sim.Rand) bool {
 // the fault, and observes detection. budget bounds the post-injection
 // observation window in cycles.
 func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (InjectionResult, error) {
+	res, _, err := RunInjectionSystem(cfg, w, inj, budget)
+	return res, err
+}
+
+// RunInjectionSystem is RunInjection with the finished system returned
+// for verdict extraction: dvmc-fuzz's differential check needs the
+// execution trace and the online violations alongside the injection
+// ground truth, which RunInjection's summary result discards. Finite
+// programs (workload.Custom specs) additionally end the observation
+// window early once every thread finishes and drains; the statistical
+// workload generators never finish, so RunInjection's behaviour is
+// unchanged for them.
+func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (InjectionResult, *System, error) {
 	res := InjectionResult{Injection: inj}
 	s, err := NewSystem(cfg, w)
 	if err != nil {
-		return res, err
+		return res, nil, err
 	}
 	s.SetStrict(false)
 	rng := sim.NewRand(cfg.Seed ^ (uint64(inj.Cycle)+uint64(inj.Node)*977)*0x9e3779b97f4a7c15)
 
 	// Warm up to the injection point.
-	s.kernel.RunUntil(func() bool { return false }, uint64(inj.Cycle))
+	s.kernel.RunUntil(s.Finished, uint64(inj.Cycle))
 	baseUO := s.uoEvents()
 	baseECC := s.eccCorrections()
 	baseViolations := len(s.Violations())
 
 	res.Applied = s.apply(inj, rng)
 	if !res.Applied {
-		return res, nil
+		return res, s, nil
 	}
 	res.ActivatedAt = inj.Cycle
 	detected := func() bool {
@@ -388,7 +408,22 @@ func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (Injecti
 		_ = baseUO
 		return len(s.Violations()) > baseViolations || s.eccCorrections() > baseECC
 	}
-	s.kernel.RunUntil(detected, budget)
+	// Observe until detection, or — for finite programs — until every
+	// thread has finished and drained plus a settling grace (in-flight
+	// coherence messages and queued informs can still surface a late
+	// violation), or the budget expires. Statistical workloads never
+	// finish, so their observation window is the full budget as before.
+	grace := uint64(0)
+	s.kernel.RunUntil(func() bool {
+		if detected() {
+			return true
+		}
+		if s.Finished() {
+			grace++
+			return grace > finishGraceCycles
+		}
+		return false
+	}, budget)
 	if !detected() {
 		// Give the MET a final ordered pass over settled informs.
 		s.DrainCheckers()
@@ -417,7 +452,7 @@ func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (Injecti
 			res.ActivatedAt = s.Now()
 			res.Latency = 0
 			res.Recoverable = true
-			return res, nil
+			return res, s, nil
 		case len(s.Violations()) > baseViolations:
 			res.DetectionKind = s.Violations()[baseViolations].Kind
 			res.Latency = s.Violations()[baseViolations].Cycle - res.ActivatedAt
@@ -427,7 +462,7 @@ func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (Injecti
 				// Erased by a flush before verification: masked.
 				res.Detected = false
 				res.Masked = true
-				return res, nil
+				return res, s, nil
 			}
 			res.DetectionKind = core.UOMismatch
 			res.Latency = s.Now() - res.ActivatedAt
@@ -441,7 +476,7 @@ func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (Injecti
 				_, res.Recoverable = s.snMgr.ValidFor(res.ActivatedAt)
 			}
 		}
-		return res, nil
+		return res, s, nil
 	}
 	// Undetected: classify maskable outcomes.
 	switch inj.Kind {
@@ -473,7 +508,7 @@ func RunInjection(cfg Config, w Workload, inj Injection, budget uint64) (Injecti
 		// FaultPermissionDrop, FaultSilentWrite: an undetected run is an
 		// escape, never maskable.
 	}
-	return res, nil
+	return res, s, nil
 }
 
 // CampaignResult aggregates an injection campaign.

@@ -182,3 +182,68 @@ func TestInjectionResultString(t *testing.T) {
 		t.Error("empty string")
 	}
 }
+
+// TestCampaignResultCounts checks the aggregation arithmetic over a
+// hand-built result set: not-applied results are excluded entirely, and
+// applied results partition into detected / masked / undetected.
+func TestCampaignResultCounts(t *testing.T) {
+	c := CampaignResult{Results: []InjectionResult{
+		{},                              // not applied
+		{Applied: true, Detected: true}, // detected
+		{Applied: true, Detected: true}, // detected
+		{Applied: true, Masked: true},   // masked
+		{Applied: true},                 // undetected escape
+		{Applied: true, Detected: true, Masked: true}, // detection wins over masking
+	}}
+	applied, detected, masked, undetected := c.Counts()
+	if applied != 5 || detected != 3 || masked != 1 || undetected != 1 {
+		t.Fatalf("Counts() = %d/%d/%d/%d, want 5/3/1/1", applied, detected, masked, undetected)
+	}
+}
+
+func TestCampaignResultCountsEmpty(t *testing.T) {
+	var c CampaignResult
+	applied, detected, masked, undetected := c.Counts()
+	if applied+detected+masked+undetected != 0 {
+		t.Fatalf("empty campaign counted %d/%d/%d/%d", applied, detected, masked, undetected)
+	}
+	if got := c.MaxLatency(); got != 0 {
+		t.Fatalf("empty campaign MaxLatency = %d", got)
+	}
+	if !c.AllRecoverable() {
+		t.Fatal("empty campaign must be vacuously recoverable")
+	}
+}
+
+// TestCampaignResultMaxLatency: only detected faults contribute; the
+// worst one wins.
+func TestCampaignResultMaxLatency(t *testing.T) {
+	c := CampaignResult{Results: []InjectionResult{
+		{Applied: true, Detected: true, Latency: 40},
+		{Applied: true, Detected: true, Latency: 900},
+		{Applied: true, Latency: 5000}, // undetected: latency is meaningless
+		{Applied: true, Detected: true, Latency: 7},
+	}}
+	if got := c.MaxLatency(); got != sim.Cycle(900) {
+		t.Fatalf("MaxLatency = %d, want 900", got)
+	}
+}
+
+// TestCampaignResultAllRecoverable: one unrecoverable detection poisons
+// the campaign; undetected results do not count against it.
+func TestCampaignResultAllRecoverable(t *testing.T) {
+	ok := CampaignResult{Results: []InjectionResult{
+		{Applied: true, Detected: true, Recoverable: true},
+		{Applied: true}, // undetected: recoverability not applicable
+	}}
+	if !ok.AllRecoverable() {
+		t.Fatal("campaign with only recoverable detections reported unrecoverable")
+	}
+	bad := CampaignResult{Results: []InjectionResult{
+		{Applied: true, Detected: true, Recoverable: true},
+		{Applied: true, Detected: true, Recoverable: false},
+	}}
+	if bad.AllRecoverable() {
+		t.Fatal("campaign with an unrecoverable detection reported recoverable")
+	}
+}

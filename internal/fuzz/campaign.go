@@ -1,0 +1,323 @@
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dvmc/internal/sim"
+	"dvmc/internal/stats"
+)
+
+// newCaseRand is the per-run stream: forked from the campaign master
+// seed by run index, so run i's case is independent of every other run.
+func newCaseRand(seed uint64, index int) *sim.Rand {
+	return sim.NewRand(seed).Fork(uint64(index))
+}
+
+// CampaignConfig shapes a fuzzing campaign: N independently derived
+// cases, each a pure function of (Seed, run index).
+type CampaignConfig struct {
+	// Seed is the campaign master seed.
+	Seed uint64 `json:"seed"`
+	// Runs is the number of cases to execute.
+	Runs int `json:"runs"`
+	// Workers bounds the worker pool; <=0 means 1.
+	Workers int `json:"workers"`
+	// FaultFrac is the fraction of runs that inject a fault.
+	FaultFrac float64 `json:"fault_frac"`
+	// Budget is the per-run cycle budget (whole run for fault-free
+	// cases, post-injection window for fault cases). Zero picks a
+	// default.
+	Budget uint64 `json:"budget"`
+	// CorpusDir, when nonempty, receives minimized reproducers for
+	// every failing run.
+	CorpusDir string `json:"corpus_dir,omitempty"`
+	// Minimize enables delta-debugging of failures before they are
+	// written to the corpus.
+	Minimize bool `json:"minimize"`
+	// MinimizeBudget bounds the minimizer's re-run count per failure;
+	// zero picks a default.
+	MinimizeBudget int `json:"minimize_budget,omitempty"`
+}
+
+// DefaultBudget is the per-run cycle budget when none is given: enough
+// for the default program shape to finish many times over, small enough
+// that hangs surface quickly.
+const DefaultBudget = 200_000
+
+// Validate reports configuration errors.
+func (cc CampaignConfig) Validate() error {
+	switch {
+	case cc.Runs < 1:
+		return fmt.Errorf("fuzz: Runs = %d, need >= 1", cc.Runs)
+	case cc.FaultFrac < 0 || cc.FaultFrac > 1:
+		return fmt.Errorf("fuzz: FaultFrac = %v, need 0..1", cc.FaultFrac)
+	}
+	return nil
+}
+
+// Record is one campaign run's identity and outcome.
+type Record struct {
+	Index  int       `json:"index"`
+	Case   *Case     `json:"case"`
+	Result RunResult `json:"result"`
+	// Minimized is the delta-debugged reproducer for failures (nil when
+	// minimization is off or the run passed).
+	Minimized *Case `json:"minimized,omitempty"`
+	// CorpusFile is the corpus path the reproducer was written to.
+	CorpusFile string `json:"corpus_file,omitempty"`
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Seed   uint64        `json:"seed"`
+	Runs   int           `json:"runs"`
+	Counts map[Class]int `json:"counts"`
+	// Failures counts escape + false-alarm + crash runs.
+	Failures int `json:"failures"`
+	// Latency statistics over agree-detect runs, in cycles.
+	LatencyP50  float64 `json:"latency_p50,omitempty"`
+	LatencyP99  float64 `json:"latency_p99,omitempty"`
+	LatencyMax  float64 `json:"latency_max,omitempty"`
+	LatencyHist string  `json:"latency_hist,omitempty"`
+}
+
+// Failed reports whether the campaign found any failure.
+func (s Summary) Failed() bool { return s.Failures > 0 }
+
+// String renders the classification table in reporting order.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign seed=%d runs=%d\n", s.Seed, s.Runs)
+	for _, c := range Classes {
+		if n := s.Counts[c]; n > 0 {
+			fmt.Fprintf(&b, "  %-12s %d\n", c, n)
+		}
+	}
+	if s.LatencyMax > 0 {
+		fmt.Fprintf(&b, "  detection latency p50=%.0f p99=%.0f max=%.0f cycles\n",
+			s.LatencyP50, s.LatencyP99, s.LatencyMax)
+	}
+	return b.String()
+}
+
+// Campaign is the parallel campaign driver. Each run's case derives
+// purely from (Seed, index), workers write disjoint slots of a
+// pre-allocated record table, and corpus artifacts are produced after
+// the pool drains, in ascending index order — so the campaign's entire
+// output is byte-identical across invocations and worker counts.
+type Campaign struct {
+	cfg CampaignConfig
+}
+
+// NewCampaign validates the configuration.
+func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = DefaultBudget
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MinimizeBudget <= 0 {
+		cfg.MinimizeBudget = DefaultMinimizeBudget
+	}
+	return &Campaign{cfg: cfg}, nil
+}
+
+// DeriveCase builds run index i's case: a pure function of the campaign
+// seed and the index, independent of every other run.
+func DeriveCase(seed uint64, index int, faultFrac float64, budget uint64) *Case {
+	return deriveCase(seed, index, faultFrac, budget)
+}
+
+// models and protocols the deriver cycles through.
+var (
+	caseModels    = []string{"SC", "TSO", "PSO", "RMO"}
+	caseProtocols = []string{"directory", "snooping"}
+)
+
+func deriveCase(seed uint64, index int, faultFrac float64, budget uint64) *Case {
+	// One forked stream per run index: run i's case never changes when
+	// the campaign grows or shrinks around it.
+	rng := newCaseRand(seed, index)
+
+	gp := DefaultGenParams(rng.Uint64())
+	// Perturb the program shape.
+	gp.Threads = 2 + rng.Intn(3)            // 2..4 threads
+	gp.OpsPerThread = 8 + rng.Intn(57)      // 8..64 ops
+	gp.Blocks = 1 + rng.Intn(4)             // 1..4 blocks
+	gp.WordsPerBlock = 1 + rng.Intn(4)      // 1..4 words
+	gp.ReadFrac = 0.30 + 0.40*rng.Float64() // 0.30..0.70
+	gp.RMWFrac = 0.15 * rng.Float64()       // 0..0.15
+	gp.MembarFrac = 0.15 * rng.Float64()    // 0..0.15
+	gp.Bits32Frac = 0.20 * rng.Float64()    // 0..0.20
+	gp.MaxGap = rng.Intn(5)                 // 0..4
+
+	prog, err := gp.Generate()
+	if err != nil {
+		// Unreachable: the perturbed ranges are all valid. Keep the
+		// deriver total anyway.
+		panic(err)
+	}
+
+	c := &Case{
+		Name:     fmt.Sprintf("run-%06d", index),
+		Model:    caseModels[rng.Intn(len(caseModels))],
+		Protocol: caseProtocols[rng.Intn(len(caseProtocols))],
+		Seed:     rng.Uint64(),
+		Budget:   budget,
+		DVMC:     true,
+		Program:  *prog,
+	}
+	if rng.Bool(faultFrac) {
+		names := FaultKindNames()
+		// Aim the injection at the window where the program is still
+		// running: short random programs retire a handful of ops per
+		// hundred cycles, so scale the target cycle to program size.
+		window := uint64(prog.NumOps()) * 40
+		if window < 200 {
+			window = 200
+		}
+		c.Fault = &FaultSpec{
+			Kind:  names[rng.Intn(len(names))],
+			Node:  rng.Intn(gp.Threads),
+			Cycle: 50 + rng.Uint64n(window),
+		}
+	}
+	return c
+}
+
+// Run executes the campaign and returns its records in index order.
+func (cp *Campaign) Run() ([]Record, Summary, error) {
+	cfg := cp.cfg
+	records := make([]Record, cfg.Runs)
+
+	// Bounded worker pool. This package deliberately sits outside the
+	// dvmc-lint determinism allowlist: determinism is architectural —
+	// workers only write their own slots, and every simulation is a
+	// pure function of its derived case.
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := deriveCase(cfg.Seed, i, cfg.FaultFrac, cfg.Budget)
+				res, _, err := RunCase(c)
+				if err != nil {
+					// Structural errors cannot occur for derived cases;
+					// record them as crashes so the campaign survives.
+					res = RunResult{Class: ClassCrash, Panic: err.Error()}
+				}
+				records[i] = Record{Index: i, Case: c, Result: res}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Post-pool, single-threaded: minimize and persist failures in
+	// ascending index order so corpus bytes are reproducible.
+	for i := range records {
+		rec := &records[i]
+		if !rec.Result.Class.Failure() {
+			continue
+		}
+		repro := rec.Case.Clone()
+		repro.Expect = rec.Result.Class
+		if cfg.Minimize {
+			min, err := Minimize(repro, cfg.MinimizeBudget)
+			if err == nil {
+				repro = min
+			}
+		}
+		rec.Minimized = repro
+		if cfg.CorpusDir != "" {
+			name := corpusName(rec)
+			path, err := WriteCase(cfg.CorpusDir, name, repro)
+			if err != nil {
+				return records, Summary{}, err
+			}
+			rec.CorpusFile = path
+			// Re-run the reproducer once to capture its trace next to the
+			// case, for offline inspection with dvmc-trace.
+			if _, trace, err := RunCase(repro); err == nil && len(trace) > 0 {
+				if _, err := WriteTrace(cfg.CorpusDir, name, trace); err != nil {
+					return records, Summary{}, err
+				}
+			}
+		}
+	}
+
+	return records, cp.summarize(records), nil
+}
+
+// corpusName labels a failing run's reproducer file.
+func corpusName(rec *Record) string {
+	return fmt.Sprintf("%s-seed%d-%06d", rec.Result.Class, caseSeedOf(rec), rec.Index)
+}
+
+func caseSeedOf(rec *Record) uint64 {
+	if rec.Case != nil {
+		return rec.Case.Seed
+	}
+	return 0
+}
+
+// summarize builds the classification table and latency statistics.
+func (cp *Campaign) summarize(records []Record) Summary {
+	s := Summary{
+		Seed:   cp.cfg.Seed,
+		Runs:   len(records),
+		Counts: make(map[Class]int),
+	}
+	var lat stats.Sample
+	for i := range records {
+		r := &records[i]
+		s.Counts[r.Result.Class]++
+		if r.Result.Class.Failure() {
+			s.Failures++
+		}
+		if r.Result.Class == ClassAgreeDetect {
+			lat.Add(float64(r.Result.Latency))
+		}
+	}
+	if lat.N() > 0 {
+		s.LatencyP50 = lat.Quantile(0.5)
+		s.LatencyP99 = lat.Quantile(0.99)
+		s.LatencyMax = lat.Quantile(1)
+		s.LatencyHist = stats.FormatHistogram(lat.Histogram(8))
+	}
+	return s
+}
+
+// SortRecordsByClass groups records for reporting: failures first, then
+// the rest, stable within class by index.
+func SortRecordsByClass(records []Record) []Record {
+	out := append([]Record(nil), records...)
+	rank := make(map[Class]int, len(Classes))
+	for i, c := range Classes {
+		rank[c] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		fi, fj := out[i].Result.Class.Failure(), out[j].Result.Class.Failure()
+		if fi != fj {
+			return fi
+		}
+		ri, rj := rank[out[i].Result.Class], rank[out[j].Result.Class]
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}

@@ -1,0 +1,236 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dvmc"
+)
+
+// Class is the differential classification of one run: what the online
+// checkers, the offline oracle, and the injected-fault ground truth
+// agreed (or disagreed) on.
+type Class string
+
+// The classifications. The first four are the differential verdicts; the
+// last three are campaign bookkeeping.
+const (
+	// ClassAgreeClean: no architectural error occurred (fault-free, or
+	// the fault was masked) and both referees stayed silent.
+	ClassAgreeClean Class = "agree-clean"
+	// ClassAgreeDetect: an injected fault took effect and the online
+	// checkers caught it.
+	ClassAgreeDetect Class = "agree-detect"
+	// ClassEscape: an architectural error went undetected online — the
+	// injected fault was neither detected nor masked, or the offline
+	// oracle proved an effect the online checkers missed. A false
+	// negative; the thing DVMC exists to prevent.
+	ClassEscape Class = "escape"
+	// ClassFalseAlarm: a referee flagged a run with no unmasked fault —
+	// a false positive in the online checkers or the oracle.
+	ClassFalseAlarm Class = "false-alarm"
+	// ClassNotApplied: the fault found no target (e.g. a write-buffer
+	// fault with an empty write buffer). Neutral.
+	ClassNotApplied Class = "not-applied"
+	// ClassHang: a fault-free run did not finish within its cycle
+	// budget. Neutral for classification but reported, since a
+	// reproducible hang is a liveness bug.
+	ClassHang Class = "hang"
+	// ClassCrash: the simulation panicked; the campaign's recover
+	// wrapper isolated it. Always a bug.
+	ClassCrash Class = "crash"
+)
+
+// Failure reports whether this class must fail a campaign (and is worth
+// minimizing into the corpus).
+func (c Class) Failure() bool {
+	return c == ClassEscape || c == ClassFalseAlarm || c == ClassCrash
+}
+
+// Classes lists every classification in reporting order.
+var Classes = []Class{
+	ClassAgreeClean, ClassAgreeDetect, ClassEscape,
+	ClassFalseAlarm, ClassNotApplied, ClassHang, ClassCrash,
+}
+
+// FaultSpec is the serializable form of a dvmc.Injection.
+type FaultSpec struct {
+	Kind  string `json:"kind"` // dvmc.FaultKind string name, e.g. "wb-reorder"
+	Node  int    `json:"node"`
+	Cycle uint64 `json:"cycle"`
+}
+
+// faultKindsByName maps the String() names back to kinds.
+var faultKindsByName = func() map[string]dvmc.FaultKind {
+	m := make(map[string]dvmc.FaultKind)
+	for _, k := range dvmc.AllFaultKinds() {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// FaultKindNames lists every injectable fault kind by name, in kind
+// order.
+func FaultKindNames() []string {
+	var out []string
+	for _, k := range dvmc.AllFaultKinds() {
+		out = append(out, k.String())
+	}
+	return out
+}
+
+// Injection converts the spec to the simulator's form.
+func (f FaultSpec) Injection() (dvmc.Injection, error) {
+	k, ok := faultKindsByName[f.Kind]
+	if !ok {
+		return dvmc.Injection{}, fmt.Errorf("fuzz: unknown fault kind %q (known: %s)",
+			f.Kind, strings.Join(FaultKindNames(), ", "))
+	}
+	return dvmc.Injection{Kind: k, Node: f.Node, Cycle: dvmc.Cycle(f.Cycle)}, nil
+}
+
+// Case is one complete, self-contained, replayable experiment: the
+// program, the system configuration knobs that matter, and an optional
+// fault. Cases serialize to stable JSON — the corpus format.
+type Case struct {
+	// Name labels the case in reports and corpus file names.
+	Name string `json:"name,omitempty"`
+	// Model is the consistency model: SC|TSO|PSO|RMO.
+	Model string `json:"model"`
+	// Protocol is the coherence substrate: directory|snooping.
+	Protocol string `json:"protocol"`
+	// Seed is the simulator seed (network jitter etc.).
+	Seed uint64 `json:"seed"`
+	// Budget is the cycle budget: the whole run for fault-free cases,
+	// the post-injection observation window for fault cases.
+	Budget uint64 `json:"budget"`
+	// DVMC enables the online checkers (a case with them off documents
+	// an expected escape — used to seed minimizer tests).
+	DVMC bool `json:"dvmc"`
+	// SafetyNet enables checkpoint/recovery.
+	SafetyNet bool `json:"safetynet"`
+	// Fault, when non-nil, is injected mid-run.
+	Fault *FaultSpec `json:"fault,omitempty"`
+	// Program is the litmus program under test.
+	Program Program `json:"program"`
+	// Expect records the classification this case reproduces; replay
+	// verifies it still holds.
+	Expect Class `json:"expect,omitempty"`
+}
+
+// Validate reports structural errors.
+func (c *Case) Validate() error {
+	if _, err := parseModel(c.Model); err != nil {
+		return err
+	}
+	if _, err := parseProtocol(c.Protocol); err != nil {
+		return err
+	}
+	if c.Budget == 0 {
+		return fmt.Errorf("fuzz: case %q has zero budget", c.Name)
+	}
+	if c.Fault != nil {
+		if _, err := c.Fault.Injection(); err != nil {
+			return err
+		}
+	}
+	return c.Program.Validate()
+}
+
+// Clone returns a deep copy.
+func (c *Case) Clone() *Case {
+	out := *c
+	if c.Fault != nil {
+		f := *c.Fault
+		out.Fault = &f
+	}
+	out.Program = *c.Program.Clone()
+	return &out
+}
+
+// Nodes returns the node count the case runs on: one per thread.
+func (c *Case) Nodes() int {
+	if n := c.Program.NumThreads(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// Config assembles the simulator configuration for this case.
+func (c *Case) Config() (dvmc.Config, error) {
+	model, err := parseModel(c.Model)
+	if err != nil {
+		return dvmc.Config{}, err
+	}
+	proto, err := parseProtocol(c.Protocol)
+	if err != nil {
+		return dvmc.Config{}, err
+	}
+	cfg := dvmc.ScaledConfig().
+		WithNodes(c.Nodes()).
+		WithModel(model).
+		WithProtocol(proto).
+		WithSeed(c.Seed).
+		WithTrace(dvmc.TraceOn())
+	if !c.DVMC {
+		cfg.DVMC = dvmc.Off()
+	}
+	cfg.SafetyNet = c.SafetyNet
+	return cfg, nil
+}
+
+// Encode renders the case as stable, indented JSON (byte-identical for
+// equal cases — the corpus reproducibility contract).
+func (c *Case) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCase parses and validates a serialized case.
+func DecodeCase(data []byte) (*Case, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Case
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("fuzz: decode case: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// parseModel resolves a model name.
+func parseModel(s string) (dvmc.Model, error) {
+	switch strings.ToUpper(s) {
+	case "SC":
+		return dvmc.SC, nil
+	case "TSO":
+		return dvmc.TSO, nil
+	case "PSO":
+		return dvmc.PSO, nil
+	case "RMO":
+		return dvmc.RMO, nil
+	default:
+		return 0, fmt.Errorf("fuzz: unknown model %q (want SC, TSO, PSO, or RMO)", s)
+	}
+}
+
+// parseProtocol resolves a protocol name.
+func parseProtocol(s string) (dvmc.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "directory":
+		return dvmc.Directory, nil
+	case "snooping":
+		return dvmc.Snooping, nil
+	default:
+		return 0, fmt.Errorf("fuzz: unknown protocol %q (want directory or snooping)", s)
+	}
+}

@@ -1,0 +1,121 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WriteCase persists a reproducer as <dir>/<name>.json (stable,
+// indented JSON — byte-identical for equal cases). It creates the
+// directory as needed and returns the written path.
+func WriteCase(dir, name string, c *Case) (string, error) {
+	data, err := c.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteTrace persists a run's execution trace as <dir>/<name>.trc next
+// to its reproducer, for offline oracle inspection with dvmc-trace.
+func WriteTrace(dir, name string, data []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".trc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCase reads and validates one reproducer file.
+func LoadCase(path string) (*Case, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := DecodeCase(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// CorpusFiles lists the reproducer files in a corpus directory in
+// lexical order. A missing directory is an empty corpus, not an error.
+func CorpusFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReplayResult is one corpus file's replay outcome.
+type ReplayResult struct {
+	Path   string    `json:"path"`
+	Expect Class     `json:"expect"`
+	Got    Class     `json:"got"`
+	Result RunResult `json:"result"`
+	// OK: the replay reproduced the recorded classification.
+	OK bool `json:"ok"`
+}
+
+// ReplayDir re-runs every reproducer in a corpus directory and checks
+// that each still shows its recorded classification. It returns one
+// result per file (load errors become non-OK results with the error in
+// Result.Panic) and an error only for directory-level failures.
+func ReplayDir(dir string) ([]ReplayResult, error) {
+	files, err := CorpusFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ReplayResult
+	for _, path := range files {
+		out = append(out, replayFile(path))
+	}
+	return out, nil
+}
+
+func replayFile(path string) ReplayResult {
+	rr := ReplayResult{Path: path}
+	c, err := LoadCase(path)
+	if err != nil {
+		rr.Result.Panic = err.Error()
+		return rr
+	}
+	rr.Expect = c.Expect
+	res, _, err := RunCase(c)
+	if err != nil {
+		rr.Result.Panic = err.Error()
+		return rr
+	}
+	rr.Result = res
+	rr.Got = res.Class
+	// A corpus case without a recorded expectation just has to run; one
+	// with an expectation has to reproduce it.
+	rr.OK = c.Expect == "" || res.Class == c.Expect
+	return rr
+}

@@ -1,0 +1,44 @@
+// Package fuzz is the randomized litmus-program fuzzer for the DVMC
+// simulator: it generates random multithreaded memory-operation programs
+// (explicit per-thread op lists, in contrast to internal/workload's
+// statistical generators), runs them across the consistency-model ×
+// coherence-protocol × fault matrix, and cross-checks three independent
+// verdicts per run — the online DVMC checkers, the offline trace oracle
+// (internal/oracle), and the injected-fault ground truth. Any
+// disagreement (an escape the online checkers missed, or a false alarm
+// on a clean run) is delta-debugged down to a 1-minimal reproducer and
+// written to a corpus directory that a regression test replays.
+//
+// The pieces:
+//
+//   - Program / GenParams.Generate — seed-deterministic program
+//     generation: tunable thread count, address-pool size and shape
+//     (false-sharing pressure via multiple words per block), op mix
+//     (loads, stores, RMWs, membars with random masks), Bits32 fractions,
+//     and lengths long enough to stress 16-bit logical-time wraparound.
+//   - Case / RunCase — one complete experiment (program + config + an
+//     optional fault), run through the unchanged NewSystem/RunInjection
+//     paths via workload.Custom, classified as agree-clean /
+//     agree-detect / escape / false-alarm (plus not-applied, hang, and
+//     crash for campaign bookkeeping).
+//   - Campaign / Run — the parallel campaign driver: a bounded worker
+//     pool spreads independent simulations across host cores. Each run
+//     is a pure function of (campaign seed, run index), so the
+//     classification table and corpus artifacts are byte-identical
+//     across invocations and worker counts; a per-run recover wrapper
+//     turns a panicking simulation into a "crash" classification
+//     instead of killing the campaign.
+//   - Minimize — delta debugging: drop threads, ddmin each thread's op
+//     list, weaken membar masks, simplify ops, and canonicalize the
+//     address set, re-running deterministically after every candidate
+//     until the reproducer is 1-minimal.
+//   - corpus.go — stable JSON serialization of cases, plus replay
+//     helpers used by the regression test over testdata/corpus/.
+//
+// This package deliberately lives outside the dvmc-lint determinism
+// allowlist: the worker pool uses goroutines and sync primitives, which
+// are banned inside the simulated machine. Determinism here is preserved
+// architecturally instead — workers only ever write disjoint slots of
+// the result table, and every simulation they run is itself a pure
+// function of its seed.
+package fuzz

@@ -1,0 +1,529 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// --- generator ---
+
+func TestGenerateDeterministic(t *testing.T) {
+	gp := DefaultGenParams(12345)
+	a, err := gp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations from the same params differ")
+	}
+	ea, _ := json.Marshal(a)
+	eb, _ := json.Marshal(b)
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("serialized programs differ")
+	}
+}
+
+func TestGenerateStreamSeparation(t *testing.T) {
+	// Thread t's ops must not change when another thread's length does:
+	// each thread owns a forked stream.
+	gp := DefaultGenParams(99)
+	gp.Threads = 3
+	gp.OpsPerThread = 16
+	a, err := gp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp.OpsPerThread = 64
+	b, err := gp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 3; tid++ {
+		if !reflect.DeepEqual(a.Threads[tid], b.Threads[tid][:16]) {
+			t.Fatalf("thread %d prefix changed when program length grew", tid)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	gp := DefaultGenParams(7)
+	gp.Threads = 5
+	gp.OpsPerThread = 200
+	gp.MembarFrac = 0.2
+	gp.RMWFrac = 0.2
+	p, err := gp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumThreads() != 5 || p.NumOps() != 1000 {
+		t.Fatalf("shape = %d threads x %d ops", p.NumThreads(), p.NumOps())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated program invalid: %v", err)
+	}
+	kinds := map[string]int{}
+	for _, ops := range p.Threads {
+		for _, o := range ops {
+			kinds[o.Kind]++
+		}
+	}
+	for _, k := range []string{KindLoad, KindStore, KindRMW, KindMembar} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s ops in a 1000-op program", k)
+		}
+	}
+}
+
+func TestGenParamsValidate(t *testing.T) {
+	bad := []GenParams{
+		{Threads: 0, OpsPerThread: 1, Blocks: 1, WordsPerBlock: 1},
+		{Threads: 1, OpsPerThread: 0, Blocks: 1, WordsPerBlock: 1},
+		{Threads: 1, OpsPerThread: 1, Blocks: 0, WordsPerBlock: 1},
+		{Threads: 1, OpsPerThread: 1, Blocks: 1, WordsPerBlock: 9},
+		{Threads: 1, OpsPerThread: 1, Blocks: 1, WordsPerBlock: 1, ReadFrac: 1.5},
+		{Threads: 1, OpsPerThread: 1, Blocks: 1, WordsPerBlock: 1, RMWFrac: 0.6, MembarFrac: 0.6},
+		{Threads: 1, OpsPerThread: 1, Blocks: 1, WordsPerBlock: 1, MaxGap: -1},
+	}
+	for i, gp := range bad {
+		if err := gp.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, gp)
+		}
+	}
+}
+
+// --- case serialization ---
+
+func TestCaseEncodeDecodeRoundTrip(t *testing.T) {
+	gp := DefaultGenParams(3)
+	prog, err := gp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Case{
+		Name: "rt", Model: "PSO", Protocol: "snooping", Seed: 11,
+		Budget: 1000, DVMC: true, SafetyNet: true,
+		Fault:   &FaultSpec{Kind: "wb-drop", Node: 1, Cycle: 50},
+		Program: *prog, Expect: ClassAgreeDetect,
+	}
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCase(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatal("decode(encode(c)) != c")
+	}
+	data2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+}
+
+func TestDecodeCaseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{"model":"SC","protocol":"directory","budget":1}`, // no threads
+		`{"model":"??","protocol":"directory","budget":1,"program":{"threads":[[]]}}`,
+		`{"model":"SC","protocol":"??","budget":1,"program":{"threads":[[]]}}`,
+		`{"model":"SC","protocol":"directory","budget":0,"program":{"threads":[[]]}}`,
+		`{"model":"SC","protocol":"directory","budget":1,"bogus":1,"program":{"threads":[[]]}}`,
+		`{"model":"SC","protocol":"directory","budget":1,"fault":{"kind":"nope"},"program":{"threads":[[]]}}`,
+	} {
+		if _, err := DecodeCase([]byte(bad)); err == nil {
+			t.Errorf("DecodeCase accepted %s", bad)
+		}
+	}
+}
+
+func TestOpValidate(t *testing.T) {
+	bad := []Op{
+		{Kind: "jump"},
+		{Kind: KindLoad, Addr: 3},
+		{Kind: KindRMW, Addr: 0, RMW: "frobnicate"},
+		{Kind: KindMembar, Mask: 0},
+		{Kind: KindMembar, Mask: 0xFF},
+		{Kind: KindLoad, Gap: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+	}
+}
+
+// --- running and classification ---
+
+func cleanCase(seed uint64) *Case {
+	gp := DefaultGenParams(seed)
+	gp.Threads = 2
+	gp.OpsPerThread = 12
+	prog, err := gp.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return &Case{
+		Name: "clean", Model: "SC", Protocol: "directory", Seed: seed,
+		Budget: DefaultBudget, DVMC: true, Program: *prog,
+	}
+}
+
+func TestRunCaseCleanAgree(t *testing.T) {
+	res, trace, err := RunCase(cleanCase(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassAgreeClean {
+		t.Fatalf("clean case classified %s (detail %q)", res.Class, res.Detail)
+	}
+	if !res.Finished {
+		t.Fatal("clean case did not finish")
+	}
+	if len(trace) == 0 {
+		t.Fatal("no trace captured")
+	}
+}
+
+func TestRunCaseDeterministic(t *testing.T) {
+	a, ta, err := RunCase(cleanCase(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, tb, err := RunCase(cleanCase(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("results differ: %+v vs %+v", a, b)
+	}
+	if !bytes.Equal(ta, tb) {
+		t.Fatal("traces differ across identical runs")
+	}
+}
+
+func TestRunCaseHang(t *testing.T) {
+	c := cleanCase(5)
+	c.Budget = 10 // far too small to finish
+	res, _, err := RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassHang {
+		t.Fatalf("starved case classified %s", res.Class)
+	}
+	if res.Class.Failure() {
+		t.Fatal("hang must not be a campaign failure")
+	}
+}
+
+func TestRunCaseCrashRecovered(t *testing.T) {
+	// A fault pinned to a negative node panics inside the injector
+	// (Go's % keeps the sign, so the controller index goes negative);
+	// RunCase must recover it into a crash classification — the campaign
+	// driver relies on this to survive hostile cases.
+	c := cleanCase(8)
+	c.Fault = &FaultSpec{Kind: "ctrl-silent-write", Node: -1, Cycle: 100}
+	res, trace, err := RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassCrash {
+		t.Fatalf("out-of-range fault node classified %s", res.Class)
+	}
+	if res.Panic == "" {
+		t.Fatal("crash result lost the panic message")
+	}
+	if trace != nil {
+		t.Fatal("crash result carried a trace")
+	}
+}
+
+func TestRunCaseFaultDetected(t *testing.T) {
+	// A coherence-message drop under active sharing triggers the
+	// timeout/checker machinery: it must classify agree-detect (or, if
+	// the drop happens to hit nothing, not-applied) — never escape.
+	gp := DefaultGenParams(17)
+	gp.Threads = 4
+	gp.OpsPerThread = 48
+	gp.Blocks = 2
+	prog, err := gp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Case{
+		Name: "drop", Model: "TSO", Protocol: "directory", Seed: 17,
+		Budget: DefaultBudget, DVMC: true,
+		Fault:   &FaultSpec{Kind: "msg-drop", Node: 1, Cycle: 400},
+		Program: *prog,
+	}
+	res, _, err := RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassAgreeDetect && res.Class != ClassNotApplied {
+		t.Fatalf("msg-drop classified %s (detail %q)", res.Class, res.Detail)
+	}
+	if res.Class == ClassAgreeDetect && res.Latency == 0 && res.Detail == "" {
+		t.Fatal("detection carried no latency or detail")
+	}
+}
+
+// seededEscapeCase builds the canonical deterministic escape: online
+// checkers off, a never-maskable silent write injected at a node whose
+// L2 provably holds a block (each thread hammers its own private block,
+// so node 0 owns block 0 for the whole run).
+func seededEscapeCase() *Case {
+	prog := &Program{Threads: make([][]Op, 4)}
+	for th := 0; th < 4; th++ {
+		base := uint64(th) * 64
+		for i := 0; i < 24; i++ {
+			op := Op{Kind: KindLoad, Addr: base}
+			if i%3 == 0 {
+				op = Op{Kind: KindStore, Addr: base, Data: uint64(th+1)<<32 | uint64(i+1)}
+			}
+			prog.Threads[th] = append(prog.Threads[th], op)
+		}
+	}
+	return &Case{
+		Name: "seeded-escape", Model: "TSO", Protocol: "directory", Seed: 7,
+		Budget: DefaultBudget, DVMC: false,
+		Fault:   &FaultSpec{Kind: "ctrl-silent-write", Node: 0, Cycle: 6000},
+		Program: *prog,
+	}
+}
+
+func TestRunCaseSeededEscape(t *testing.T) {
+	res, _, err := RunCase(seededEscapeCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassEscape {
+		t.Fatalf("silent write with checkers off classified %s, want escape", res.Class)
+	}
+	if !res.Applied || res.Detected {
+		t.Fatalf("ground truth applied=%v detected=%v", res.Applied, res.Detected)
+	}
+}
+
+// --- minimizer ---
+
+func TestMinimizeSeededEscape(t *testing.T) {
+	c := seededEscapeCase()
+	c.Expect = ClassEscape
+	min, err := Minimize(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := min.Program.NumThreads(); got > 2 {
+		t.Errorf("minimized to %d threads, want <= 2", got)
+	}
+	if got := min.Program.NumOps(); got > 8 {
+		t.Errorf("minimized to %d ops, want <= 8", got)
+	}
+	// The shrink must still reproduce.
+	res, _, err := RunCase(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassEscape {
+		t.Fatalf("minimized case classified %s", res.Class)
+	}
+	// And be deterministic: minimizing twice gives identical bytes.
+	min2, err := Minimize(seededEscapeCaseWithExpect(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := min.Encode()
+	b, _ := min2.Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("minimizer output differs across runs")
+	}
+}
+
+func seededEscapeCaseWithExpect() *Case {
+	c := seededEscapeCase()
+	c.Expect = ClassEscape
+	return c
+}
+
+func TestMinimizeRejectsNonReproducing(t *testing.T) {
+	c := cleanCase(4)
+	c.Expect = ClassEscape // a clean case cannot reproduce an escape
+	if _, err := Minimize(c, 50); err == nil {
+		t.Fatal("Minimize accepted a non-reproducing expectation")
+	}
+}
+
+func TestMinimizePreservesValidation(t *testing.T) {
+	c := seededEscapeCaseWithExpect()
+	min, err := Minimize(c, 300) // tight budget: still must return valid
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("minimized case invalid: %v", err)
+	}
+}
+
+// --- campaign ---
+
+func TestDeriveCaseDeterministic(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		a := DeriveCase(101, i, 0.5, DefaultBudget)
+		b := DeriveCase(101, i, 0.5, DefaultBudget)
+		ea, _ := a.Encode()
+		eb, _ := b.Encode()
+		if !bytes.Equal(ea, eb) {
+			t.Fatalf("run %d derives differently across calls", i)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("derived case %d invalid: %v", i, err)
+		}
+	}
+}
+
+func campaignRecordsJSON(t *testing.T, workers int, dir string) ([]byte, Summary) {
+	t.Helper()
+	cp, err := NewCampaign(CampaignConfig{
+		Seed: 2024, Runs: 24, Workers: workers, FaultFrac: 0.5,
+		CorpusDir: dir, Minimize: true, MinimizeBudget: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, sum, err := cp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CorpusFile embeds the (differing) temp dir; reduce it to the base
+	// name so record comparison checks only campaign-determined content.
+	for i := range recs {
+		if recs[i].CorpusFile != "" {
+			recs[i].CorpusFile = filepath.Base(recs[i].CorpusFile)
+		}
+	}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, sum
+}
+
+func TestCampaignReproducibleAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	d1, s1 := campaignRecordsJSON(t, 1, t.TempDir())
+	d4, s4 := campaignRecordsJSON(t, 4, t.TempDir())
+	if !bytes.Equal(d1, d4) {
+		t.Fatal("records differ between workers=1 and workers=4")
+	}
+	if !reflect.DeepEqual(s1, s4) {
+		t.Fatalf("summaries differ: %+v vs %+v", s1, s4)
+	}
+	if s1.Runs != 24 {
+		t.Fatalf("Runs = %d", s1.Runs)
+	}
+	total := 0
+	for _, n := range s1.Counts {
+		total += n
+	}
+	if total != 24 {
+		t.Fatalf("class counts sum to %d", total)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Seed: 9, Runs: 3, Counts: map[Class]int{
+		ClassAgreeClean: 2, ClassEscape: 1,
+	}, Failures: 1}
+	out := s.String()
+	for _, want := range []string{"seed=9", "runs=3", "agree-clean", "escape"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+	if !s.Failed() {
+		t.Fatal("summary with an escape must report failure")
+	}
+}
+
+func TestSortRecordsByClass(t *testing.T) {
+	recs := []Record{
+		{Index: 0, Result: RunResult{Class: ClassAgreeClean}},
+		{Index: 1, Result: RunResult{Class: ClassCrash}},
+		{Index: 2, Result: RunResult{Class: ClassEscape}},
+		{Index: 3, Result: RunResult{Class: ClassEscape}},
+	}
+	got := SortRecordsByClass(recs)
+	wantIdx := []int{2, 3, 1, 0} // escapes first (stable by index), then crash, then clean
+	for i, w := range wantIdx {
+		if got[i].Index != w {
+			t.Fatalf("position %d: got index %d, want %d", i, got[i].Index, w)
+		}
+	}
+}
+
+// --- corpus ---
+
+func TestCorpusWriteLoadReplay(t *testing.T) {
+	dir := t.TempDir()
+	c := seededEscapeCaseWithExpect()
+	path, err := WriteCase(dir, "escape-silent-write", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatal("corpus round trip lost data")
+	}
+	results, err := ReplayDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].OK {
+		t.Fatalf("replay = %+v", results)
+	}
+	if results[0].Got != ClassEscape {
+		t.Fatalf("replay class = %s", results[0].Got)
+	}
+}
+
+func TestReplayDirMissing(t *testing.T) {
+	results, err := ReplayDir(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(results) != 0 {
+		t.Fatalf("missing dir: results=%v err=%v", results, err)
+	}
+}
+
+// TestCorpusRegression replays the committed corpus: every reproducer
+// must still show its recorded classification.
+func TestCorpusRegression(t *testing.T) {
+	results, err := ReplayDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("committed corpus is empty")
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("%s: expect %s, got %s (%s)", r.Path, r.Expect, r.Got, r.Result.Panic)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"dvmc/internal/consistency"
+	"dvmc/internal/mem"
+	"dvmc/internal/sim"
+)
+
+// GenParams shapes one randomly generated program. Every choice the
+// generator makes is drawn from a sim.Rand stream seeded by Seed, so a
+// (GenParams, Seed) pair is a complete, reproducible program identity.
+type GenParams struct {
+	Seed uint64 `json:"seed"`
+
+	// Threads is the thread (= node) count.
+	Threads int `json:"threads"`
+	// OpsPerThread is the length of each thread's op list. Long programs
+	// (thousands of ops) push logical time toward 16-bit wraparound.
+	OpsPerThread int `json:"ops_per_thread"`
+
+	// Blocks is the shared address-pool size in 64-byte blocks. Small
+	// pools maximize inter-thread contention.
+	Blocks int `json:"blocks"`
+	// WordsPerBlock is how many distinct words of each block the pool
+	// exposes (1..8). Values above 1 create false-sharing pressure:
+	// threads hit the same coherence unit at different words.
+	WordsPerBlock int `json:"words_per_block"`
+
+	// ReadFrac is the fraction of data ops that are loads.
+	ReadFrac float64 `json:"read_frac"`
+	// RMWFrac is the fraction of ops that are atomic read-modify-writes.
+	RMWFrac float64 `json:"rmw_frac"`
+	// MembarFrac is the fraction of ops that are membars with random
+	// nonzero masks.
+	MembarFrac float64 `json:"membar_frac"`
+	// Bits32Frac is the fraction of data ops marked as 32-bit (TSO-forced)
+	// code.
+	Bits32Frac float64 `json:"bits32_frac"`
+
+	// MaxGap bounds the random compute gap before each op.
+	MaxGap int `json:"max_gap"`
+}
+
+// DefaultGenParams returns a small, highly contended program shape: the
+// campaign driver perturbs it per run.
+func DefaultGenParams(seed uint64) GenParams {
+	return GenParams{
+		Seed:          seed,
+		Threads:       4,
+		OpsPerThread:  32,
+		Blocks:        4,
+		WordsPerBlock: 4,
+		ReadFrac:      0.45,
+		RMWFrac:       0.10,
+		MembarFrac:    0.10,
+		Bits32Frac:    0.10,
+		MaxGap:        4,
+	}
+}
+
+// Validate reports parameter errors.
+func (g GenParams) Validate() error {
+	switch {
+	case g.Threads < 1 || g.Threads > 64:
+		return fmt.Errorf("fuzz: Threads = %d, need 1..64", g.Threads)
+	case g.OpsPerThread < 1:
+		return fmt.Errorf("fuzz: OpsPerThread = %d", g.OpsPerThread)
+	case g.Blocks < 1:
+		return fmt.Errorf("fuzz: Blocks = %d", g.Blocks)
+	case g.WordsPerBlock < 1 || g.WordsPerBlock > mem.WordsPerBlock:
+		return fmt.Errorf("fuzz: WordsPerBlock = %d, need 1..%d", g.WordsPerBlock, mem.WordsPerBlock)
+	case g.ReadFrac < 0 || g.ReadFrac > 1:
+		return fmt.Errorf("fuzz: ReadFrac = %v", g.ReadFrac)
+	case g.RMWFrac < 0 || g.MembarFrac < 0 || g.RMWFrac+g.MembarFrac > 1:
+		return fmt.Errorf("fuzz: RMWFrac/MembarFrac = %v/%v", g.RMWFrac, g.MembarFrac)
+	case g.Bits32Frac < 0 || g.Bits32Frac > 1:
+		return fmt.Errorf("fuzz: Bits32Frac = %v", g.Bits32Frac)
+	case g.MaxGap < 0:
+		return fmt.Errorf("fuzz: MaxGap = %d", g.MaxGap)
+	}
+	return nil
+}
+
+// Generate builds the program for these parameters. Each thread forks its
+// own random stream, so thread 2's ops do not change when thread 1's
+// length does — the same stream-separation discipline the simulator uses.
+func (g GenParams) Generate() (*Program, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	base := sim.NewRand(g.Seed)
+	p := &Program{Threads: make([][]Op, g.Threads)}
+	for t := 0; t < g.Threads; t++ {
+		rng := base.Fork(uint64(t) + 0x0f5a)
+		ops := make([]Op, 0, g.OpsPerThread)
+		for i := 0; i < g.OpsPerThread; i++ {
+			ops = append(ops, g.genOp(rng, t, i))
+		}
+		p.Threads[t] = ops
+	}
+	return p, nil
+}
+
+// genOp draws one op. Store values are unique nonzero words tagged with
+// (thread, index) so the offline oracle's value checks — "did anyone
+// ever write this?" — discriminate as sharply as possible.
+func (g GenParams) genOp(rng *sim.Rand, thread, index int) Op {
+	roll := rng.Float64()
+	switch {
+	case roll < g.MembarFrac:
+		return Op{
+			Kind: KindMembar,
+			Mask: uint8(1 + rng.Intn(int(consistency.FullMask))), // nonzero 4-bit mask
+			Gap:  g.gap(rng),
+		}
+	case roll < g.MembarFrac+g.RMWFrac:
+		return Op{
+			Kind:   KindRMW,
+			Addr:   g.addr(rng),
+			RMW:    RMWNames[rng.Intn(len(RMWNames))],
+			Gap:    g.gap(rng),
+			Bits32: rng.Bool(g.Bits32Frac),
+		}
+	default:
+		op := Op{
+			Addr:   g.addr(rng),
+			Gap:    g.gap(rng),
+			Bits32: rng.Bool(g.Bits32Frac),
+		}
+		if rng.Bool(g.ReadFrac) {
+			op.Kind = KindLoad
+		} else {
+			op.Kind = KindStore
+			op.Data = uint64(thread+1)<<32 | uint64(index+1)
+		}
+		return op
+	}
+}
+
+// addr draws a word address from the contended pool.
+func (g GenParams) addr(rng *sim.Rand) uint64 {
+	block := rng.Intn(g.Blocks)
+	word := rng.Intn(g.WordsPerBlock)
+	return uint64(block)*mem.BlockBytes + uint64(word)*mem.WordBytes
+}
+
+func (g GenParams) gap(rng *sim.Rand) int {
+	if g.MaxGap == 0 {
+		return 0
+	}
+	return rng.Intn(g.MaxGap + 1)
+}

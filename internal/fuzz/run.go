@@ -1,0 +1,165 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"dvmc"
+)
+
+// RunResult is the outcome of one case execution.
+type RunResult struct {
+	Class Class `json:"class"`
+	// Online and Oracle are the referees' violation counts.
+	Online int `json:"online,omitempty"`
+	Oracle int `json:"oracle,omitempty"`
+	// Applied/Detected/Masked are the injection ground truth (fault
+	// cases only).
+	Applied  bool `json:"applied,omitempty"`
+	Detected bool `json:"detected,omitempty"`
+	Masked   bool `json:"masked,omitempty"`
+	// Latency is the online detection latency in cycles.
+	Latency uint64 `json:"latency,omitempty"`
+	// Cycles is simulated time consumed; Finished whether every thread
+	// completed and drained.
+	Cycles   uint64 `json:"cycles"`
+	Finished bool   `json:"finished"`
+	// Panic carries the recovered panic message for crash runs.
+	Panic string `json:"panic,omitempty"`
+	// Detail is a short human-readable summary of the first finding.
+	Detail string `json:"detail,omitempty"`
+}
+
+// RunCase executes one case deterministically and classifies the
+// outcome. Panics anywhere inside the simulator are recovered into a
+// crash classification — the campaign driver relies on this to survive
+// hostile generated programs. The returned trace is the run's captured
+// execution trace (nil for crashes), written next to corpus reproducers.
+func RunCase(c *Case) (res RunResult, traceBytes []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = RunResult{Class: ClassCrash, Panic: fmt.Sprint(r)}
+			traceBytes = nil
+			err = nil
+		}
+	}()
+	if err := c.Validate(); err != nil {
+		return RunResult{}, nil, err
+	}
+	cfg, err := c.Config()
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	w := c.Program.Spec(caseName(c))
+
+	if c.Fault == nil {
+		sys, err := dvmc.NewSystem(cfg, w)
+		if err != nil {
+			return RunResult{}, nil, err
+		}
+		r, finished := sys.RunToCompletion(c.Budget)
+		verdict, err := sys.Verdict()
+		if err != nil {
+			return RunResult{}, nil, err
+		}
+		res := RunResult{
+			Online:   len(verdict.Online),
+			Oracle:   oracleCount(verdict),
+			Cycles:   r.Cycles,
+			Finished: finished,
+		}
+		res.Class, res.Detail = classifyClean(verdict, finished)
+		data, err := sys.TraceBytes()
+		if err != nil {
+			return res, nil, err
+		}
+		return res, data, nil
+	}
+
+	inj, err := c.Fault.Injection()
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	ir, sys, err := dvmc.RunInjectionSystem(cfg, w, inj, c.Budget)
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	verdict, err := sys.Verdict()
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	res = RunResult{
+		Online:   len(verdict.Online),
+		Oracle:   oracleCount(verdict),
+		Applied:  ir.Applied,
+		Detected: ir.Detected,
+		Masked:   ir.Masked,
+		Latency:  uint64(ir.Latency),
+		Cycles:   uint64(sys.Now()),
+		Finished: sys.Finished(),
+	}
+	res.Class, res.Detail = classifyFault(ir, verdict)
+	data, err := sys.TraceBytes()
+	if err != nil {
+		return res, nil, err
+	}
+	return res, data, nil
+}
+
+// classifyClean judges a fault-free run: ground truth says nothing went
+// wrong, so any referee noise is a false alarm.
+func classifyClean(v dvmc.RunVerdict, finished bool) (Class, string) {
+	switch {
+	case !v.CleanOnline():
+		return ClassFalseAlarm, "online: " + v.Online[0].String()
+	case !v.CleanOracle():
+		return ClassFalseAlarm, "oracle: " + v.Oracle.Violations[0].String()
+	case !finished:
+		return ClassHang, "programs did not finish within the cycle budget"
+	default:
+		return ClassAgreeClean, ""
+	}
+}
+
+// classifyFault judges an injected-fault run against three verdicts: the
+// injection ground truth, the online checkers, and the offline oracle.
+//
+//   - detected online           -> agree-detect (the oracle may stay
+//     silent for fault classes it cannot see, e.g. ECC-corrected flips
+//     or protocol hangs; that is incompleteness, not disagreement)
+//   - masked, both silent       -> agree-clean (no architectural effect)
+//   - masked, oracle flags      -> escape (the masking heuristic was
+//     wrong: the oracle proved an architectural effect the online
+//     checkers missed)
+//   - unmasked, undetected      -> escape (the classic false negative,
+//     whether or not the oracle also caught it)
+func classifyFault(ir dvmc.InjectionResult, v dvmc.RunVerdict) (Class, string) {
+	switch {
+	case !ir.Applied:
+		return ClassNotApplied, ""
+	case ir.Detected:
+		return ClassAgreeDetect, fmt.Sprintf("detected as %v after %d cycles", ir.DetectionKind, ir.Latency)
+	case ir.Masked:
+		if !v.CleanOracle() {
+			return ClassEscape, "masked per ground truth, but oracle: " + v.Oracle.Violations[0].String()
+		}
+		return ClassAgreeClean, "fault masked without architectural effect"
+	case !v.CleanOracle():
+		return ClassEscape, "undetected online; oracle: " + v.Oracle.Violations[0].String()
+	default:
+		return ClassEscape, "undetected by online checkers and oracle"
+	}
+}
+
+func oracleCount(v dvmc.RunVerdict) int {
+	if v.Oracle == nil {
+		return 0
+	}
+	return len(v.Oracle.Violations)
+}
+
+func caseName(c *Case) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return "fuzz"
+}

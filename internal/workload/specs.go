@@ -1,5 +1,11 @@
 package workload
 
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
 // The named workloads mirror paper Table 8. Footprints are scaled to the
 // simulator's cache geometry (DESIGN.md documents the substitution); the
 // 32-bit fractions are assumptions in the spirit of Table 8 — the paper's
@@ -152,15 +158,29 @@ func All() []Spec {
 	return []Spec{Apache(), OLTP(), JBB(), Slashcode(), Barnes()}
 }
 
-// ByName returns the named workload spec.
-func ByName(name string) (Spec, bool) {
+// Names returns every known workload name, sorted.
+func Names() []string {
+	names := []string{"uniform"}
 	for _, s := range All() {
-		if s.Name == name {
-			return s, true
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the named workload spec. The lookup is case-insensitive
+// ("OLTP" and "oltp" are the same workload); the not-found error lists
+// the known names so CLI users see their options.
+func ByName(name string) (Spec, error) {
+	lower := strings.ToLower(name)
+	for _, s := range All() {
+		if s.Name == lower {
+			return s, nil
 		}
 	}
-	if name == "uniform" {
-		return Uniform(1024, 0.7), true
+	if lower == "uniform" {
+		return Uniform(1024, 0.7), nil
 	}
-	return Spec{}, false
+	return Spec{}, fmt.Errorf("workload: unknown workload %q (known: %s)",
+		name, strings.Join(Names(), ", "))
 }

@@ -113,8 +113,32 @@ type Spec struct {
 	// Model is the consistency model the workload is "compiled" for;
 	// it controls which membars the generator emits.
 	Model consistency.Model
+	// Build, when non-nil, constructs each thread's program directly and
+	// overrides the statistical generators: Params are then ignored (and
+	// need not validate). This is the programmatic-construction hook used
+	// by dvmc-fuzz, whose randomized litmus programs are explicit op lists
+	// rather than parameterized state machines. Implementations must be
+	// deterministic in (thread, seed) and honour proc.Program's
+	// snapshot/restore contract.
+	Build func(thread int, seed uint64) proc.Program
 	// barnes switches to the phase-structured N-body generator.
 	barnes bool
+}
+
+// Custom wraps an explicit per-thread program builder as a Spec, so
+// programmatically constructed programs (randomized litmus tests, hand-
+// written reproducers) plug into NewSystem/RunInjection unchanged.
+func Custom(name string, build func(thread int, seed uint64) proc.Program) Spec {
+	return Spec{Name: name, Build: build}
+}
+
+// Validate reports spec errors: custom-built specs need only a builder,
+// generator-backed specs need valid Params.
+func (s Spec) Validate() error {
+	if s.Build != nil {
+		return nil
+	}
+	return s.Params.Validate()
 }
 
 // WithModel returns a copy of the spec targeting the given model.
@@ -132,6 +156,9 @@ func (s Spec) WithThreads(n int) Spec {
 // NewProgram builds the program for one thread. Two threads with the
 // same seed and different ids produce uncorrelated streams.
 func (s Spec) NewProgram(thread int, seed uint64) proc.Program {
+	if s.Build != nil {
+		return s.Build(thread, seed)
+	}
 	if err := s.Params.Validate(); err != nil {
 		panic(err)
 	}

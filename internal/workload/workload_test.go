@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sort"
+	"strings"
 	"testing"
 
 	"dvmc/internal/consistency"
@@ -48,12 +50,34 @@ func TestAllSpecsValidate(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	for _, name := range []string{"apache", "oltp", "jbb", "slash", "barnes", "uniform"} {
-		if _, ok := ByName(name); !ok {
-			t.Errorf("ByName(%q) not found", name)
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
 		}
 	}
-	if _, ok := ByName("nope"); ok {
-		t.Error("ByName accepted an unknown workload")
+	// Case-insensitive: the CLIs accept "OLTP" and "Slash".
+	for _, name := range []string{"OLTP", "Apache", "SLASH", "Uniform"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("ByName accepted an unknown workload")
+	}
+	// The error must list every known name, sorted, for CLI users.
+	want := "apache, barnes, jbb, oltp, slash, uniform"
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("ByName error %q does not list known names %q", err, want)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if len(names) != 6 {
+		t.Errorf("Names() = %v, want 6 entries", names)
 	}
 }
 

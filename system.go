@@ -17,19 +17,24 @@ import (
 // Workload re-exports the workload specification type.
 type Workload = workload.Spec
 
-// The five paper workloads (Table 8) and the synthetic stress generator.
+// The five paper workloads (Table 8), the synthetic stress generator,
+// and the programmatic-construction hook (explicit per-thread programs;
+// dvmc-fuzz builds its randomized litmus specs this way).
 var (
-	Apache    = workload.Apache
-	OLTP      = workload.OLTP
-	JBB       = workload.JBB
-	Slashcode = workload.Slashcode
-	Barnes    = workload.Barnes
-	Uniform   = workload.Uniform
-	Workloads = workload.All
+	Apache         = workload.Apache
+	OLTP           = workload.OLTP
+	JBB            = workload.JBB
+	Slashcode      = workload.Slashcode
+	Barnes         = workload.Barnes
+	Uniform        = workload.Uniform
+	CustomWorkload = workload.Custom
+	Workloads      = workload.All
+	WorkloadNames  = workload.Names
 )
 
-// WorkloadByName resolves a workload by its Table 8 name.
-func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+// WorkloadByName resolves a workload by its Table 8 name
+// (case-insensitive); the error lists the known names.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
 
 // Violation re-exports the checker violation record.
 type Violation = core.Violation
@@ -127,7 +132,7 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := w.Params.Validate(); err != nil {
+	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	w = w.WithThreads(cfg.Nodes).WithModel(cfg.Model)
@@ -338,6 +343,28 @@ func (s *System) RunCycles(n uint64) Results {
 	start := s.kernel.Now()
 	s.kernel.RunUntil(func() bool { return s.stop }, n)
 	return s.results(start)
+}
+
+// Finished reports whether every thread's program ended and every
+// pipeline and write buffer drained. The statistical workload generators
+// never finish; explicit finite programs (workload.Custom, dvmc-fuzz) do.
+func (s *System) Finished() bool {
+	for _, c := range s.cpus {
+		if !c.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunToCompletion simulates until every program finishes and drains, a
+// violation stops the run (with StopOnViolation), or the cycle budget
+// expires. It reports whether the programs completed within the budget.
+// Only meaningful for finite programs (workload.Custom specs).
+func (s *System) RunToCompletion(maxCycles uint64) (Results, bool) {
+	start := s.kernel.Now()
+	s.kernel.RunUntil(func() bool { return s.stop || s.Finished() }, maxCycles)
+	return s.results(start), s.Finished()
 }
 
 // DrainCheckers forces the MET priority queues to process every queued
