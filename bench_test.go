@@ -166,7 +166,7 @@ func BenchmarkFigure9(b *testing.B) {
 // fault-injection campaign per model and protocol.
 func BenchmarkErrorDetection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := ErrorDetectionTable(6, 300_000, 42)
+		t, err := ErrorDetectionTable(6, 300_000, 42, 1)
 		reportTable(b, t, err)
 		var applied, detected, undetected float64
 		for i := range t.Rows {

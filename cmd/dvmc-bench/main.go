@@ -3,47 +3,96 @@
 // breakdown, replay misses, link bandwidth, and the two sensitivity
 // sweeps) plus the Section 6.1 error-detection campaign.
 //
+// The figure matrices fan out over a bounded worker pool (-workers;
+// default: host CPUs). Tables are byte-identical at any worker count —
+// every simulation is a sealed deterministic machine and workers write
+// disjoint result slots; -compare re-runs each figure serially and
+// fails if the parallel table differs.
+//
+// With -json the run also executes the checker microbenchmarks
+// (ns/op + allocs/op for the VC-replay, CET-update, MET-inform, event
+// queue, torus, and trace-encode hot paths) and writes a machine-
+// readable report.
+//
 // Example:
 //
 //	dvmc-bench -fig all -reps 3 -txns 150
-//	dvmc-bench -fig 5
-//	dvmc-bench -fig errors
+//	dvmc-bench -fig 5 -json BENCH.json
+//	dvmc-bench -fig all -workers 8 -compare -json BENCH_PR4.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dvmc"
 )
 
+type figureReport struct {
+	Key            string  `json:"key"`
+	Name           string  `json:"name"`
+	WallMS         float64 `json:"wall_ms"`
+	SerialWallMS   float64 `json:"serial_wall_ms,omitempty"`
+	SpeedupPercent float64 `json:"speedup_percent,omitempty"`
+	Identical      *bool   `json:"tables_identical,omitempty"`
+}
+
+type microReport struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	GoVersion    string         `json:"go_version"`
+	GOOS         string         `json:"goos"`
+	GOARCH       string         `json:"goarch"`
+	CPUs         int            `json:"cpus"`
+	Workers      int            `json:"workers"`
+	Repetitions  int            `json:"repetitions"`
+	Transactions uint64         `json:"transactions"`
+	Compared     bool           `json:"compared_serial_vs_parallel"`
+	Figures      []figureReport `json:"figures"`
+	Micro        []microReport  `json:"microbenchmarks"`
+}
+
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|errors|all")
-		reps = flag.Int("reps", 3, "perturbed repetitions per configuration")
-		txns = flag.Uint64("txns", 120, "transactions per run")
+		fig      = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|errors|all")
+		reps     = flag.Int("reps", 3, "perturbed repetitions per configuration")
+		txns     = flag.Uint64("txns", 120, "transactions per run")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for the figure matrices (1 = serial)")
+		jsonPath = flag.String("json", "", "write a machine-readable report (wall clocks + checker microbenchmarks) to this file")
+		compare  = flag.Bool("compare", false, "re-run each figure serially and fail unless the parallel table is identical")
 	)
 	flag.Parse()
 
 	opts := dvmc.DefaultExperimentOpts()
 	opts.Repetitions = *reps
 	opts.Transactions = *txns
+	opts.Workers = *workers
 
 	type job struct {
 		name string
-		run  func() (dvmc.Table, error)
+		run  func(dvmc.ExperimentOpts) (dvmc.Table, error)
 	}
 	jobs := map[string]job{
-		"3":      {"Figure 3", func() (dvmc.Table, error) { return dvmc.FigureRuntimes(dvmc.Directory, opts) }},
-		"4":      {"Figure 4", func() (dvmc.Table, error) { return dvmc.FigureRuntimes(dvmc.Snooping, opts) }},
-		"5":      {"Figure 5", func() (dvmc.Table, error) { return dvmc.Figure5(opts) }},
-		"6":      {"Figure 6", func() (dvmc.Table, error) { return dvmc.Figure6(opts) }},
-		"7":      {"Figure 7", func() (dvmc.Table, error) { return dvmc.Figure7(opts) }},
-		"8":      {"Figure 8", func() (dvmc.Table, error) { return dvmc.Figure8(opts) }},
-		"9":      {"Figure 9", func() (dvmc.Table, error) { return dvmc.Figure9(opts) }},
-		"errors": {"Section 6.1", func() (dvmc.Table, error) { return dvmc.ErrorDetectionTable(10, 400_000, 42) }},
+		"3": {"Figure 3", func(o dvmc.ExperimentOpts) (dvmc.Table, error) { return dvmc.FigureRuntimes(dvmc.Directory, o) }},
+		"4": {"Figure 4", func(o dvmc.ExperimentOpts) (dvmc.Table, error) { return dvmc.FigureRuntimes(dvmc.Snooping, o) }},
+		"5": {"Figure 5", dvmc.Figure5},
+		"6": {"Figure 6", dvmc.Figure6},
+		"7": {"Figure 7", dvmc.Figure7},
+		"8": {"Figure 8", dvmc.Figure8},
+		"9": {"Figure 9", dvmc.Figure9},
+		"errors": {"Section 6.1", func(o dvmc.ExperimentOpts) (dvmc.Table, error) {
+			return dvmc.ErrorDetectionTable(10, 400_000, 42, o.Workers)
+		}},
 	}
 	order := []string{"3", "4", "5", "6", "7", "8", "9", "errors"}
 
@@ -57,15 +106,71 @@ func main() {
 		os.Exit(1)
 	}
 
+	rep := report{
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Workers:      *workers,
+		Repetitions:  *reps,
+		Transactions: *txns,
+		Compared:     *compare,
+	}
+
 	for _, key := range selected {
 		j := jobs[key]
 		start := time.Now()
-		t, err := j.run()
+		t, err := j.run(opts)
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dvmc-bench: %s: %v\n", j.name, err)
 			os.Exit(1)
 		}
 		fmt.Println(t)
-		fmt.Printf("  [%s regenerated in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s regenerated in %v, %d worker(s)]\n\n", j.name, wall.Round(time.Millisecond), *workers)
+
+		fr := figureReport{Key: key, Name: j.name, WallMS: float64(wall.Microseconds()) / 1000}
+		if *compare {
+			sOpts := opts
+			sOpts.Workers = 1
+			sStart := time.Now()
+			st, err := j.run(sOpts)
+			sWall := time.Since(sStart)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvmc-bench: %s (serial re-run): %v\n", j.name, err)
+				os.Exit(1)
+			}
+			identical := st.String() == t.String()
+			fr.SerialWallMS = float64(sWall.Microseconds()) / 1000
+			if sWall > 0 {
+				fr.SpeedupPercent = 100 * (1 - wall.Seconds()/sWall.Seconds())
+			}
+			fr.Identical = &identical
+			fmt.Printf("  [serial re-run %v; parallel table identical: %v]\n\n", sWall.Round(time.Millisecond), identical)
+			if !identical {
+				fmt.Fprintf(os.Stderr, "dvmc-bench: %s: parallel table differs from serial table (determinism regression)\n", j.name)
+				os.Exit(1)
+			}
+		}
+		rep.Figures = append(rep.Figures, fr)
+	}
+
+	if *jsonPath != "" {
+		fmt.Println("running checker microbenchmarks...")
+		rep.Micro = runMicrobenchmarks()
+		for _, m := range rep.Micro {
+			fmt.Printf("  %-28s %12.1f ns/op %6d B/op %4d allocs/op\n", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvmc-bench: encode report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dvmc-bench: write report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"dvmc/internal/coherence"
+	"dvmc/internal/consistency"
+	"dvmc/internal/core"
+	"dvmc/internal/mem"
+	"dvmc/internal/network"
+	"dvmc/internal/sim"
+	"dvmc/internal/trace"
+)
+
+// The microbenchmarks below mirror the package-level testing.B
+// benchmarks (internal/core, internal/sim, internal/network,
+// internal/trace) so the -json report can carry ns/op and allocs/op
+// without shelling out to `go test`. The steady-state checker paths are
+// allocation-free by design; the AllocsPerRun tests in those packages
+// enforce it, and the numbers here record it.
+
+func runMicrobenchmarks() []microReport {
+	micros := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"core/VCReplay", microVCReplay},
+		{"core/CETUpdate", microCETUpdate},
+		{"core/METHandleInform", microMETHandle},
+		{"sim/EventQueue", microEventQueue},
+		{"network/TorusSendDeliver", microTorus},
+		{"trace/Write", microTraceWrite},
+	}
+	out := make([]microReport, 0, len(micros))
+	for _, m := range micros {
+		r := testing.Benchmark(m.fn)
+		out = append(out, microReport{
+			Name:        m.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return out
+}
+
+func nullSink() core.Sink { return core.SinkFunc(func(core.Violation) {}) }
+
+func microVCReplay(b *testing.B) {
+	u := core.NewUniprocChecker(0, 64, true, nullSink())
+	step := func(i int) {
+		addr := mem.Addr(8 * (i & 15))
+		v := mem.Word(i)
+		u.StoreCommitted(addr, v)
+		u.StorePerformed(addr, v, sim.Cycle(i))
+		u.ReplayLoad(addr, v, sim.Cycle(i))
+	}
+	for i := 0; i < 512; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(i)
+	}
+}
+
+// bumpClock is a manually advanced logical clock.
+type bumpClock struct{ t uint64 }
+
+func (c *bumpClock) LogicalNow() uint64 { return c.t }
+
+// releaseNet consumes informs the way the system does: hand the message
+// to the MET and return it to the pool.
+type releaseNet struct {
+	pool *core.InformPool
+	met  *core.MemChecker
+}
+
+func (n *releaseNet) Send(m *network.Message) {
+	if n.met != nil {
+		n.met.Handle(m)
+	}
+	n.pool.Release(m)
+}
+func (n *releaseNet) SetHandler(network.NodeID, network.Handler) {}
+func (n *releaseNet) Nodes() int                                 { return 8 }
+func (n *releaseNet) LinkStats() []network.LinkStat              { return nil }
+func (n *releaseNet) SetFaultHook(network.FaultHook)             {}
+func (n *releaseNet) Tick(sim.Cycle)                             {}
+
+func microCfg() coherence.Config {
+	return coherence.Config{Nodes: 8, L1Sets: 2, L1Ways: 1, L2Sets: 4, L2Ways: 2,
+		L1Latency: 1, L2Latency: 2, MemLatency: 10, MSHRs: 4}
+}
+
+func microCETUpdate(b *testing.B) {
+	pool := &core.InformPool{}
+	clock := &bumpClock{t: 100}
+	var cyc sim.Cycle
+	now := func() sim.Cycle { return cyc }
+	met := core.NewMemChecker(0, microCfg(), clock, now, nullSink())
+	net := &releaseNet{pool: pool, met: met}
+	cet := core.NewCacheChecker(1, microCfg(), net, clock, now, nullSink())
+	cet.SetInformPool(pool)
+	var data mem.Block
+	step := func(i int) {
+		blk := mem.BlockAddr(0x80 * (i & 15))
+		clock.t += 4
+		cet.EpochBegin(blk, coherence.ReadWrite, clock.t, true, data)
+		cet.Access(blk, true)
+		cet.EpochEnd(blk, coherence.ReadWrite, clock.t+1, data)
+		cyc++
+		met.Tick(cyc)
+	}
+	for i := 0; i < 1024; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(i)
+	}
+}
+
+func microMETHandle(b *testing.B) {
+	clock := &bumpClock{t: 100}
+	var cyc sim.Cycle
+	met := core.NewMemChecker(0, microCfg(), clock, func() sim.Cycle { return cyc }, nullSink())
+	inform := core.InformEpoch{Block: 0x80, Kind: coherence.ReadWrite, From: 1}
+	msg := &network.Message{Payload: &inform}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.t += 4
+		inform.Begin = core.Wrap(clock.t)
+		inform.End = core.Wrap(clock.t + 1)
+		met.Handle(msg)
+		cyc++
+		met.Tick(cyc)
+	}
+}
+
+func microEventQueue(b *testing.B) {
+	var q sim.EventQueue
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		q.At(sim.Cycle(i), fn)
+	}
+	q.Tick(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := sim.Cycle(256 + i)
+		q.At(now+4, fn)
+		q.Tick(now)
+	}
+}
+
+func microTorus(b *testing.B) {
+	tor := network.NewTorus(4, 1.25, 2, sim.NewRand(1))
+	for n := 0; n < 4; n++ {
+		tor.SetHandler(network.NodeID(n), func(*network.Message) {})
+	}
+	msgs := [4]network.Message{}
+	now := sim.Cycle(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &msgs[i&3]
+		*m = network.Message{Src: network.NodeID(i & 3), Dst: network.NodeID((i + 1) & 3), Size: 16, Class: network.ClassCoherence}
+		tor.Send(m)
+		for j := 0; j < 8; j++ {
+			now++
+			tor.Tick(now)
+		}
+	}
+}
+
+func microTraceWrite(b *testing.B) {
+	w, err := trace.NewWriter(io.Discard, trace.Meta{Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := trace.Event{Kind: trace.EvCommit, Node: uint8(i & 3), Class: consistency.Store,
+			Model: consistency.TSO, Seq: uint64(i), Addr: 0x100, Val: 0x42, Time: 1}
+		if err := w.Write(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

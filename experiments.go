@@ -3,6 +3,7 @@ package dvmc
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"dvmc/internal/stats"
 )
@@ -15,6 +16,12 @@ type ExperimentOpts struct {
 	MaxCycles    uint64 // per-run cycle budget
 	Repetitions  int    // perturbed repetitions per configuration
 	SeedBase     uint64
+
+	// Workers bounds the harness's worker pool; <=1 runs serially. Every
+	// simulation is a pure function of its (Config, Workload, opts) job
+	// and workers write only their own result slots, so the assembled
+	// tables are byte-identical at any worker count.
+	Workers int
 }
 
 // DefaultExperimentOpts returns a configuration sized for minutes-scale
@@ -65,6 +72,69 @@ func (t Table) String() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// parallelFor runs fn(0..n-1) on min(workers, n) goroutines. Callers
+// must make fn(i) write only slot i of their outputs; under that
+// contract results are independent of worker count and schedule. The
+// root package sits outside the dvmc-lint determinism allowlist
+// precisely for harness-level concurrency like this: each simulation is
+// a sealed deterministic machine, and the harness only farms them out.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// sampleJob is one runtimeSample request in a figure's job matrix.
+type sampleJob struct {
+	cfg Config
+	w   Workload
+}
+
+// sampleResult is the disjoint slot a worker fills for one sampleJob.
+type sampleResult struct {
+	sample  *stats.Sample
+	results []Results
+	err     error
+}
+
+// runSampleJobs executes the job matrix with opts.Workers workers and
+// returns the per-job results in job order. The first error (in job
+// order, regardless of completion order) aborts the caller.
+func runSampleJobs(jobs []sampleJob, opts ExperimentOpts) ([]sampleResult, error) {
+	out := make([]sampleResult, len(jobs))
+	parallelFor(len(jobs), opts.Workers, func(i int) {
+		out[i].sample, out[i].results, out[i].err = runtimeSample(jobs[i].cfg, jobs[i].w, opts)
+	})
+	for i := range out {
+		if out[i].err != nil {
+			return out, out[i].err
+		}
+	}
+	return out, nil
 }
 
 // runtimeSample measures the runtime (cycles to complete the transaction
@@ -119,28 +189,29 @@ func FigureRuntimes(protocol Protocol, opts ExperimentOpts) (Table, error) {
 	for _, m := range Models {
 		t.Cols = append(t.Cols, m.String()+"-base", m.String()+"-dvmc")
 	}
-	for _, w := range Workloads() {
-		t.Rows = append(t.Rows, w.Name)
-		scBase, _, err := runtimeSample(baseConfig(protocol, SC), w, opts)
-		if err != nil {
-			return t, err
-		}
-		ref := scBase.Mean()
-		var row []Cell
+	// Job matrix: per workload, a base and a protected sample per model
+	// (SC's base doubles as the normalisation reference).
+	ws := Workloads()
+	stride := 2 * len(Models)
+	jobs := make([]sampleJob, 0, len(ws)*stride)
+	for _, w := range ws {
 		for _, m := range Models {
-			var base *stats.Sample
-			if m == SC {
-				base = scBase
-			} else {
-				base, _, err = runtimeSample(baseConfig(protocol, m), w, opts)
-				if err != nil {
-					return t, err
-				}
-			}
-			prot, _, err := runtimeSample(protectConfig(protocol, m), w, opts)
-			if err != nil {
-				return t, err
-			}
+			jobs = append(jobs,
+				sampleJob{baseConfig(protocol, m), w},
+				sampleJob{protectConfig(protocol, m), w})
+		}
+	}
+	res, err := runSampleJobs(jobs, opts)
+	if err != nil {
+		return t, err
+	}
+	for wi, w := range ws {
+		t.Rows = append(t.Rows, w.Name)
+		ref := res[wi*stride].sample.Mean() // Models[0] is SC
+		var row []Cell
+		for mi := range Models {
+			base := res[wi*stride+2*mi].sample
+			prot := res[wi*stride+2*mi+1].sample
 			baseN := stats.NormalizeBy(base, ref)
 			protN := stats.NormalizeBy(prot, ref)
 			row = append(row,
@@ -186,19 +257,23 @@ func Figure5(opts ExperimentOpts) (Table, error) {
 		},
 		func() Config { return protectConfig(Directory, TSO) },
 	}
-	for _, w := range Workloads() {
+	ws := Workloads()
+	jobs := make([]sampleJob, 0, len(ws)*len(variants))
+	for _, w := range ws {
+		for _, mk := range variants {
+			jobs = append(jobs, sampleJob{mk(), w})
+		}
+	}
+	res, err := runSampleJobs(jobs, opts)
+	if err != nil {
+		return t, err
+	}
+	for wi, w := range ws {
 		t.Rows = append(t.Rows, w.Name)
+		ref := res[wi*len(variants)].sample.Mean()
 		var row []Cell
-		var ref float64
-		for i, mk := range variants {
-			s, _, err := runtimeSample(mk(), w, opts)
-			if err != nil {
-				return t, err
-			}
-			if i == 0 {
-				ref = s.Mean()
-			}
-			n := stats.NormalizeBy(s, ref)
+		for vi := range variants {
+			n := stats.NormalizeBy(res[wi*len(variants)+vi].sample, ref)
 			row = append(row, Cell{Mean: n.Mean(), Std: n.StdDev()})
 		}
 		t.Cells = append(t.Cells, row)
@@ -214,14 +289,19 @@ func Figure6(opts ExperimentOpts) (Table, error) {
 		Title: "Figure 6: replay L1 misses normalised to demand L1 misses (TSO directory)",
 		Cols:  []string{"replay/demand"},
 	}
-	for _, w := range Workloads() {
+	ws := Workloads()
+	jobs := make([]sampleJob, 0, len(ws))
+	for _, w := range ws {
+		jobs = append(jobs, sampleJob{protectConfig(Directory, TSO), w})
+	}
+	res, err := runSampleJobs(jobs, opts)
+	if err != nil {
+		return t, err
+	}
+	for wi, w := range ws {
 		t.Rows = append(t.Rows, w.Name)
 		sample := &stats.Sample{}
-		_, results, err := runtimeSample(protectConfig(Directory, TSO), w, opts)
-		if err != nil {
-			return t, err
-		}
-		for _, r := range results {
+		for _, r := range res[wi].results {
 			sample.Add(r.ReplayMissRatio())
 		}
 		t.Cells = append(t.Cells, []Cell{{Mean: sample.Mean(), Std: sample.StdDev()}})
@@ -254,16 +334,23 @@ func Figure7(opts ExperimentOpts) (Table, error) {
 		},
 		func() Config { return protectConfig(Directory, TSO) },
 	}
-	for _, w := range Workloads() {
+	ws := Workloads()
+	jobs := make([]sampleJob, 0, len(ws)*len(variants))
+	for _, w := range ws {
+		for _, mk := range variants {
+			jobs = append(jobs, sampleJob{mk(), w})
+		}
+	}
+	res, err := runSampleJobs(jobs, opts)
+	if err != nil {
+		return t, err
+	}
+	for wi, w := range ws {
 		t.Rows = append(t.Rows, w.Name)
 		var row []Cell
-		for _, mk := range variants {
-			_, results, err := runtimeSample(mk(), w, opts)
-			if err != nil {
-				return t, err
-			}
+		for vi := range variants {
 			sample := &stats.Sample{}
-			for _, r := range results {
+			for _, r := range res[wi*len(variants)+vi].results {
 				sample.Add(r.MaxLinkBandwidth)
 			}
 			row = append(row, Cell{Mean: sample.Mean(), Std: sample.StdDev()})
@@ -281,18 +368,26 @@ func Figure8(opts ExperimentOpts) (Table, error) {
 		Title: "Figure 8: DVTSO slowdown vs link bandwidth (directory, mean over workloads)",
 		Cols:  []string{"normalised runtime"},
 	}
-	for _, gbps := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+	speeds := []float64{1.0, 1.5, 2.0, 2.5, 3.0}
+	ws := Workloads()
+	jobs := make([]sampleJob, 0, len(speeds)*len(ws)*2)
+	for _, gbps := range speeds {
+		for _, w := range ws {
+			jobs = append(jobs,
+				sampleJob{baseConfig(Directory, TSO).WithLinkGBps(gbps), w},
+				sampleJob{protectConfig(Directory, TSO).WithLinkGBps(gbps), w})
+		}
+	}
+	res, err := runSampleJobs(jobs, opts)
+	if err != nil {
+		return t, err
+	}
+	for si, gbps := range speeds {
 		t.Rows = append(t.Rows, fmt.Sprintf("%.1f GB/s", gbps))
 		agg := &stats.Sample{}
-		for _, w := range Workloads() {
-			base, _, err := runtimeSample(baseConfig(Directory, TSO).WithLinkGBps(gbps), w, opts)
-			if err != nil {
-				return t, err
-			}
-			prot, _, err := runtimeSample(protectConfig(Directory, TSO).WithLinkGBps(gbps), w, opts)
-			if err != nil {
-				return t, err
-			}
+		for wi := range ws {
+			base := res[(si*len(ws)+wi)*2].sample
+			prot := res[(si*len(ws)+wi)*2+1].sample
 			agg.Add(prot.Mean() / base.Mean())
 		}
 		t.Cells = append(t.Cells, []Cell{{Mean: agg.Mean(), Std: agg.StdDev()}})
@@ -307,18 +402,26 @@ func Figure9(opts ExperimentOpts) (Table, error) {
 		Title: "Figure 9: DVTSO slowdown vs processor count (directory, mean over workloads)",
 		Cols:  []string{"normalised runtime"},
 	}
-	for _, nodes := range []int{1, 2, 4, 8} {
+	counts := []int{1, 2, 4, 8}
+	ws := Workloads()
+	jobs := make([]sampleJob, 0, len(counts)*len(ws)*2)
+	for _, nodes := range counts {
+		for _, w := range ws {
+			jobs = append(jobs,
+				sampleJob{baseConfig(Directory, TSO).WithNodes(nodes), w},
+				sampleJob{protectConfig(Directory, TSO).WithNodes(nodes), w})
+		}
+	}
+	res, err := runSampleJobs(jobs, opts)
+	if err != nil {
+		return t, err
+	}
+	for ni, nodes := range counts {
 		t.Rows = append(t.Rows, fmt.Sprintf("%d", nodes))
 		agg := &stats.Sample{}
-		for _, w := range Workloads() {
-			base, _, err := runtimeSample(baseConfig(Directory, TSO).WithNodes(nodes), w, opts)
-			if err != nil {
-				return t, err
-			}
-			prot, _, err := runtimeSample(protectConfig(Directory, TSO).WithNodes(nodes), w, opts)
-			if err != nil {
-				return t, err
-			}
+		for wi := range ws {
+			base := res[(ni*len(ws)+wi)*2].sample
+			prot := res[(ni*len(ws)+wi)*2+1].sample
 			agg.Add(prot.Mean() / base.Mean())
 		}
 		t.Cells = append(t.Cells, []Cell{{Mean: agg.Mean(), Std: agg.StdDev()}})
@@ -328,30 +431,49 @@ func Figure9(opts ExperimentOpts) (Table, error) {
 
 // ErrorDetectionTable regenerates the Section 6.1 experiment: a fault
 // campaign per consistency model and protocol, reporting detection
-// coverage.
-func ErrorDetectionTable(faultsPerConfig int, budget uint64, seed uint64) (Table, error) {
+// coverage. workers bounds the row-level worker pool (<=1 serial); the
+// table is identical at any worker count.
+func ErrorDetectionTable(faultsPerConfig int, budget uint64, seed uint64, workers int) (Table, error) {
 	t := Table{
 		Title: "Section 6.1: error-detection campaign (detected / applied; masked faults had no architectural effect)",
 		Cols:  []string{"applied", "detected", "masked", "undetected"},
 	}
+	type rowJob struct {
+		protocol Protocol
+		model    Model
+	}
+	var rows []rowJob
 	for _, protocol := range []Protocol{Directory, Snooping} {
 		for _, m := range Models {
-			t.Rows = append(t.Rows, fmt.Sprintf("%v/%v", protocol, m))
-			cfg := protectConfig(protocol, m).WithSeed(seed)
-			cfg.Memory.CacheECC = true
-			cfg.SNConfig.Interval = 10000
-			cfg.SNConfig.Keep = 10
-			cfg.Proc.MembarInjectionInterval = 5000
-			camp, err := RunCampaign(cfg, OLTP(), faultsPerConfig, budget)
-			if err != nil {
-				return t, err
-			}
-			applied, detected, masked, undetected := camp.Counts()
-			t.Cells = append(t.Cells, []Cell{
-				{Mean: float64(applied)}, {Mean: float64(detected)},
-				{Mean: float64(masked)}, {Mean: float64(undetected)},
-			})
+			rows = append(rows, rowJob{protocol, m})
 		}
+	}
+	cells := make([][]Cell, len(rows))
+	errs := make([]error, len(rows))
+	parallelFor(len(rows), workers, func(i int) {
+		r := rows[i]
+		cfg := protectConfig(r.protocol, r.model).WithSeed(seed)
+		cfg.Memory.CacheECC = true
+		cfg.SNConfig.Interval = 10000
+		cfg.SNConfig.Keep = 10
+		cfg.Proc.MembarInjectionInterval = 5000
+		camp, err := RunCampaign(cfg, OLTP(), faultsPerConfig, budget)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		applied, detected, masked, undetected := camp.Counts()
+		cells[i] = []Cell{
+			{Mean: float64(applied)}, {Mean: float64(detected)},
+			{Mean: float64(masked)}, {Mean: float64(undetected)},
+		}
+	})
+	for i, r := range rows {
+		if errs[i] != nil {
+			return t, errs[i]
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%v/%v", r.protocol, r.model))
+		t.Cells = append(t.Cells, cells[i])
 	}
 	return t, nil
 }

@@ -98,7 +98,7 @@ func TestErrorDetectionTableSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign is slow")
 	}
-	tab, err := ErrorDetectionTable(3, 150_000, 11)
+	tab, err := ErrorDetectionTable(3, 150_000, 11, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,6 +125,43 @@ func assertTableShape(t *testing.T, tab Table, rows, cols int) {
 	}
 	if tab.String() == "" || !strings.Contains(tab.String(), tab.Rows[0]) {
 		t.Error("table does not render")
+	}
+}
+
+// TestFigureTablesIdenticalAcrossWorkerCounts is the harness-level
+// determinism regression: the parallel job matrix must produce the same
+// rendered table as a serial run, at several worker counts including
+// more workers than jobs.
+func TestFigureTablesIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	opts := ExperimentOpts{Transactions: 16, MaxCycles: 20_000_000, Repetitions: 1, SeedBase: 5, Workers: 1}
+	serial, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 64} {
+		opts.Workers = workers
+		par, err := Figure6(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.String() != serial.String() {
+			t.Errorf("workers=%d: table differs from serial run\nserial:\n%s\nparallel:\n%s", workers, serial, par)
+		}
+	}
+
+	serial5, err := Figure5(ExperimentOpts{Transactions: 16, MaxCycles: 20_000_000, Repetitions: 1, SeedBase: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par5, err := Figure5(ExperimentOpts{Transactions: 16, MaxCycles: 20_000_000, Repetitions: 1, SeedBase: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par5.String() != serial5.String() {
+		t.Errorf("figure 5: parallel table differs from serial run\nserial:\n%s\nparallel:\n%s", serial5, par5)
 	}
 }
 

@@ -265,6 +265,19 @@ func (s *System) apply(inj Injection, rng *sim.Rand) bool {
 	}
 }
 
+// wbFaultFired reports whether node n's write buffer saw an armed fault
+// actually alter a drain.
+func (s *System) wbFaultFired(n int) bool {
+	switch wb := s.cpus[n].WriteBuffer().(type) {
+	case *proc.InOrderWB:
+		return wb.FaultFired()
+	case *proc.OOOWB:
+		return wb.FaultFired()
+	default:
+		return false
+	}
+}
+
 // homeMemory returns node n's memory module.
 func (s *System) homeMemory(n int) *mem.Memory {
 	if len(s.dirH) > 0 {
@@ -496,13 +509,16 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 		// ECC it will be corrected on first use.
 		res.Masked = true
 	case FaultWBCorrupt, FaultWBDrop:
-		// A newer store to the same word can overwrite the corrupted or
-		// dropped value inside the write buffer's merge window before any
-		// consumer observes it; the fault then has no architectural
-		// effect. (The verification cache compares only the final value
-		// per word, exactly because intermediate values are not
-		// architecturally visible.)
-		res.Masked = true
+		// Masked only if the armed fault never fired: the program drained
+		// no further eligible store within the observation window, so the
+		// fault left no architectural trace. A fired fault corrupted or
+		// dropped a value on its way to the cache — the VC's per-store
+		// value comparison (and the drain check for dropped stores)
+		// detects those online, so an undetected fired fault is a genuine
+		// escape, not a masking. (The old optimistic heuristic called
+		// every undetected WB fault masked and was contradicted by the
+		// offline oracle whenever the corrupt value actually performed.)
+		res.Masked = !s.wbFaultFired(inj.Node % s.cfg.Nodes)
 	default:
 		// FaultMsgDrop, FaultMsgDataFlip, FaultWBReorder,
 		// FaultPermissionDrop, FaultSilentWrite: an undetected run is an

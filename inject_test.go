@@ -3,6 +3,7 @@ package dvmc
 import (
 	"testing"
 
+	"dvmc/internal/core"
 	"dvmc/internal/sim"
 )
 
@@ -245,5 +246,46 @@ func TestCampaignResultAllRecoverable(t *testing.T) {
 	}}
 	if bad.AllRecoverable() {
 		t.Fatal("campaign with an unrecoverable detection reported recoverable")
+	}
+}
+
+// TestInjectionLSQValueFlipRMO pins the RMO-specific regression: an LSQ
+// data-path flip on a load that performs at execute must be caught by
+// the replay comparison itself. The VC's load-value fill is wired to
+// the cache port, so the corrupted register value mismatches the VC
+// copy at replay. Before the fix the VC cached the corrupted value and
+// replay verified the corruption against itself — such faults were only
+// "detected" tens of thousands of cycles later by an unrelated
+// false-alarm store mismatch, and became silent escapes once that
+// false alarm was fixed.
+func TestInjectionLSQValueFlipRMO(t *testing.T) {
+	cfg := injCfg().WithModel(RMO)
+	applied, detected := 0, 0
+	for node := 0; node < 4; node++ {
+		res := runOne(t, cfg, FaultLSQValue, node)
+		if !res.Applied {
+			continue
+		}
+		applied++
+		switch {
+		case res.Detected:
+			detected++
+			if res.DetectionKind != core.UOMismatch {
+				t.Errorf("node %d: detected as %v, want the replay's load mismatch", node, res.DetectionKind)
+			}
+			if res.Latency > 10_000 {
+				t.Errorf("node %d: latency %d; replay should catch the flip near commit", node, res.Latency)
+			}
+		case res.Masked:
+			// A mis-speculation flush erased the corruption: legitimate.
+		default:
+			t.Errorf("node %d: escape: %v", node, res)
+		}
+	}
+	if applied == 0 {
+		t.Skip("fault had no target in this run")
+	}
+	if detected == 0 {
+		t.Fatalf("lsq-value-flip under RMO never detected (%d applied)", applied)
 	}
 }

@@ -26,15 +26,25 @@ const scrubFIFOSize = 128
 // in an appropriate epoch; when an epoch ends it ships an Inform-Epoch to
 // the block's home MET. A FIFO of epoch-begin times scrubs long-lived
 // epochs before their 16-bit timestamps can wrap.
+//
+// Entries live in a slab indexed by a map so the steady-state
+// begin/end cycle recycles slots instead of allocating, and the scrub
+// FIFO is a head-indexed ring so popping does not reslice away backing
+// capacity. Inform messages draw from an optional InformPool.
 type CacheChecker struct {
 	node  network.NodeID
 	cfg   coherence.Config
 	net   network.Network
 	clock coherence.LogicalClock
 	sink  Sink
+	pool  *InformPool
 
-	cet   map[mem.BlockAddr]*cetEntry
-	scrub []scrubEntry
+	cet  map[mem.BlockAddr]int32
+	slab []cetEntry
+	free []int32
+
+	scrub     []scrubEntry
+	scrubHead int
 
 	cycleNow func() sim.Cycle
 
@@ -81,10 +91,15 @@ func NewCacheChecker(node network.NodeID, cfg coherence.Config, net network.Netw
 		net:      net,
 		clock:    clock,
 		sink:     sink,
-		cet:      make(map[mem.BlockAddr]*cetEntry),
+		cet:      make(map[mem.BlockAddr]int32),
 		cycleNow: cycleNow,
 	}
 }
+
+// SetInformPool attaches a message pool for inform traffic. The owner of
+// the pool must release each inform after its MET consumes it. A nil
+// pool (the default) falls back to plain allocation.
+func (c *CacheChecker) SetInformPool(p *InformPool) { c.pool = p }
 
 // Stats returns checker counters.
 func (c *CacheChecker) Stats() CETStats { return c.stats }
@@ -93,35 +108,58 @@ func (c *CacheChecker) Stats() CETStats { return c.stats }
 func (c *CacheChecker) OpenEpochs() int { return len(c.cet) }
 
 // Reset drops all epoch state (SafetyNet recovery: the caches were
-// invalidated, so no epochs are open).
+// invalidated, so no epochs are open). Slab and FIFO capacity is kept.
 func (c *CacheChecker) Reset() {
-	c.cet = make(map[mem.BlockAddr]*cetEntry)
+	clear(c.cet)
+	c.slab = c.slab[:0]
+	c.free = c.free[:0]
 	c.scrub = c.scrub[:0]
+	c.scrubHead = 0
+}
+
+// alloc grabs a free slab slot (zeroed) and returns its index.
+func (c *CacheChecker) alloc() int32 {
+	if n := len(c.free); n > 0 {
+		i := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.slab[i] = cetEntry{}
+		return i
+	}
+	c.slab = append(c.slab, cetEntry{})
+	return int32(len(c.slab) - 1)
 }
 
 // EpochBegin implements coherence.EpochListener.
 func (c *CacheChecker) EpochBegin(b mem.BlockAddr, kind coherence.EpochKind, ltime uint64, dataKnown bool, data mem.Block) {
 	c.stats.EpochsBegun++
-	if _, exists := c.cet[b]; exists {
+	i, exists := c.cet[b]
+	if exists {
 		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v begins while another is open", kind))
-		// Recover conservatively: replace the entry.
+		// Recover conservatively: replace the entry in place.
+		c.slab[i] = cetEntry{}
+	} else {
+		i = c.alloc()
+		c.cet[b] = i
 	}
-	e := &cetEntry{kind: kind, begin: ltime, dataReady: dataKnown}
+	e := &c.slab[i]
+	e.kind = kind
+	e.begin = ltime
+	e.dataReady = dataKnown
 	if dataKnown {
 		e.beginHash = BlockHash(data)
 	}
-	c.cet[b] = e
 	c.pushScrub(b, ltime)
 }
 
 // EpochData implements coherence.EpochListener: the block's data arrived
 // after the epoch's ordering point (the CET's DataReadyBit case).
 func (c *CacheChecker) EpochData(b mem.BlockAddr, data mem.Block) {
-	e, ok := c.cet[b]
+	i, ok := c.cet[b]
 	if !ok {
 		c.violate(b, CETStateViolation, "data arrived for a block with no open epoch")
 		return
 	}
+	e := &c.slab[i]
 	if !e.dataReady {
 		e.beginHash = BlockHash(data)
 		e.dataReady = true
@@ -131,11 +169,12 @@ func (c *CacheChecker) EpochData(b mem.BlockAddr, data mem.Block) {
 // EpochEnd implements coherence.EpochListener: ship the Inform-Epoch.
 func (c *CacheChecker) EpochEnd(b mem.BlockAddr, kind coherence.EpochKind, ltime uint64, data mem.Block) {
 	c.stats.EpochsEnded++
-	e, ok := c.cet[b]
+	i, ok := c.cet[b]
 	if !ok {
 		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v ends but none open", kind))
 		return
 	}
+	e := &c.slab[i]
 	if e.kind != kind {
 		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v ends but %v open", kind, e.kind))
 	}
@@ -143,27 +182,41 @@ func (c *CacheChecker) EpochEnd(b mem.BlockAddr, kind coherence.EpochKind, ltime
 	home := c.cfg.HomeOf(b)
 	if e.informedOpen {
 		c.stats.ClosedInforms++
-		c.net.Send(&network.Message{Src: c.node, Dst: home, Size: InformClosedBytes, Class: network.ClassInform,
-			Payload: InformClosedEpoch{Block: b, Kind: kind, End: Wrap(ltime), EndHash: endHash, From: c.node}})
+		pl := c.pool.closed()
+		*pl = InformClosedEpoch{Block: b, Kind: kind, End: Wrap(ltime), EndHash: endHash, From: c.node}
+		c.send(home, InformClosedBytes, pl)
 	} else {
 		c.stats.Informs++
-		c.net.Send(&network.Message{Src: c.node, Dst: home, Size: InformEpochBytes, Class: network.ClassInform,
-			Payload: InformEpoch{Block: b, Kind: kind, Begin: Wrap(e.begin), End: Wrap(ltime),
-				BeginHash: e.beginHash, EndHash: endHash, From: c.node}})
+		pl := c.pool.epoch()
+		*pl = InformEpoch{Block: b, Kind: kind, Begin: Wrap(e.begin), End: Wrap(ltime),
+			BeginHash: e.beginHash, EndHash: endHash, From: c.node}
+		c.send(home, InformEpochBytes, pl)
 	}
 	delete(c.cet, b)
+	c.free = append(c.free, i)
+}
+
+// send ships one inform payload to the block's home MET.
+func (c *CacheChecker) send(home network.NodeID, size int, payload any) {
+	m := c.pool.message()
+	m.Src = c.node
+	m.Dst = home
+	m.Size = size
+	m.Class = network.ClassInform
+	m.Payload = payload
+	c.net.Send(m)
 }
 
 // Access implements coherence.AccessListener: coherence rule 1 — reads
 // and writes are performed only during appropriate epochs.
 func (c *CacheChecker) Access(b mem.BlockAddr, write bool) {
 	c.stats.Accesses++
-	e, ok := c.cet[b]
+	i, ok := c.cet[b]
 	if !ok {
 		c.violate(b, EpochAccessViolation, accessName(write)+" performed with no open epoch")
 		return
 	}
-	if write && e.kind != coherence.ReadWrite {
+	if write && c.slab[i].kind != coherence.ReadWrite {
 		c.violate(b, EpochAccessViolation, "store performed during a Read-Only epoch")
 	}
 }
@@ -175,24 +228,37 @@ func accessName(write bool) string {
 	return "load"
 }
 
+// scrubLen returns the number of queued scrub entries.
+func (c *CacheChecker) scrubLen() int { return len(c.scrub) - c.scrubHead }
+
+// popScrub removes and returns the oldest scrub entry, compacting the
+// ring's dead prefix once it dominates the backing array.
+func (c *CacheChecker) popScrub() scrubEntry {
+	head := c.scrub[c.scrubHead]
+	c.scrubHead++
+	if c.scrubHead >= 64 && c.scrubHead*2 >= len(c.scrub) {
+		n := copy(c.scrub, c.scrub[c.scrubHead:])
+		c.scrub = c.scrub[:n]
+		c.scrubHead = 0
+	}
+	return head
+}
+
 // Tick implements sim.Clockable: the wraparound scrubbing walk.
 func (c *CacheChecker) Tick(now sim.Cycle) {
 	lnow := c.clock.LogicalNow()
-	for len(c.scrub) > 0 {
-		head := c.scrub[0]
+	for c.scrubLen() > 0 {
+		head := c.scrub[c.scrubHead]
 		if lnow-head.begin <= scrubThreshold {
 			break
 		}
-		c.scrub = c.scrub[1:]
-		c.scrubOne(head)
+		c.scrubOne(c.popScrub())
 	}
 }
 
 func (c *CacheChecker) pushScrub(b mem.BlockAddr, begin uint64) {
-	if len(c.scrub) >= scrubFIFOSize {
-		head := c.scrub[0]
-		c.scrub = c.scrub[1:]
-		c.scrubOne(head)
+	if c.scrubLen() >= scrubFIFOSize {
+		c.scrubOne(c.popScrub())
 	}
 	c.scrub = append(c.scrub, scrubEntry{block: b, begin: begin})
 }
@@ -200,9 +266,13 @@ func (c *CacheChecker) pushScrub(b mem.BlockAddr, begin uint64) {
 // scrubOne announces a still-open old epoch to the home MET so its begin
 // timestamp can be retired before wraparound.
 func (c *CacheChecker) scrubOne(s scrubEntry) {
-	e, ok := c.cet[s.block]
-	if !ok || e.begin != s.begin || e.informedOpen {
-		return // epoch already ended (or re-begun); nothing to scrub
+	i, ok := c.cet[s.block]
+	if !ok {
+		return // epoch already ended; nothing to scrub
+	}
+	e := &c.slab[i]
+	if e.begin != s.begin || e.informedOpen {
+		return // epoch re-begun or already announced
 	}
 	if !e.dataReady {
 		// Cannot announce without the begin signature; re-queue.
@@ -211,9 +281,9 @@ func (c *CacheChecker) scrubOne(s scrubEntry) {
 	}
 	e.informedOpen = true
 	c.stats.OpenInforms++
-	home := c.cfg.HomeOf(s.block)
-	c.net.Send(&network.Message{Src: c.node, Dst: home, Size: InformOpenBytes, Class: network.ClassInform,
-		Payload: InformOpenEpoch{Block: s.block, Kind: e.kind, Begin: Wrap(e.begin), BeginHash: e.beginHash, From: c.node}})
+	pl := c.pool.open()
+	*pl = InformOpenEpoch{Block: s.block, Kind: e.kind, Begin: Wrap(e.begin), BeginHash: e.beginHash, From: c.node}
+	c.send(c.cfg.HomeOf(s.block), InformOpenBytes, pl)
 }
 
 func (c *CacheChecker) violate(b mem.BlockAddr, kind ViolationKind, detail string) {

@@ -1,0 +1,106 @@
+package core
+
+import "dvmc/internal/network"
+
+// InformPool recycles the network.Message envelopes and inform payload
+// structs that carry CET→MET verification traffic. Without it every
+// epoch end costs two heap allocations (the message plus the payload
+// boxed into the `any` field); with a warm pool the steady-state inform
+// path allocates nothing.
+//
+// Ownership is linear: the CET takes an envelope and payload from the
+// pool when it sends, and the system's inform fallback handler returns
+// them with Release after MemChecker.Handle comes back. Handle is
+// synchronous and copies everything it keeps (queuedInform for epoch
+// informs, metEntry fields for open/closed informs), so nothing aliases
+// the released structs. Coherence-class messages are deliberately NOT
+// pooled: the directory and snooping controllers defer handling through
+// event closures and park messages in per-block queues, so their
+// lifetime is unbounded from the sender's point of view.
+//
+// A nil *InformPool is valid everywhere and degrades to plain
+// allocation, so standalone CacheChecker tests need no pool. The
+// simulator is single-threaded; the pool is not safe for concurrent
+// use, and each System owns its own.
+type InformPool struct {
+	msgs    []*network.Message
+	epochs  []*InformEpoch
+	opens   []*InformOpenEpoch
+	closeds []*InformClosedEpoch
+}
+
+func (p *InformPool) message() *network.Message {
+	if p == nil {
+		return &network.Message{}
+	}
+	if n := len(p.msgs); n > 0 {
+		m := p.msgs[n-1]
+		p.msgs[n-1] = nil
+		p.msgs = p.msgs[:n-1]
+		return m
+	}
+	return &network.Message{}
+}
+
+func (p *InformPool) epoch() *InformEpoch {
+	if p == nil {
+		return &InformEpoch{}
+	}
+	if n := len(p.epochs); n > 0 {
+		e := p.epochs[n-1]
+		p.epochs[n-1] = nil
+		p.epochs = p.epochs[:n-1]
+		return e
+	}
+	return &InformEpoch{}
+}
+
+func (p *InformPool) open() *InformOpenEpoch {
+	if p == nil {
+		return &InformOpenEpoch{}
+	}
+	if n := len(p.opens); n > 0 {
+		e := p.opens[n-1]
+		p.opens[n-1] = nil
+		p.opens = p.opens[:n-1]
+		return e
+	}
+	return &InformOpenEpoch{}
+}
+
+func (p *InformPool) closed() *InformClosedEpoch {
+	if p == nil {
+		return &InformClosedEpoch{}
+	}
+	if n := len(p.closeds); n > 0 {
+		e := p.closeds[n-1]
+		p.closeds[n-1] = nil
+		p.closeds = p.closeds[:n-1]
+		return e
+	}
+	return &InformClosedEpoch{}
+}
+
+// Release returns a delivered inform message and its payload to the
+// pool. Messages whose payload is not a pooled inform pointer (value
+// payloads from tests, foreign traffic) are ignored. Nil-safe.
+func (p *InformPool) Release(m *network.Message) {
+	if p == nil || m == nil {
+		return
+	}
+	switch pl := m.Payload.(type) {
+	case *InformEpoch:
+		*pl = InformEpoch{}
+		p.epochs = append(p.epochs, pl)
+	case *InformOpenEpoch:
+		*pl = InformOpenEpoch{}
+		p.opens = append(p.opens, pl)
+	case *InformClosedEpoch:
+		*pl = InformClosedEpoch{}
+		p.closeds = append(p.closeds, pl)
+	default:
+		return
+	}
+	*m = network.Message{}
+	p.msgs = append(p.msgs, m)
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"dvmc/internal/coherence"
@@ -26,14 +25,27 @@ const metQueueSize = 256
 // than a settle window (or when the queue overflows). Each one is checked
 // for illegal overlap (rule 2 / SWMR) and correct data propagation (rule
 // 3) and then folded into the entry.
+//
+// Hot-path layout: MET entries live in a slab indexed through a map, and
+// the inform priority queue is a hand-rolled slice heap — container/heap
+// would box one queuedInform per Push/Pop, an allocation on every inform,
+// and the paper's always-on claim lives or dies on those constant
+// factors.
 type MemChecker struct {
 	node  network.NodeID
 	cfg   coherence.Config
 	clock coherence.LogicalClock
 	sink  Sink
 
-	met map[mem.BlockAddr]*metEntry
-	pq  informQueue
+	met  map[mem.BlockAddr]int32
+	slab []metEntry
+	pq   []queuedInform
+
+	// oldestCache memoises the minimum arrivedAt over pq. Arrival times
+	// are monotonic in enqueue order, so an enqueue never lowers the
+	// minimum; only pops invalidate it.
+	oldestCache sim.Cycle
+	oldestValid bool
 
 	// window is how many logical ticks an inform rests in the queue
 	// before processing, giving stragglers time to sort in. It must cover
@@ -82,23 +94,52 @@ type queuedInform struct {
 	arrivedAt sim.Cycle
 }
 
-type informQueue []queuedInform
-
-func (q informQueue) Len() int { return len(q) }
-func (q informQueue) Less(i, j int) bool {
-	if q[i].begin != q[j].begin {
-		return q[i].begin < q[j].begin
+// pqLess orders informs by epoch begin time, ties broken by arrival
+// order (paper).
+func (m *MemChecker) pqLess(i, j int) bool {
+	if m.pq[i].begin != m.pq[j].begin {
+		return m.pq[i].begin < m.pq[j].begin
 	}
-	return q[i].seq < q[j].seq // ties broken by arrival order (paper)
+	return m.pq[i].seq < m.pq[j].seq
 }
-func (q informQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *informQueue) Push(x any)   { *q = append(*q, x.(queuedInform)) }
-func (q *informQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (m *MemChecker) pqPush(qi queuedInform) {
+	m.pq = append(m.pq, qi)
+	i := len(m.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.pqLess(i, parent) {
+			break
+		}
+		m.pq[i], m.pq[parent] = m.pq[parent], m.pq[i]
+		i = parent
+	}
+}
+
+func (m *MemChecker) pqPop() queuedInform {
+	top := m.pq[0]
+	n := len(m.pq) - 1
+	m.pq[0] = m.pq[n]
+	m.pq[n] = queuedInform{}
+	m.pq = m.pq[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && m.pqLess(r, l) {
+			least = r
+		}
+		if !m.pqLess(least, i) {
+			break
+		}
+		m.pq[i], m.pq[least] = m.pq[least], m.pq[i]
+		i = least
+	}
+	m.oldestValid = false // the popped element may have been the oldest
+	return top
 }
 
 // NewMemChecker builds the MET checker for one home node.
@@ -109,7 +150,7 @@ func NewMemChecker(node network.NodeID, cfg coherence.Config, clock coherence.Lo
 		cfg:         cfg,
 		clock:       clock,
 		sink:        sink,
-		met:         make(map[mem.BlockAddr]*metEntry),
+		met:         make(map[mem.BlockAddr]int32),
 		window:      128,
 		cycleWindow: 4096,
 		cycleNow:    cycleNow,
@@ -127,8 +168,10 @@ func (m *MemChecker) Stats() METStats {
 // Entries are reconstructed from restored memory by the home
 // controllers' new-block hooks.
 func (m *MemChecker) Reset() {
-	m.met = make(map[mem.BlockAddr]*metEntry)
-	m.pq = nil
+	clear(m.met)
+	m.slab = m.slab[:0]
+	m.pq = m.pq[:0]
+	m.oldestValid = false
 }
 
 // BlockRequested constructs the MET entry for a block's first request:
@@ -139,17 +182,24 @@ func (m *MemChecker) BlockRequested(b mem.BlockAddr, data mem.Block) {
 	if _, ok := m.met[b]; ok {
 		return
 	}
-	m.met[b] = &metEntry{
+	m.slab = append(m.slab, metEntry{
 		lastRWEnd:  m.clock.LogicalNow(),
 		lastRWHash: BlockHash(data),
 		hashKnown:  true,
 		openRW:     -1,
-	}
+	})
+	m.met[b] = int32(len(m.slab) - 1)
 }
 
 // Handle consumes a verification message delivered at the home node.
 func (m *MemChecker) Handle(msg *network.Message) {
 	switch p := msg.Payload.(type) {
+	case *InformEpoch:
+		m.enqueue(*p)
+	case *InformOpenEpoch:
+		m.processOpen(*p)
+	case *InformClosedEpoch:
+		m.processClosed(*p)
 	case InformEpoch:
 		m.enqueue(p)
 	case InformOpenEpoch:
@@ -165,10 +215,14 @@ func (m *MemChecker) enqueue(p InformEpoch) {
 	m.enqSeq++
 	qi := queuedInform{inform: p, begin: p.Begin.Reconstruct(m.clock.LogicalNow()),
 		seq: m.enqSeq, arrivedAt: m.cycleNow()}
-	heap.Push(&m.pq, qi)
+	if len(m.pq) == 0 && !m.oldestValid {
+		m.oldestCache = qi.arrivedAt
+		m.oldestValid = true
+	}
+	m.pqPush(qi)
 	if len(m.pq) > metQueueSize {
 		m.stats.QueueOverflows++
-		m.processOne(heap.Pop(&m.pq).(queuedInform))
+		m.processOne(m.pqPop())
 	}
 }
 
@@ -177,20 +231,27 @@ func (m *MemChecker) enqueue(p InformEpoch) {
 func (m *MemChecker) Tick(now sim.Cycle) {
 	lnow := m.clock.LogicalNow()
 	for len(m.pq) > 0 && m.pq[0].begin+m.window <= lnow {
-		m.processOne(heap.Pop(&m.pq).(queuedInform))
+		m.processOne(m.pqPop())
 	}
 	for len(m.pq) > 0 && now > m.oldestArrival()+m.cycleWindow {
-		m.processOne(heap.Pop(&m.pq).(queuedInform))
+		m.processOne(m.pqPop())
 	}
 }
 
+// oldestArrival returns the earliest arrival cycle among queued informs,
+// memoised so the steady-state Tick check is O(1).
 func (m *MemChecker) oldestArrival() sim.Cycle {
+	if m.oldestValid {
+		return m.oldestCache
+	}
 	oldest := m.pq[0].arrivedAt
 	for _, qi := range m.pq[1:] {
 		if qi.arrivedAt < oldest {
 			oldest = qi.arrivedAt
 		}
 	}
+	m.oldestCache = oldest
+	m.oldestValid = true
 	return oldest
 }
 
@@ -203,7 +264,7 @@ func (m *MemChecker) oldestArrival() sim.Cycle {
 func (m *MemChecker) Drain() {
 	lnow := m.clock.LogicalNow()
 	for len(m.pq) > 0 {
-		qi := heap.Pop(&m.pq).(queuedInform)
+		qi := m.pqPop()
 		if qi.begin+m.window <= lnow {
 			m.processOne(qi)
 		} else {
@@ -232,15 +293,19 @@ func (m *MemChecker) foldOnly(qi queuedInform) {
 	}
 }
 
+// entry returns the MET entry for a block, creating it conservatively
+// when the home controller's new-block hook has not seen it. The pointer
+// is valid until the next BlockRequested/entry call (slab growth).
 func (m *MemChecker) entry(b mem.BlockAddr) *metEntry {
-	e, ok := m.met[b]
+	i, ok := m.met[b]
 	if !ok {
 		// Entry should exist via BlockRequested; create conservatively
 		// with an unknown data signature.
-		e = &metEntry{openRW: -1}
-		m.met[b] = e
+		m.slab = append(m.slab, metEntry{openRW: -1})
+		i = int32(len(m.slab) - 1)
+		m.met[b] = i
 	}
-	return e
+	return &m.slab[i]
 }
 
 func (m *MemChecker) processOne(qi queuedInform) {

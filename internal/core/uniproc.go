@@ -15,12 +15,14 @@ import (
 // memory operations at commit, in program order, against this checker's
 // Verification Cache (VC):
 //
-//   - A committed store allocates a VC entry for its word (stores are
-//     still speculative at commit and must not touch architectural
-//     state). The entry is freed when the store performs at the cache; at
-//     deallocation the value written to the cache is compared against the
-//     VC entry, catching write-buffer corruption and same-word
-//     reorderings.
+//   - A committed store appends its value to the word's VC entry — a FIFO
+//     of committed-but-unperformed values (stores are still speculative
+//     at commit and must not touch architectural state). Each perform at
+//     the cache pops the oldest expected value and compares it with the
+//     value actually written, catching write-buffer corruption, dropped
+//     stores, and same-word reorderings — including on intermediate
+//     values of a multi-store burst, which a final-value-only comparison
+//     would miss even though they are architecturally visible to loads.
 //   - A replayed load first reads the VC; on a miss it accesses the
 //     highest cache level (bypassing the write buffer). The replay value
 //     is compared with the original execution's value; a mismatch forces
@@ -30,13 +32,26 @@ import (
 // replay serves only Uniprocessor Ordering; the checker then caches load
 // values in the VC (kept coherent with local committed stores) so that
 // replay never pressures the L1 — the optimization of Section 4.1.
+//
+// The VC is slab-backed: entries live in a flat slice indexed through a
+// map and recycled through a free list, and load-value entries form an
+// intrusive FIFO list for capacity eviction, so the steady-state
+// commit/perform path allocates nothing.
 type UniprocChecker struct {
 	node network.NodeID
 	sink Sink
 
-	vc       map[mem.Addr]*vcEntry
-	order    []mem.Addr // FIFO of load-value entries for capacity eviction
+	slab []vcEntry
+	free []int32
+	idx  map[mem.Addr]int32
+
+	// Intrusive FIFO of load-value entries for capacity eviction.
+	loadHead, loadTail int32
+
 	capacity int
+	// storeEntries counts entries holding committed-but-unperformed
+	// values (O(1) CanAllocateStore and drain checking).
+	storeEntries int
 
 	// cacheLoadValues enables the RMO optimisation: executed load values
 	// live in the VC and satisfy replay without an L1 access.
@@ -55,11 +70,21 @@ type UniprocStats struct {
 	StoreMismatches uint64
 }
 
+// vcEntry is one VC word. While vals[head:] is non-empty the entry
+// tracks committed-but-unperformed stores (oldest first); once drained
+// it either frees or, under the RMO optimisation, becomes a cached
+// load value (loadValue=true, val holds the value, prev/next link the
+// eviction FIFO).
 type vcEntry struct {
-	val           mem.Word
-	pendingStores int
-	loadValue     bool // entry holds a cached load value (RMO optimisation)
+	addr       mem.Addr
+	vals       []mem.Word
+	head       int
+	val        mem.Word
+	loadValue  bool
+	prev, next int32
 }
+
+func (e *vcEntry) pending() int { return len(e.vals) - e.head }
 
 // NewUniprocChecker builds the checker for one processor. capacity bounds
 // the VC (the paper sizes it so that all committed-but-unperformed stores
@@ -71,7 +96,9 @@ func NewUniprocChecker(node network.NodeID, capacity int, cacheLoadValues bool, 
 	return &UniprocChecker{
 		node:            node,
 		sink:            sink,
-		vc:              make(map[mem.Addr]*vcEntry),
+		idx:             make(map[mem.Addr]int32, capacity*2),
+		loadHead:        -1,
+		loadTail:        -1,
 		capacity:        capacity,
 		cacheLoadValues: cacheLoadValues,
 	}
@@ -80,75 +107,165 @@ func NewUniprocChecker(node network.NodeID, capacity int, cacheLoadValues bool, 
 // Stats returns checker counters.
 func (u *UniprocChecker) Stats() UniprocStats { return u.stats }
 
+// alloc returns a reset entry for addr, registering it in the index.
+func (u *UniprocChecker) alloc(addr mem.Addr) int32 {
+	var i int32
+	if n := len(u.free); n > 0 {
+		i = u.free[n-1]
+		u.free = u.free[:n-1]
+	} else {
+		u.slab = append(u.slab, vcEntry{})
+		i = int32(len(u.slab) - 1)
+	}
+	e := &u.slab[i]
+	e.addr = addr
+	e.vals = e.vals[:0]
+	e.head = 0
+	e.val = 0
+	e.loadValue = false
+	e.prev, e.next = -1, -1
+	u.idx[addr] = i
+	return i
+}
+
+// freeEntry unregisters and recycles an entry. Load-list links must
+// already be detached.
+func (u *UniprocChecker) freeEntry(i int32) {
+	delete(u.idx, u.slab[i].addr)
+	u.free = append(u.free, i)
+}
+
+// linkLoad appends entry i to the load-value eviction FIFO.
+func (u *UniprocChecker) linkLoad(i int32) {
+	e := &u.slab[i]
+	e.prev = u.loadTail
+	e.next = -1
+	if u.loadTail >= 0 {
+		u.slab[u.loadTail].next = i
+	} else {
+		u.loadHead = i
+	}
+	u.loadTail = i
+}
+
+// unlinkLoad removes entry i from the load-value eviction FIFO.
+func (u *UniprocChecker) unlinkLoad(i int32) {
+	e := &u.slab[i]
+	if e.prev >= 0 {
+		u.slab[e.prev].next = e.next
+	} else {
+		u.loadHead = e.next
+	}
+	if e.next >= 0 {
+		u.slab[e.next].prev = e.prev
+	} else {
+		u.loadTail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
 // CanAllocateStore reports whether the VC has room for another store
 // entry. The verification stage stalls when it returns false ("the VC
 // must be big enough to hold all stores that have been verified but not
 // yet performed").
 func (u *UniprocChecker) CanAllocateStore(addr mem.Addr) bool {
-	if e, ok := u.vc[addr]; ok && !e.loadValue {
+	if i, ok := u.idx[addr]; ok && !u.slab[i].loadValue {
 		return true // merges into the existing entry
 	}
-	return u.storeEntries() < u.capacity
-}
-
-func (u *UniprocChecker) storeEntries() int {
-	n := 0
-	//dvmc:orderinsensitive commutative count of store entries; no per-entry effect
-	for _, e := range u.vc {
-		if !e.loadValue {
-			n++
-		}
-	}
-	return n
+	return u.storeEntries < u.capacity
 }
 
 // StoreCommitted records a store entering the verification stage: the
 // replayed store writes the VC, not the cache.
 func (u *UniprocChecker) StoreCommitted(addr mem.Addr, val mem.Word) {
 	u.stats.StoresTracked++
-	e, ok := u.vc[addr]
-	if !ok || e.loadValue {
-		if ok {
-			u.removeLoadEntry(addr)
-		}
-		e = &vcEntry{}
-		u.vc[addr] = e
+	i, ok := u.idx[addr]
+	if !ok {
+		i = u.alloc(addr)
 	}
-	e.val = val
-	e.pendingStores++
-	e.loadValue = false
+	e := &u.slab[i]
+	if e.loadValue {
+		// A committed store supersedes the cached load value.
+		u.unlinkLoad(i)
+		e.loadValue = false
+	}
+	if e.pending() == 0 {
+		e.vals = e.vals[:0]
+		e.head = 0
+		u.storeEntries++
+	}
+	e.vals = append(e.vals, val)
 }
 
 // StorePerformed records a store reaching the cache with the value
-// actually written. When the last outstanding store to the word performs,
-// the VC entry is deallocated and the values compared (Section 4.1 /
-// Proof 1).
+// actually written. Every perform pops the oldest outstanding committed
+// value for the word and compares it (Section 4.1 / Proof 1): same-word
+// stores perform in commit order on a correct machine, so any corrupted,
+// dropped, or reordered store surfaces as a mismatch on the spot.
 func (u *UniprocChecker) StorePerformed(addr mem.Addr, written mem.Word, now sim.Cycle) {
-	e, ok := u.vc[addr]
-	if !ok || e.loadValue {
-		// Entry lost (should not happen): conservative violation.
+	i, ok := u.idx[addr]
+	if !ok || u.slab[i].pending() == 0 {
+		// No outstanding committed store for this word: conservative
+		// violation (a perform the checker never saw commit).
 		u.stats.StoreMismatches++
 		u.sink.Violation(Violation{Kind: UOStoreMismatch, Node: u.node, Block: addr.Block(), Cycle: now,
 			Detail: fmt.Sprintf("store to %#x performed without a VC entry", addr)})
 		return
 	}
-	e.pendingStores--
-	if e.pendingStores > 0 {
-		return
-	}
-	if written != e.val {
+	e := &u.slab[i]
+	expect := e.vals[e.head]
+	e.head++
+	if written != expect {
 		u.stats.StoreMismatches++
 		u.sink.Violation(Violation{Kind: UOStoreMismatch, Node: u.node, Block: addr.Block(), Cycle: now,
-			Detail: fmt.Sprintf("store to %#x wrote %#x to the cache but VC holds %#x", addr, written, e.val)})
+			Detail: fmt.Sprintf("store to %#x wrote %#x to the cache but VC holds %#x", addr, written, expect)})
 	}
+	if e.pending() > 0 {
+		return
+	}
+	// Drained: the entry stops tracking stores.
+	last := e.vals[len(e.vals)-1]
+	e.vals = e.vals[:0]
+	e.head = 0
+	u.storeEntries--
 	if u.cacheLoadValues {
 		// Keep the word as a load-value entry: it is the newest local
 		// view of memory.
 		e.loadValue = true
-		u.noteLoadEntry(addr)
+		e.val = last
+		u.linkLoad(i)
 		return
 	}
-	delete(u.vc, addr)
+	u.freeEntry(i)
+}
+
+// CheckDrained verifies that every committed store has performed. Callers
+// invoke it at points where the write buffer reports empty (membar
+// retirement, program completion): a committed-but-never-performed store
+// means the machine lost a store — the paper's "all committed operations
+// perform eventually" invariant. Returns true when the VC is consistent.
+func (u *UniprocChecker) CheckDrained(now sim.Cycle) bool {
+	if u.storeEntries == 0 {
+		return true
+	}
+	// Cold path: report the lowest pending word deterministically.
+	var addr mem.Addr
+	pending := 0
+	first := true
+	//dvmc:orderinsensitive min-reduction over pending entries; result is order-independent
+	for a, i := range u.idx {
+		if e := &u.slab[i]; e.pending() > 0 {
+			if first || a < addr {
+				addr = a
+				pending = e.pending()
+				first = false
+			}
+		}
+	}
+	u.stats.StoreMismatches++
+	u.sink.Violation(Violation{Kind: UOStoreMismatch, Node: u.node, Block: addr.Block(), Cycle: now,
+		Detail: fmt.Sprintf("store to %#x committed but never performed (%d value(s) pending at drain)", addr, pending)})
+	return false
 }
 
 // LoadExecuted caches an executed load's value for replay (RMO
@@ -157,15 +274,19 @@ func (u *UniprocChecker) LoadExecuted(addr mem.Addr, val mem.Word) {
 	if !u.cacheLoadValues {
 		return
 	}
-	if e, ok := u.vc[addr]; ok {
+	if i, ok := u.idx[addr]; ok {
+		e := &u.slab[i]
 		if !e.loadValue {
 			return // a committed store's entry is newer than any load
 		}
 		e.val = val
 		return
 	}
-	u.vc[addr] = &vcEntry{val: val, loadValue: true}
-	u.noteLoadEntry(addr)
+	i := u.alloc(addr)
+	e := &u.slab[i]
+	e.loadValue = true
+	e.val = val
+	u.linkLoad(i)
 	u.evictLoadEntries()
 }
 
@@ -175,9 +296,14 @@ func (u *UniprocChecker) LoadExecuted(addr mem.Addr, val mem.Word) {
 // finish with CompareReplay.
 func (u *UniprocChecker) ReplayLoad(addr mem.Addr, orig mem.Word, now sim.Cycle) (hit, match bool) {
 	u.stats.LoadsReplayed++
-	if e, ok := u.vc[addr]; ok {
+	if i, ok := u.idx[addr]; ok {
+		e := &u.slab[i]
 		u.stats.VCHits++
-		return true, u.compare(addr, orig, e.val, now)
+		v := e.val
+		if e.pending() > 0 {
+			v = e.vals[len(e.vals)-1] // newest committed store
+		}
+		return true, u.compare(addr, orig, v, now)
 	}
 	u.stats.VCMisses++
 	return false, false
@@ -201,47 +327,43 @@ func (u *UniprocChecker) compare(addr mem.Addr, orig, replay mem.Word, now sim.C
 
 // Reset empties the VC entirely (SafetyNet recovery).
 func (u *UniprocChecker) Reset() {
-	u.vc = make(map[mem.Addr]*vcEntry)
-	u.order = u.order[:0]
+	clear(u.idx)
+	u.slab = u.slab[:0]
+	u.free = u.free[:0]
+	u.loadHead, u.loadTail = -1, -1
+	u.storeEntries = 0
 }
 
 // Flush clears the VC (pipeline flush after a mismatch or recovery).
 // Store entries are preserved: committed stores survive a flush — only
 // speculative state (cached load values) is dropped.
 func (u *UniprocChecker) Flush() {
-	//dvmc:orderinsensitive deletes a value-independent subset; resulting map is order-independent
-	for a, e := range u.vc {
-		if e.loadValue {
-			delete(u.vc, a)
-		}
+	for i := u.loadHead; i >= 0; {
+		e := &u.slab[i]
+		next := e.next
+		e.prev, e.next = -1, -1
+		e.loadValue = false
+		u.freeEntry(i)
+		i = next
 	}
-	u.order = u.order[:0]
+	u.loadHead, u.loadTail = -1, -1
 }
 
 // Entries returns the VC occupancy for tests and stats.
-func (u *UniprocChecker) Entries() int { return len(u.vc) }
+func (u *UniprocChecker) Entries() int { return len(u.idx) }
 
-// noteLoadEntry and evictLoadEntries implement FIFO bounded caching of
-// load values, keeping the VC at its configured capacity.
-func (u *UniprocChecker) noteLoadEntry(addr mem.Addr) {
-	u.order = append(u.order, addr)
-}
+// StoreEntries returns the number of words with committed-but-unperformed
+// stores (tests and drain checks).
+func (u *UniprocChecker) StoreEntries() int { return u.storeEntries }
 
-func (u *UniprocChecker) removeLoadEntry(addr mem.Addr) {
-	for i, a := range u.order {
-		if a == addr {
-			u.order = append(u.order[:i], u.order[i+1:]...)
-			return
-		}
-	}
-}
-
+// evictLoadEntries implements FIFO bounded caching of load values,
+// keeping the VC at its configured capacity. Only load-value entries are
+// evictable; store entries must stay until they perform.
 func (u *UniprocChecker) evictLoadEntries() {
-	for len(u.vc) > u.capacity && len(u.order) > 0 {
-		victim := u.order[0]
-		u.order = u.order[1:]
-		if e, ok := u.vc[victim]; ok && e.loadValue {
-			delete(u.vc, victim)
-		}
+	for len(u.idx) > u.capacity && u.loadHead >= 0 {
+		victim := u.loadHead
+		u.unlinkLoad(victim)
+		u.slab[victim].loadValue = false
+		u.freeEntry(victim)
 	}
 }

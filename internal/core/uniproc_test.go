@@ -51,15 +51,16 @@ func TestUniprocSameWordStoresMergeAndCompareLast(t *testing.T) {
 }
 
 func TestUniprocSameWordReorderDetected(t *testing.T) {
-	// If the write buffer reorders same-word stores, the cache ends with
-	// the older value: detected at deallocation.
+	// If the write buffer reorders same-word stores, every out-of-order
+	// perform pops the wrong expected value from the word's FIFO:
+	// detected on the spot, not just at deallocation.
 	var sink CollectorSink
 	u := NewUniprocChecker(0, 16, false, &sink)
 	u.StoreCommitted(0x100, 1)
 	u.StoreCommitted(0x100, 2)
 	u.StorePerformed(0x100, 2, 10) // newer first
 	u.StorePerformed(0x100, 1, 11) // older last: cache ends with 1
-	if sink.Count() != 1 || sink.Violations[0].Kind != UOStoreMismatch {
+	if sink.Count() == 0 || sink.Violations[0].Kind != UOStoreMismatch {
 		t.Fatalf("same-word reorder not detected: %v", sink.Violations)
 	}
 }
@@ -186,4 +187,100 @@ func TestUniprocPanicsOnZeroCapacity(t *testing.T) {
 		}
 	}()
 	NewUniprocChecker(0, 0, false, nil)
+}
+
+// TestUniprocRMWStoreSameWordFIFO mirrors the false-alarm reproducer
+// (RMO program with an RMW, a Bits32 TSO-forced store, and a plain
+// store to the same word) at the VC level: all three commit values into
+// the word's FIFO, and in-order performs — including the intermediate
+// ones — are clean. The old final-value-only comparison flagged the
+// intermediate performs of exactly this shape.
+func TestUniprocRMWStoreSameWordFIFO(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.StoreCommitted(0x10, 1)    // RMW inc on initial 0
+	u.StoreCommitted(0x10, 0x2a) // Bits32 store (effective-TSO)
+	u.StoreCommitted(0x10, 0x2c) // plain store
+	if u.StoreEntries() != 1 {
+		t.Fatalf("StoreEntries = %d, want 1 (same-word FIFO merge)", u.StoreEntries())
+	}
+	u.StorePerformed(0x10, 1, 10)
+	u.StorePerformed(0x10, 0x2a, 12)
+	u.StorePerformed(0x10, 0x2c, 14)
+	if sink.Count() != 0 {
+		t.Fatalf("in-order same-word drain flagged: %v", sink.Violations)
+	}
+	if u.Entries() != 0 || u.StoreEntries() != 0 {
+		t.Errorf("entry not freed after drain: entries=%d stores=%d", u.Entries(), u.StoreEntries())
+	}
+}
+
+// TestUniprocInterleavedBurstsAcrossWordsClean: a PSO/RMO write buffer
+// may drain different words in any order; only the per-word FIFO order
+// is architectural. Interleaved performs across two words must stay
+// clean as long as each word drains in commit order.
+func TestUniprocInterleavedBurstsAcrossWordsClean(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.StoreCommitted(0x100, 1)
+	u.StoreCommitted(0x108, 10)
+	u.StoreCommitted(0x100, 2)
+	u.StoreCommitted(0x108, 20)
+	// Words drain out of order with respect to each other.
+	u.StorePerformed(0x108, 10, 5)
+	u.StorePerformed(0x100, 1, 6)
+	u.StorePerformed(0x108, 20, 7)
+	u.StorePerformed(0x100, 2, 8)
+	if sink.Count() != 0 {
+		t.Fatalf("cross-word interleaving flagged: %v", sink.Violations)
+	}
+	if u.StoreEntries() != 0 {
+		t.Errorf("StoreEntries = %d after full drain", u.StoreEntries())
+	}
+}
+
+// TestUniprocSameWordSkippedValueDetected: a coalescing write buffer
+// that swallows an intermediate committed value (performs v1 then v3,
+// never v2) trips the FIFO comparison at the second perform — the
+// skipped value is architecturally visible to loads and must reach the
+// cache.
+func TestUniprocSameWordSkippedValueDetected(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	u.StoreCommitted(0x40, 1)
+	u.StoreCommitted(0x40, 2)
+	u.StoreCommitted(0x40, 3)
+	u.StorePerformed(0x40, 1, 10)
+	u.StorePerformed(0x40, 3, 11) // v2 skipped
+	if sink.Count() == 0 || sink.Violations[0].Kind != UOStoreMismatch {
+		t.Fatalf("skipped intermediate value not detected: %v", sink.Violations)
+	}
+}
+
+// TestUniprocCheckDrainedDetectsLostStore: at a drain point (membar
+// retirement, program end) every committed store must have performed; a
+// lingering VC store entry is a lost store. The violation names the
+// lowest pending word deterministically.
+func TestUniprocCheckDrainedDetectsLostStore(t *testing.T) {
+	var sink CollectorSink
+	u := NewUniprocChecker(0, 16, false, &sink)
+	if !u.CheckDrained(5) {
+		t.Fatal("empty VC reported undrained")
+	}
+	u.StoreCommitted(0x200, 7)
+	u.StoreCommitted(0x100, 9) // lower word: must be the one reported
+	u.StorePerformed(0x200, 7, 10)
+	if u.CheckDrained(20) {
+		t.Fatal("lost store not detected at drain")
+	}
+	if sink.Count() != 1 || sink.Violations[0].Kind != UOStoreMismatch {
+		t.Fatalf("violations: %v", sink.Violations)
+	}
+	if got := sink.Violations[0].Block; got != mem.Addr(0x100).Block() {
+		t.Errorf("violation block %v, want the lowest pending word's block", got)
+	}
+	u.StorePerformed(0x100, 9, 30)
+	if !u.CheckDrained(40) {
+		t.Error("drained VC still reported a lost store")
+	}
 }

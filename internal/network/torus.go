@@ -21,8 +21,17 @@ type Torus struct {
 	outLinks [][4]*link // per node: +X, -X, +Y, -Y (nil if dimension degenerate)
 	handlers []Handler
 
-	local   []*localDelivery // loopback messages in flight
-	delayed []*delayedSend   // FaultDelay victims
+	// routes caches the dimension-order path for every (src, dst) pair:
+	// routing is static, so each path is computed once and shared by all
+	// transits (which keep their own hop cursor instead of re-slicing).
+	routes [][]*link
+
+	// freeTransits recycles transit envelopes so the steady-state Send
+	// path does not allocate.
+	freeTransits []*transit
+
+	local   []localDelivery // loopback messages in flight
+	delayed []delayedSend   // FaultDelay victims
 	rng     *sim.Rand
 
 	// lastTick is the cycle of the most recent Tick; Send schedules
@@ -50,10 +59,13 @@ type delayedSend struct {
 	at  sim.Cycle
 }
 
-// transit is a message crossing the torus with its remaining route.
+// transit is a message crossing the torus. path is the full cached
+// route (shared, never mutated); hop indexes the link currently being
+// traversed.
 type transit struct {
 	msg      *Message
-	path     []*link // links still to traverse; path[0] is current
+	path     []*link
+	hop      int
 	queuedAt sim.Cycle
 }
 
@@ -84,6 +96,7 @@ func NewTorus(n int, bytesPerCycle float64, hopLatency sim.Cycle, rng *sim.Rand)
 		hopLatency: hopLatency,
 		outLinks:   make([][4]*link, n),
 		handlers:   make([]Handler, n),
+		routes:     make([][]*link, n*n),
 		rng:        rng,
 		prioritize: true,
 	}
@@ -141,8 +154,20 @@ func (t *Torus) coord(n NodeID) (int, int) { return int(n) % t.dimX, int(n) / t.
 // node maps coordinates back to a node id.
 func (t *Torus) node(x, y int) NodeID { return NodeID(y*t.dimX + x) }
 
-// route computes the dimension-order (X then Y) shortest path.
+// route returns the dimension-order (X then Y) shortest path, computing
+// and caching it on first use. Returned paths are shared: callers must
+// not mutate them.
 func (t *Torus) route(src, dst NodeID) []*link {
+	idx := int(src)*len(t.handlers) + int(dst)
+	if p := t.routes[idx]; p != nil {
+		return p
+	}
+	p := t.computeRoute(src, dst)
+	t.routes[idx] = p
+	return p
+}
+
+func (t *Torus) computeRoute(src, dst NodeID) []*link {
 	var path []*link
 	x, y := t.coord(src)
 	dx, dy := t.coord(dst)
@@ -194,7 +219,7 @@ func (t *Torus) sendAt(m *Message, when sim.Cycle) {
 		case FaultMisroute:
 			m.Dst = NodeID(t.rng.Intn(t.Nodes()))
 		case FaultDelay:
-			t.delayed = append(t.delayed, &delayedSend{msg: m, at: when + 64})
+			t.delayed = append(t.delayed, delayedSend{msg: m, at: when + 64})
 			return
 		case FaultCorrupt, FaultNone:
 			// payload already mutated by the hook (corrupt) or untouched
@@ -205,12 +230,37 @@ func (t *Torus) sendAt(m *Message, when sim.Cycle) {
 
 func (t *Torus) enqueue(m *Message, when sim.Cycle) {
 	if m.Src == m.Dst {
-		t.local = append(t.local, &localDelivery{msg: m, at: when})
+		t.local = append(t.local, localDelivery{msg: m, at: when})
 		return
 	}
 	path := t.route(m.Src, m.Dst)
-	tr := &transit{msg: m, path: path, queuedAt: when}
+	tr := t.allocTransit(m, path, when)
 	path[0].queue = append(path[0].queue, tr)
+}
+
+// allocTransit takes a transit envelope from the freelist (or allocates
+// one) and initialises it.
+func (t *Torus) allocTransit(m *Message, path []*link, when sim.Cycle) *transit {
+	var tr *transit
+	if n := len(t.freeTransits); n > 0 {
+		tr = t.freeTransits[n-1]
+		t.freeTransits[n-1] = nil
+		t.freeTransits = t.freeTransits[:n-1]
+	} else {
+		tr = &transit{}
+	}
+	tr.msg = m
+	tr.path = path
+	tr.hop = 0
+	tr.queuedAt = when
+	return tr
+}
+
+// recycleTransit returns a finished transit envelope to the freelist.
+func (t *Torus) recycleTransit(tr *transit) {
+	tr.msg = nil
+	tr.path = nil
+	t.freeTransits = append(t.freeTransits, tr)
 }
 
 // serialize returns the cycles a message occupies a link.
@@ -228,29 +278,40 @@ var _ sim.Clockable = (*Torus)(nil)
 // hop to hop, and fires delivery handlers.
 func (t *Torus) Tick(now sim.Cycle) {
 	t.lastTick = now
-	// Release FaultDelay victims whose holding period expired.
+	// Release FaultDelay victims whose holding period expired. The
+	// filters below compact in place (no per-Tick allocation) by index,
+	// which also preserves any entries appended while a delivery handler
+	// runs: those land past the original length and are copied down.
 	if len(t.delayed) > 0 {
-		var keep []*delayedSend
-		for _, d := range t.delayed {
+		n := len(t.delayed)
+		keep := 0
+		for i := 0; i < n; i++ {
+			d := t.delayed[i]
 			if now >= d.at {
 				t.enqueue(d.msg, now)
 			} else {
-				keep = append(keep, d)
+				t.delayed[keep] = d
+				keep++
 			}
 		}
-		t.delayed = keep
+		appended := copy(t.delayed[keep:], t.delayed[n:])
+		t.delayed = t.delayed[:keep+appended]
 	}
 	// Local loopback deliveries.
 	if len(t.local) > 0 {
-		var keep []*localDelivery
-		for _, d := range t.local {
+		n := len(t.local)
+		keep := 0
+		for i := 0; i < n; i++ {
+			d := t.local[i]
 			if now >= d.at {
 				t.deliver(d.msg)
 			} else {
-				keep = append(keep, d)
+				t.local[keep] = d
+				keep++
 			}
 		}
-		t.local = keep
+		appended := copy(t.local[keep:], t.local[n:])
+		t.local = t.local[:keep+appended]
 	}
 	// Advance every link.
 	for _, l := range t.links {
@@ -260,12 +321,13 @@ func (t *Torus) Tick(now sim.Cycle) {
 			if now >= l.done {
 				tr := l.head
 				l.head = nil
-				tr.path = tr.path[1:]
-				if len(tr.path) == 0 {
+				tr.hop++
+				if tr.hop == len(tr.path) {
 					t.deliver(tr.msg)
+					t.recycleTransit(tr)
 				} else {
 					tr.queuedAt = now
-					tr.path[0].queue = append(tr.path[0].queue, tr)
+					tr.path[tr.hop].queue = append(tr.path[tr.hop].queue, tr)
 				}
 			}
 		}
@@ -357,10 +419,19 @@ func (t *Torus) SetPrioritize(p bool) { t.prioritize = p }
 // traffic must not leak into the restored state). Link statistics are
 // preserved.
 func (t *Torus) Reset() {
-	t.local = nil
-	t.delayed = nil
+	t.local = t.local[:0]
+	t.delayed = t.delayed[:0]
 	for _, l := range t.links {
-		l.queue = nil
-		l.head = nil
+		for _, tr := range l.queue {
+			t.recycleTransit(tr)
+		}
+		for i := range l.queue {
+			l.queue[i] = nil
+		}
+		l.queue = l.queue[:0]
+		if l.head != nil {
+			t.recycleTransit(l.head)
+			l.head = nil
+		}
 	}
 }

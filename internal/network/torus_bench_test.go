@@ -1,0 +1,60 @@
+package network
+
+import (
+	"testing"
+
+	"dvmc/internal/sim"
+)
+
+// torusBench builds a 2x2 torus whose handlers count deliveries.
+func torusBench() (*Torus, *int) {
+	tor := NewTorus(4, 1.25, 2, sim.NewRand(1))
+	delivered := new(int)
+	for n := 0; n < 4; n++ {
+		tor.SetHandler(NodeID(n), func(*Message) { *delivered++ })
+	}
+	return tor, delivered
+}
+
+func BenchmarkTorusSendDeliver(b *testing.B) {
+	tor, _ := torusBench()
+	msgs := [4]Message{}
+	now := sim.Cycle(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &msgs[i&3]
+		*m = Message{Src: NodeID(i & 3), Dst: NodeID((i + 1) & 3), Size: 16, Class: ClassCoherence}
+		tor.Send(m)
+		for j := 0; j < 8; j++ {
+			now++
+			tor.Tick(now)
+		}
+	}
+}
+
+func TestTorusSteadyStateAllocFree(t *testing.T) {
+	tor, delivered := torusBench()
+	msgs := [4]Message{}
+	now := sim.Cycle(0)
+	i := 0
+	step := func() {
+		m := &msgs[i&3]
+		*m = Message{Src: NodeID(i & 3), Dst: NodeID((i + 1) & 3), Size: 16, Class: ClassCoherence}
+		tor.Send(m)
+		for j := 0; j < 8; j++ { // enough ticks to drain the route
+			now++
+			tor.Tick(now)
+		}
+		i++
+	}
+	for j := 0; j < 64; j++ {
+		step() // warm route cache, transit freelist, link queues
+	}
+	if allocs := testing.AllocsPerRun(2000, step); allocs != 0 {
+		t.Errorf("torus send/deliver steady state: %.2f allocs/op, want 0", allocs)
+	}
+	if *delivered == 0 {
+		t.Fatal("no messages delivered")
+	}
+}

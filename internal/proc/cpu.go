@@ -106,6 +106,10 @@ type CPU struct {
 	wbProgressAt    sim.Cycle
 	wbWatchdogFired bool
 
+	// drainChecked latches the end-of-program VC drain check so it runs
+	// once per completion.
+	drainChecked bool
+
 	stats Stats
 }
 
@@ -237,6 +241,13 @@ func (c *CPU) Tick(now sim.Cycle) {
 	c.fetchStage(now)
 	if c.wb != nil {
 		c.wb.Tick(now)
+	}
+	if c.uo != nil && !c.drainChecked && c.finished && len(c.rob) == 0 && c.wbEmpty() {
+		// Program done and write buffer drained: every committed store
+		// must have performed. A lingering VC store entry means the
+		// machine lost a store (e.g. dropped inside the write buffer).
+		c.drainChecked = true
+		c.uo.CheckDrained(now)
 	}
 	c.stats.ROBOccupancySum += uint64(len(c.rob))
 }
@@ -485,6 +496,15 @@ func (c *CPU) loadExecuted(u *uop) {
 	}
 	u.state = uExecuted
 	c.stats.LoadsExecuted++
+	// cacheVal is the value as delivered by the cache port (or the
+	// forwarding network), captured before any injected LSQ data-path
+	// corruption: the VC's load-value fill is wired to the cache
+	// interface, not to the register-file write path, so a value
+	// corrupted between the two is caught when replay compares the
+	// architectural value against the VC copy. Filling the VC from the
+	// corrupted value instead would make the checker verify the
+	// corruption against itself and miss every RMO LSQ fault.
+	cacheVal := u.loadVal
 	if c.faultLoadValue {
 		c.faultLoadValue = false
 		c.faultActivated = c.now
@@ -508,7 +528,7 @@ func (c *CPU) loadExecuted(u *uop) {
 			c.reorder.OpPerformed(core.PerformedOp{Seq: u.seq, Class: consistency.Load, Model: u.model}, c.now)
 		}
 		if c.uo != nil {
-			c.uo.LoadExecuted(u.op.Addr, u.loadVal)
+			c.uo.LoadExecuted(u.op.Addr, cacheVal)
 		}
 		return
 	}
@@ -911,6 +931,11 @@ func (c *CPU) retireMembar(u *uop, now sim.Cycle) bool {
 		return false
 	}
 	if !u.performed {
+		if c.uo != nil && u.op.Mask&(consistency.SL|consistency.SS) != 0 {
+			// The write buffer claims every older store performed; the VC
+			// must agree, or a store was lost on the way to the cache.
+			c.uo.CheckDrained(now)
+		}
 		u.performed = true
 		if c.tracer != nil {
 			c.emitTrace(trace.Event{

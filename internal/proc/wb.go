@@ -52,6 +52,11 @@ type wbFault struct {
 	swapNext    bool   // drain the second-oldest entry before the oldest
 	dropNext    bool   // discard the next store drained
 	corruptNext bool   // corrupt the next store drained
+	// fired records that an armed fault actually altered a drain. An
+	// armed-but-dormant fault (no further eligible store drained within
+	// the observation window) leaves no architectural trace; injection
+	// campaigns use this to separate masked from escaped faults.
+	fired bool
 }
 
 // InOrderWB is TSO's FIFO write buffer: one store drains at a time, in
@@ -64,6 +69,12 @@ type InOrderWB struct {
 	queue []wbStore
 	busy  bool
 	fault wbFault
+
+	// draining is the store currently at the cache; drainCB is the
+	// completion closure, allocated once and reused for every drain so the
+	// steady-state path is allocation-free.
+	draining wbStore
+	drainCB  func()
 }
 
 type wbStore struct {
@@ -114,6 +125,7 @@ func (w *InOrderWB) Tick(now sim.Cycle) {
 	if w.fault.swapNext && len(w.queue) > 1 {
 		idx = 1 // injected fault: younger store drains first
 		w.fault.swapNext = false
+		w.fault.fired = true
 	}
 	st := w.queue[idx]
 	w.queue = append(w.queue[:idx], w.queue[idx+1:]...)
@@ -122,18 +134,25 @@ func (w *InOrderWB) Tick(now sim.Cycle) {
 		// performed.
 		w.fault.dropSeq = 0
 		w.fault.dropNext = false
+		w.fault.fired = true
 		return
 	}
 	if w.fault.corruptNext || (w.fault.corruptSeq != 0 && st.seq == w.fault.corruptSeq) {
 		st.val ^= 1 << 7
 		w.fault.corruptSeq = 0
 		w.fault.corruptNext = false
+		w.fault.fired = true
+	}
+	if w.drainCB == nil {
+		w.drainCB = func() {
+			st := w.draining
+			w.busy = false
+			w.perf(st.seq, st.addr, st.val)
+		}
 	}
 	w.busy = true
-	w.ctrl.Store(st.addr, st.val, func() {
-		w.busy = false
-		w.perf(st.seq, st.addr, st.val)
-	})
+	w.draining = st
+	w.ctrl.Store(st.addr, st.val, w.drainCB)
 }
 
 // Pending implements WriteBuffer.
@@ -166,6 +185,9 @@ func (w *InOrderWB) InjectDropNext() { w.fault.dropNext = true }
 // InjectCorruptNext arms a one-shot corruption fault for the next drain.
 func (w *InOrderWB) InjectCorruptNext() { w.fault.corruptNext = true }
 
+// FaultFired reports whether an armed fault actually altered a drain.
+func (w *InOrderWB) FaultFired() bool { return w.fault.fired }
+
 // OOOWB is the out-of-order, write-combining buffer of PSO/RMO (paper
 // Table 5: "optimized store issue policy to reduce write buffer stalls
 // and coherence traffic"). Stores coalesce per block; multiple blocks
@@ -181,6 +203,11 @@ type OOOWB struct {
 	entries     []*oooEntry
 	stores      int
 	fault       wbFault
+
+	// freeEntries recycles drained entries (and their constituent slices
+	// and drain closures) so the steady-state push/drain path is
+	// allocation-free.
+	freeEntries []*oooEntry
 }
 
 type oooEntry struct {
@@ -190,6 +217,14 @@ type oooEntry struct {
 	constituents []wbStore
 	ordered      bool
 	draining     bool
+
+	// Drain progress: drainWords lists the word indices still to write,
+	// cursor the next one; cb is the per-entry completion closure,
+	// allocated once per pooled entry and reused across drains.
+	drainWords []int
+	cursor     int
+	cb         func()
+	owner      *OOOWB
 }
 
 var _ WriteBuffer = (*OOOWB)(nil)
@@ -205,6 +240,14 @@ func NewOOOWB(ctrl coherence.Controller, capacity, maxOutstanding int, perf perf
 // merging a young store into an entry older than the ordered one would
 // let it perform first and violate the ordered store's Store→Store
 // constraint.
+//
+// Coalescing targets only the NEWEST entry for the block. Merging into
+// an older same-block entry — which can exist after an ordered store
+// suspended coalescing and later drained — would let this store's value
+// reach the cache before a younger buffered store to the same word,
+// reordering same-word stores in violation of Uniprocessor Ordering
+// (a real write-buffer bug the VC checker caught; see the
+// false-alarm-wb-rmw-store fuzzer reproducer, which was no false alarm).
 func (w *OOOWB) Push(seq uint64, addr mem.Addr, val mem.Word, ordered bool) bool {
 	if w.fault.dropNext {
 		w.fault.dropNext = false
@@ -212,26 +255,44 @@ func (w *OOOWB) Push(seq uint64, addr mem.Addr, val mem.Word, ordered bool) bool
 	}
 	b := addr.Block()
 	if !ordered && !w.hasOrdered() {
-		for _, e := range w.entries {
-			if e.block == b && !e.draining && !e.ordered {
-				e.words[addr.WordIndex()] = val
-				e.valid[addr.WordIndex()] = true
-				e.constituents = append(e.constituents, wbStore{seq: seq, addr: addr, val: val})
-				w.stores++
-				return true
+		for i := len(w.entries) - 1; i >= 0; i-- {
+			e := w.entries[i]
+			if e.block != b {
+				continue
 			}
+			if e.draining || e.ordered {
+				break // newest same-block entry ineligible: allocate fresh
+			}
+			e.words[addr.WordIndex()] = val
+			e.valid[addr.WordIndex()] = true
+			e.constituents = append(e.constituents, wbStore{seq: seq, addr: addr, val: val})
+			w.stores++
+			return true
 		}
 	}
 	if w.stores >= w.capStores {
 		return false
 	}
-	e := &oooEntry{block: b, ordered: ordered}
+	e := w.allocEntry()
+	e.block = b
+	e.ordered = ordered
 	e.words[addr.WordIndex()] = val
 	e.valid[addr.WordIndex()] = true
-	e.constituents = []wbStore{{seq: seq, addr: addr, val: val}}
+	e.constituents = append(e.constituents, wbStore{seq: seq, addr: addr, val: val})
 	w.entries = append(w.entries, e)
 	w.stores++
 	return true
+}
+
+// allocEntry pops a recycled entry or allocates a fresh one.
+func (w *OOOWB) allocEntry() *oooEntry {
+	if n := len(w.freeEntries); n > 0 {
+		e := w.freeEntries[n-1]
+		w.freeEntries[n-1] = nil
+		w.freeEntries = w.freeEntries[:n-1]
+		return e
+	}
+	return &oooEntry{}
 }
 
 // Lookup implements WriteBuffer.
@@ -336,29 +397,43 @@ func (w *OOOWB) drain(e *oooEntry) {
 			}
 		}
 	}
-	words := make([]int, 0, mem.WordsPerBlock)
+	e.drainWords = e.drainWords[:0]
 	for i, v := range e.valid {
 		if v && i != skipWord {
-			words = append(words, i)
+			e.drainWords = append(e.drainWords, i)
 		}
 	}
-	var writeNext func(i int)
-	writeNext = func(i int) {
-		if i >= len(words) {
-			w.finish(e)
-			return
-		}
-		addr := e.block.WordAddr(words[i])
-		w.ctrl.Store(addr, e.words[words[i]], func() { writeNext(i + 1) })
+	e.cursor = 0
+	if e.cb == nil {
+		e.owner = w
+		e.cb = func() { e.owner.stepDrain(e) }
 	}
-	writeNext(0)
+	w.stepDrain(e)
+}
+
+// stepDrain writes the next dirty word of a draining entry to the cache,
+// or finishes the drain once every word is written. It is both the drain
+// kick-off and the store-completion callback (e.cb), so each entry's
+// whole drain reuses one closure.
+func (w *OOOWB) stepDrain(e *oooEntry) {
+	if e.cursor >= len(e.drainWords) {
+		w.finish(e)
+		return
+	}
+	i := e.drainWords[e.cursor]
+	e.cursor++
+	w.ctrl.Store(e.block.WordAddr(i), e.words[i], e.cb)
 }
 
 func (w *OOOWB) finish(e *oooEntry) {
 	w.outstanding--
+	found := false
 	for i, c := range w.entries {
 		if c == e {
-			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+			copy(w.entries[i:], w.entries[i+1:])
+			w.entries[len(w.entries)-1] = nil
+			w.entries = w.entries[:len(w.entries)-1]
+			found = true
 			break
 		}
 	}
@@ -366,10 +441,30 @@ func (w *OOOWB) finish(e *oooEntry) {
 	for _, st := range e.constituents {
 		if w.fault.dropSeq != 0 && st.seq == w.fault.dropSeq {
 			w.fault.dropSeq = 0
+			w.fault.fired = true
 			continue
 		}
 		w.perf(st.seq, st.addr, st.val)
 	}
+	if found {
+		w.recycle(e)
+	}
+}
+
+// recycle resets a drained entry and returns it to the free list. Entries
+// orphaned by Clear (SafetyNet recovery flushed the buffer while their
+// drain was in flight) are not recycled: their completion callback may
+// still fire.
+func (w *OOOWB) recycle(e *oooEntry) {
+	e.block = 0
+	e.words = [mem.WordsPerBlock]mem.Word{}
+	e.valid = [mem.WordsPerBlock]bool{}
+	e.constituents = e.constituents[:0]
+	e.ordered = false
+	e.draining = false
+	e.drainWords = e.drainWords[:0]
+	e.cursor = 0
+	w.freeEntries = append(w.freeEntries, e)
 }
 
 // Pending implements WriteBuffer.
@@ -402,6 +497,9 @@ func (w *OOOWB) InjectDrop(seq uint64) { w.fault.dropSeq = seq }
 
 // InjectDropNext arms a one-shot lost-store fault for the next push.
 func (w *OOOWB) InjectDropNext() { w.fault.dropNext = true }
+
+// FaultFired reports whether an armed fault actually altered a drain.
+func (w *OOOWB) FaultFired() bool { return w.fault.fired }
 
 // NewWriteBufferFor builds the write buffer matching a model's Table 5
 // optimization, or nil for SC (no write buffer).

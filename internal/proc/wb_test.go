@@ -221,3 +221,51 @@ func TestNewWriteBufferFor(t *testing.T) {
 		}
 	}
 }
+
+// TestOOOWBCoalesceTargetsNewestSameBlockEntry is the deterministic
+// regression for the write-buffer half of the RMW/same-word false
+// alarm: once an older same-block entry is draining (or ordered), a new
+// same-word store must coalesce into the newest eligible entry — or
+// allocate a fresh one — never fold into an older entry, which would
+// drain the new value ahead of values committed before it.
+func TestOOOWBCoalesceTargetsNewestSameBlockEntry(t *testing.T) {
+	ctrl := newFakeCtrl(6)
+	var performed []wbStore
+	wb := NewOOOWB(ctrl, 256, 4, func(seq uint64, addr mem.Addr, val mem.Word) {
+		performed = append(performed, wbStore{seq: seq, addr: addr, val: val})
+	})
+	var k sim.Kernel
+	k.Register(ctrl)
+	k.Register(tick(wb))
+	addr := mem.Addr(0x1000)
+	if !wb.Push(1, addr, 100, false) {
+		t.Fatal("push 1 rejected")
+	}
+	k.Step() // the first entry begins draining
+	if !wb.Push(2, addr, 200, false) {
+		t.Fatal("push 2 rejected")
+	}
+	if !wb.Push(3, addr, 300, false) {
+		t.Fatal("push 3 rejected")
+	}
+	if !k.RunUntil(wb.Empty, 100000) {
+		t.Fatalf("write buffer never drained (%d left)", wb.Len())
+	}
+	var seqs []uint64
+	for _, p := range performed {
+		if p.addr == addr {
+			seqs = append(seqs, p.seq)
+		}
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			t.Fatalf("same-word perform order %v, want ascending seq", seqs)
+		}
+	}
+	if len(seqs) == 0 || seqs[len(seqs)-1] != 3 {
+		t.Fatalf("perform order %v: newest store must perform last", seqs)
+	}
+	if ctrl.mem[addr] != 300 {
+		t.Fatalf("final cache value %d, want the newest store's 300", ctrl.mem[addr])
+	}
+}

@@ -1,12 +1,16 @@
 package sim
 
-import "container/heap"
-
 // EventQueue schedules callbacks at future cycles. Events scheduled for
 // the same cycle fire in scheduling order (stable), which keeps the
 // simulation deterministic. The zero value is ready to use.
+//
+// The heap is hand-rolled over a plain slice rather than container/heap:
+// the standard interface passes elements as `any`, boxing one event per
+// Push/Pop — an allocation on every scheduled callback. The direct
+// sift-up/sift-down below keeps the steady-state scheduling path
+// allocation-free (the backing array amortises to zero once warm).
 type EventQueue struct {
-	h   eventHeap
+	h   []event
 	seq uint64
 }
 
@@ -16,23 +20,49 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by cycle, then scheduling order.
+func (q *EventQueue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
 	}
-	return h[i].seq < h[j].seq
+	return q.h[i].seq < q.h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (q *EventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && q.less(r, l) {
+			least = r
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
+}
 
 // At schedules fn to run when the queue is ticked at cycle `at` or later.
 func (q *EventQueue) At(at Cycle, fn func()) {
 	q.seq++
-	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+	q.h = append(q.h, event{at: at, seq: q.seq, fn: fn})
+	q.siftUp(len(q.h) - 1)
 }
 
 // After schedules fn delay cycles after now.
@@ -42,8 +72,15 @@ func (q *EventQueue) After(now Cycle, delay Cycle, fn func()) { q.At(now+delay, 
 // Tick for the current cycle also run within the same Tick.
 func (q *EventQueue) Tick(now Cycle) {
 	for len(q.h) > 0 && q.h[0].at <= now {
-		e := heap.Pop(&q.h).(event)
-		e.fn()
+		fn := q.h[0].fn
+		n := len(q.h) - 1
+		q.h[0] = q.h[n]
+		q.h[n] = event{} // release the popped closure
+		q.h = q.h[:n]
+		if n > 0 {
+			q.siftDown(0)
+		}
+		fn()
 	}
 }
 

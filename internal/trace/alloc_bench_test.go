@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"io"
+	"testing"
+
+	"dvmc/internal/consistency"
+)
+
+func benchEvent(i int) Event {
+	return Event{
+		Kind:  EvCommit,
+		Node:  uint8(i & 3),
+		Class: consistency.Store,
+		Model: consistency.TSO,
+		Seq:   uint64(i),
+		Addr:  0x100,
+		Val:   0x42,
+		Time:  1,
+	}
+}
+
+func BenchmarkTraceWrite(b *testing.B) {
+	w, err := NewWriter(io.Discard, Meta{Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(benchEvent(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTraceWriteSteadyStateAllocFree(t *testing.T) {
+	w, err := NewWriter(io.Discard, Meta{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	step := func() {
+		if err := w.Write(benchEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	for j := 0; j < 64; j++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(2000, step); allocs != 0 {
+		t.Errorf("trace encode steady state: %.2f allocs/op, want 0", allocs)
+	}
+}

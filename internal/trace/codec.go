@@ -140,6 +140,7 @@ func (w *Writer) Write(ev Event) error {
 	if err := w.flush(b); err != nil {
 		return err
 	}
+	w.scratch = b[:0] // keep any growth so the encode path stays allocation-free
 	w.count++
 	return nil
 }

@@ -62,6 +62,12 @@ type System struct {
 	cet     []*core.CacheChecker
 	met     []*core.MemChecker
 
+	// informPool recycles CET→MET inform messages; each inform is
+	// released back to the pool right after its MET handler returns
+	// (Handle copies what it keeps). One pool per System — the sim is
+	// single-threaded within a system.
+	informPool *core.InformPool
+
 	snMgr     *safetynet.Manager
 	snLoggers []*safetynet.Logger
 
@@ -179,6 +185,10 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		s.kernel.Register(s.snMgr)
 	}
 
+	if cfg.DVMC.CacheCoherence {
+		s.informPool = &core.InformPool{}
+	}
+
 	for n := 0; n < cfg.Nodes; n++ {
 		nid := network.NodeID(n)
 		clock := nodeClock(n)
@@ -198,11 +208,7 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 			if met != nil {
 				dh.SetNewBlockListener(met.BlockRequested)
 			}
-			fallback := network.Handler(nil)
-			if met != nil {
-				fallback = met.Handle
-			}
-			s.torus.SetHandler(nid, coherence.DirectoryHandler(dc, dh, fallback))
+			s.torus.SetHandler(nid, coherence.DirectoryHandler(dc, dh, s.informFallback(met)))
 			s.dirC = append(s.dirC, dc)
 			s.dirH = append(s.dirH, dh)
 			ctrl = dc
@@ -214,12 +220,8 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 			if met != nil {
 				sh.SetNewBlockListener(met.BlockRequested)
 			}
-			fallback := network.Handler(nil)
-			if met != nil {
-				fallback = met.Handle
-			}
 			s.bcast.SetHandler(nid, coherence.SnoopingAddressHandler(sc, sh))
-			s.torus.SetHandler(nid, coherence.SnoopingDataHandler(sc, sh, fallback))
+			s.torus.SetHandler(nid, coherence.SnoopingDataHandler(sc, sh, s.informFallback(met)))
 			s.snpC = append(s.snpC, sc)
 			s.snpH = append(s.snpH, sh)
 			ctrl = sc
@@ -262,6 +264,7 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		var cet *core.CacheChecker
 		if cfg.DVMC.CacheCoherence {
 			cet = core.NewCacheChecker(nid, cfg.Memory, s.torus, clock, now, s.sink())
+			cet.SetInformPool(s.informPool)
 			s.cet = append(s.cet, cet)
 			s.kernel.Register(cet)
 		}
@@ -281,6 +284,22 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		s.kernel.Register(cpu)
 	}
 	return s, nil
+}
+
+// informFallback wraps a MET's Handle so each delivered inform is
+// returned to the system's pool once the checker has consumed it.
+// MemChecker.Handle is synchronous and copies everything it retains, so
+// release-after-handle is safe; coherence traffic never reaches the
+// fallback handler.
+func (s *System) informFallback(met *core.MemChecker) network.Handler {
+	if met == nil {
+		return nil
+	}
+	pool := s.informPool
+	return func(m *network.Message) {
+		met.Handle(m)
+		pool.Release(m)
+	}
 }
 
 // sink returns the violation sink shared by all checkers.
