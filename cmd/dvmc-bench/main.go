@@ -9,16 +9,19 @@
 // disjoint result slots; -compare re-runs each figure serially and
 // fails if the parallel table differs.
 //
-// With -json the run also executes the checker microbenchmarks
-// (ns/op + allocs/op for the VC-replay, CET-update, MET-inform, event
-// queue, torus, and trace-encode hot paths) and writes a machine-
-// readable report.
+// With -json the run also executes a representative telemetry-
+// instrumented simulation (whose per-class link bandwidth and inform
+// counters populate the report's "bandwidth" section) and the checker
+// microbenchmarks (ns/op + allocs/op for the VC-replay, CET-update,
+// MET-inform, event queue, torus, and trace-encode hot paths), then
+// writes a machine-readable report. -metrics-out additionally records
+// that instrumented run's full telemetry snapshot for dvmc-stat.
 //
 // Example:
 //
 //	dvmc-bench -fig all -reps 3 -txns 150
 //	dvmc-bench -fig 5 -json BENCH.json
-//	dvmc-bench -fig all -workers 8 -compare -json BENCH_PR4.json
+//	dvmc-bench -fig all -workers 8 -compare -json BENCH_PR5.json -metrics-out bench.metrics.json
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"dvmc"
+	"dvmc/internal/telemetry"
 )
 
 type figureReport struct {
@@ -49,27 +53,67 @@ type microReport struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// bandwidthReport carries the Figure 7 headline numbers from one
+// representative instrumented run: peak link utilisation broken down by
+// traffic class, plus the coherence-checker inform counters that drive
+// the inform class.
+type bandwidthReport struct {
+	Workload         string             `json:"workload"`
+	Transactions     uint64             `json:"transactions"`
+	Cycles           uint64             `json:"cycles"`
+	MaxLinkBandwidth float64            `json:"max_link_bytes_per_cycle"`
+	MaxLinkByClass   map[string]float64 `json:"max_link_by_class"`
+	TotalLinkBytes   uint64             `json:"total_link_bytes"`
+	Informs          uint64             `json:"informs"`
+	OpenInforms      uint64             `json:"open_informs"`
+	InformsProcessed uint64             `json:"informs_processed"`
+}
+
 type report struct {
-	GoVersion    string         `json:"go_version"`
-	GOOS         string         `json:"goos"`
-	GOARCH       string         `json:"goarch"`
-	CPUs         int            `json:"cpus"`
-	Workers      int            `json:"workers"`
-	Repetitions  int            `json:"repetitions"`
-	Transactions uint64         `json:"transactions"`
-	Compared     bool           `json:"compared_serial_vs_parallel"`
-	Figures      []figureReport `json:"figures"`
-	Micro        []microReport  `json:"microbenchmarks"`
+	GoVersion    string           `json:"go_version"`
+	GOOS         string           `json:"goos"`
+	GOARCH       string           `json:"goarch"`
+	CPUs         int              `json:"cpus"`
+	Workers      int              `json:"workers"`
+	Repetitions  int              `json:"repetitions"`
+	Transactions uint64           `json:"transactions"`
+	Compared     bool             `json:"compared_serial_vs_parallel"`
+	Figures      []figureReport   `json:"figures"`
+	Bandwidth    *bandwidthReport `json:"bandwidth,omitempty"`
+	Micro        []microReport    `json:"microbenchmarks"`
+}
+
+// runInstrumented executes one representative telemetry-enabled run
+// (oltp on the default 8-node directory/TSO system) and returns its
+// results plus the telemetry snapshot. It powers both the JSON report's
+// bandwidth section and the -metrics-out snapshot.
+func runInstrumented(txns uint64) (dvmc.Results, *telemetry.Snapshot, error) {
+	cfg := dvmc.ScaledConfig().WithTelemetry(dvmc.TelemetryOn())
+	w, err := dvmc.WorkloadByName("oltp")
+	if err != nil {
+		return dvmc.Results{}, nil, err
+	}
+	sys, err := dvmc.NewSystem(cfg, w)
+	if err != nil {
+		return dvmc.Results{}, nil, err
+	}
+	res, err := sys.Run(txns, 100_000_000)
+	if err != nil {
+		return dvmc.Results{}, nil, err
+	}
+	sys.DrainCheckers()
+	return res, sys.TelemetrySnapshot(), nil
 }
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|errors|all")
-		reps     = flag.Int("reps", 3, "perturbed repetitions per configuration")
-		txns     = flag.Uint64("txns", 120, "transactions per run")
-		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for the figure matrices (1 = serial)")
-		jsonPath = flag.String("json", "", "write a machine-readable report (wall clocks + checker microbenchmarks) to this file")
-		compare  = flag.Bool("compare", false, "re-run each figure serially and fail unless the parallel table is identical")
+		fig        = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|errors|all")
+		reps       = flag.Int("reps", 3, "perturbed repetitions per configuration")
+		txns       = flag.Uint64("txns", 120, "transactions per run")
+		workers    = flag.Int("workers", runtime.NumCPU(), "worker pool size for the figure matrices (1 = serial)")
+		jsonPath   = flag.String("json", "", "write a machine-readable report (wall clocks + checker microbenchmarks) to this file")
+		compare    = flag.Bool("compare", false, "re-run each figure serially and fail unless the parallel table is identical")
+		metricsOut = flag.String("metrics-out", "", "write the representative run's telemetry snapshot to this file (.json|.prom|.csv|.series.csv; '-' for stdout JSON)")
 	)
 	flag.Parse()
 
@@ -153,6 +197,41 @@ func main() {
 			}
 		}
 		rep.Figures = append(rep.Figures, fr)
+	}
+
+	if *jsonPath != "" || *metricsOut != "" {
+		fmt.Println("running representative instrumented run (oltp, telemetry on)...")
+		res, snap, err := runInstrumented(*txns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvmc-bench: instrumented run: %v\n", err)
+			os.Exit(1)
+		}
+		bw := &bandwidthReport{
+			Workload:         "oltp",
+			Transactions:     res.Transactions,
+			Cycles:           res.Cycles,
+			MaxLinkBandwidth: res.MaxLinkBandwidth,
+			MaxLinkByClass:   make(map[string]float64, len(res.MaxLinkByClass)),
+			TotalLinkBytes:   res.TotalLinkBytes,
+			Informs:          res.Informs,
+			OpenInforms:      res.OpenInforms,
+			InformsProcessed: res.InformsProcessed,
+		}
+		for cl, v := range res.MaxLinkByClass {
+			bw.MaxLinkByClass[cl.String()] = v
+		}
+		rep.Bandwidth = bw
+		fmt.Printf("  max link %.3f B/cycle, %d bytes total, %d informs (+%d open)\n",
+			bw.MaxLinkBandwidth, bw.TotalLinkBytes, bw.Informs, bw.OpenInforms)
+		if *metricsOut != "" {
+			if err := telemetry.WriteSnapshotFile(snap, *metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "dvmc-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if *metricsOut != "-" {
+				fmt.Printf("  telemetry snapshot written to %s\n", *metricsOut)
+			}
+		}
 	}
 
 	if *jsonPath != "" {

@@ -34,7 +34,9 @@ import (
 	"runtime"
 	"strings"
 
+	"dvmc"
 	"dvmc/internal/fuzz"
+	"dvmc/internal/telemetry"
 )
 
 func main() {
@@ -170,16 +172,17 @@ func parseFault(s string) (*fuzz.FaultSpec, error) {
 func run(args []string) {
 	fs := newFlagSet("run")
 	var (
-		seed      = fs.Uint64("seed", 1, "campaign master seed")
-		n         = fs.Int("n", 200, "number of runs")
-		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size")
-		faultFrac = fs.Float64("fault-frac", 0.5, "fraction of runs that inject a fault")
-		budget    = fs.Uint64("budget", fuzz.DefaultBudget, "per-run cycle budget")
-		corpus    = fs.String("corpus", "", "directory for minimized failure reproducers")
-		minimize  = fs.Bool("minimize", true, "delta-debug failures before writing them")
-		minBudget = fs.Int("minimize-budget", fuzz.DefaultMinimizeBudget, "max re-runs per minimized failure")
-		jsonOut   = fs.Bool("json", false, "print the summary as JSON")
-		verbose   = fs.Bool("v", false, "print one line per non-clean run")
+		seed       = fs.Uint64("seed", 1, "campaign master seed")
+		n          = fs.Int("n", 200, "number of runs")
+		workers    = fs.Int("workers", runtime.NumCPU(), "worker pool size")
+		faultFrac  = fs.Float64("fault-frac", 0.5, "fraction of runs that inject a fault")
+		budget     = fs.Uint64("budget", fuzz.DefaultBudget, "per-run cycle budget")
+		corpus     = fs.String("corpus", "", "directory for minimized failure reproducers")
+		minimize   = fs.Bool("minimize", true, "delta-debug failures before writing them")
+		minBudget  = fs.Int("minimize-budget", fuzz.DefaultMinimizeBudget, "max re-runs per minimized failure")
+		jsonOut    = fs.Bool("json", false, "print the summary as JSON")
+		verbose    = fs.Bool("v", false, "print one line per non-clean run")
+		metricsOut = fs.String("metrics-out", "", "re-run the first failing case (else the first case) with telemetry and write the snapshot to this file")
 	)
 	parseFlags(fs, args)
 	if fs.NArg() != 0 {
@@ -224,10 +227,63 @@ func run(args []string) {
 			fmt.Println()
 		}
 	}
+	if *metricsOut != "" && len(records) > 0 {
+		if err := writeRunSnapshot(records, *metricsOut); err != nil {
+			fatalf("run: metrics: %v", err)
+		}
+		if *metricsOut != "-" {
+			fmt.Printf("telemetry snapshot written to %s\n", *metricsOut)
+		}
+	}
 	if summary.Failed() {
 		fmt.Fprintf(os.Stderr, "dvmc-fuzz: %d failing runs\n", summary.Failures)
 		os.Exit(2)
 	}
+}
+
+// writeRunSnapshot re-executes one campaign case — the first failing
+// run if any, else the first run — with telemetry enabled, and records
+// its snapshot. The campaign itself stays uninstrumented so telemetry
+// cost never skews classification timing; the re-run reproduces the
+// same deterministic execution with sampling on.
+func writeRunSnapshot(records []fuzz.Record, path string) error {
+	rec := records[0]
+	for _, r := range fuzz.SortRecordsByClass(records) {
+		if r.Result.Class.Failure() {
+			rec = r
+			break
+		}
+	}
+	c := rec.Case
+	cfg, err := c.Config()
+	if err != nil {
+		return err
+	}
+	cfg = cfg.WithTelemetry(dvmc.TelemetryOn())
+	name := c.Name
+	if name == "" {
+		name = "fuzz"
+	}
+	w := c.Program.Spec(name)
+
+	var sys *dvmc.System
+	if c.Fault == nil {
+		sys, err = dvmc.NewSystem(cfg, w)
+		if err != nil {
+			return err
+		}
+		sys.RunToCompletion(c.Budget)
+	} else {
+		inj, err := c.Fault.Injection()
+		if err != nil {
+			return err
+		}
+		_, sys, err = dvmc.RunInjectionSystem(cfg, w, inj, c.Budget)
+		if err != nil {
+			return err
+		}
+	}
+	return telemetry.WriteSnapshotFile(sys.TelemetrySnapshot(), path)
 }
 
 func shrink(args []string) {

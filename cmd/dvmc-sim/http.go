@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+
+	"dvmc"
+)
+
+// telemetryMux serves live introspection for a running simulation:
+//
+//	/metrics        Prometheus text exposition of the telemetry registry
+//	/metrics.json   the full JSON snapshot (series, events, latency)
+//	/debug/pprof/   the standard Go profiling endpoints
+//
+// The simulator itself is strictly single-threaded and deterministic;
+// all concurrency lives here in the cmd layer (outside the dvmc-lint
+// determinism allowlist). The driver loop holds mu while stepping the
+// kernel and releases it between chunks, so handlers always observe a
+// quiesced system at a cycle boundary.
+func telemetryMux(mu *sync.Mutex, sys *dvmc.System) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		snap := sys.TelemetrySnapshot()
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.Prometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		snap := sys.TelemetrySnapshot()
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if err := snap.EncodeJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// httpRunChunk is how many cycles the driver simulates per lock
+// acquisition when serving -http: long enough that locking is noise,
+// short enough that scrapes observe fresh state.
+const httpRunChunk = 16384
+
+// runWithHTTP drives the simulation in locked chunks while an HTTP
+// server exposes /metrics and pprof. Returns the whole-run results and
+// mirrors System.Run's budget-expiry error.
+func runWithHTTP(sys *dvmc.System, addr string, txns, maxCycles uint64) (dvmc.Results, error) {
+	var mu sync.Mutex
+	srv := &http.Server{Addr: addr, Handler: telemetryMux(&mu, sys)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "dvmc-sim: http: %v\n", err)
+		}
+	}()
+	defer srv.Close()
+
+	for sys.Transactions() < txns && uint64(sys.Now()) < maxCycles {
+		chunk := uint64(httpRunChunk)
+		if left := maxCycles - uint64(sys.Now()); left < chunk {
+			chunk = left
+		}
+		mu.Lock()
+		sys.RunCycles(chunk)
+		mu.Unlock()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	res := sys.ResultsSoFar()
+	if sys.Transactions() < txns {
+		return res, fmt.Errorf("dvmc: %d of %d transactions after %d cycles",
+			sys.Transactions(), txns, maxCycles)
+	}
+	return res, nil
+}

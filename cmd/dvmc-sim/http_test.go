@@ -1,0 +1,127 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"dvmc"
+	"dvmc/internal/telemetry"
+)
+
+// newTestSystem assembles a small telemetry-enabled system and advances
+// it far enough that counters and sampled series are non-trivial.
+func newTestSystem(t *testing.T) *dvmc.System {
+	t.Helper()
+	cfg := dvmc.ScaledConfig().WithTelemetry(dvmc.TelemetryOn())
+	w, err := dvmc.WorkloadByName("oltp")
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	sys, err := dvmc.NewSystem(cfg, w)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	sys.RunCycles(4096)
+	return sys
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestTelemetryMuxMetrics exercises the live Prometheus endpoint against
+// a running system: it must serve well-formed exposition text containing
+// the core metric families.
+func TestTelemetryMuxMetrics(t *testing.T) {
+	sys := newTestSystem(t)
+	var mu sync.Mutex
+	srv := httptest.NewServer(telemetryMux(&mu, sys))
+	defer srv.Close()
+
+	code, ctype, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d, want 200", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics: Content-Type %q, want text/plain exposition", ctype)
+	}
+	for _, want := range []string{
+		"# HELP dvmc_proc_ops_retired",
+		"# TYPE dvmc_proc_ops_retired counter",
+		`dvmc_proc_ops_retired{node="0"}`,
+		"dvmc_net_bytes_total",
+		"dvmc_snapshot_cycle 4096",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics: missing %q in body:\n%s", want, body)
+		}
+	}
+
+	// The endpoint reflects live progress: advancing the system moves
+	// the snapshot cycle on the next scrape.
+	mu.Lock()
+	sys.RunCycles(1024)
+	mu.Unlock()
+	_, _, body2 := get(t, srv, "/metrics")
+	if !strings.Contains(body2, "dvmc_snapshot_cycle 5120") {
+		t.Errorf("/metrics after RunCycles: snapshot cycle not advanced to 5120")
+	}
+}
+
+// TestTelemetryMuxJSON checks the JSON snapshot endpoint round-trips
+// through the snapshot decoder.
+func TestTelemetryMuxJSON(t *testing.T) {
+	sys := newTestSystem(t)
+	var mu sync.Mutex
+	srv := httptest.NewServer(telemetryMux(&mu, sys))
+	defer srv.Close()
+
+	code, ctype, body := get(t, srv, "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: status %d, want 200", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/metrics.json: Content-Type %q, want application/json", ctype)
+	}
+	snap, err := telemetry.DecodeSnapshot(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics.json: decode: %v", err)
+	}
+	if snap.Cycle != 4096 {
+		t.Errorf("snapshot cycle = %d, want 4096", snap.Cycle)
+	}
+	if len(snap.Metrics) == 0 || len(snap.Series) == 0 {
+		t.Errorf("snapshot has %d metrics and %d series, want both non-empty",
+			len(snap.Metrics), len(snap.Series))
+	}
+}
+
+// TestTelemetryMuxPprof confirms the profiling index is wired in.
+func TestTelemetryMuxPprof(t *testing.T) {
+	sys := newTestSystem(t)
+	var mu sync.Mutex
+	srv := httptest.NewServer(telemetryMux(&mu, sys))
+	defer srv.Close()
+
+	code, _, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d, want 200", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index does not list the goroutine profile")
+	}
+}

@@ -3,9 +3,18 @@
 // workload, and (optionally) DVMC verification plus SafetyNet recovery.
 // It prints runtime, memory-system, interconnect, and checker statistics.
 //
-// Example:
+// Telemetry: -metrics-out records a cycle-sampled telemetry snapshot
+// (inspect it with dvmc-stat); -http serves live /metrics (Prometheus
+// text), /metrics.json, and /debug/pprof/ while the simulation runs.
+// Both enable the deterministic cycle sampler.
+//
+// Exit codes: 0 clean, 1 usage or I/O error, 2 violations detected.
+//
+// Examples:
 //
 //	dvmc-sim -workload oltp -model TSO -protocol directory -txns 200
+//	dvmc-sim -workload apache -txns 500 -metrics-out run.json
+//	dvmc-sim -workload oltp -txns 100000 -http :8080
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"strings"
 
 	"dvmc"
+	"dvmc/internal/telemetry"
 )
 
 func main() {
@@ -30,7 +40,10 @@ func main() {
 		noDVMC       = flag.Bool("no-dvmc", false, "disable all DVMC checkers")
 		noSN         = flag.Bool("no-safetynet", false, "disable SafetyNet BER")
 		paperScale   = flag.Bool("paper-scale", false, "use the paper's full cache geometry (slower)")
-		verbose      = flag.Bool("v", false, "per-node statistics")
+		verbose      = flag.Bool("v", false, "full telemetry report (per-node metrics, latency, events)")
+		metricsOut   = flag.String("metrics-out", "", "write the telemetry snapshot to this file (.json|.prom|.csv|.series.csv; '-' for stdout JSON)")
+		sampleEvery  = flag.Uint64("sample-every", 0, "telemetry sampling period in cycles (0 = default)")
+		httpAddr     = flag.String("http", "", "serve live /metrics, /metrics.json, and /debug/pprof/ on this address while running")
 	)
 	flag.Parse()
 
@@ -58,6 +71,11 @@ func main() {
 	if *noSN {
 		cfg.SafetyNet = false
 	}
+	if *metricsOut != "" || *httpAddr != "" || *sampleEvery > 0 {
+		t := dvmc.TelemetryOn()
+		t.Every = dvmc.Cycle(*sampleEvery)
+		cfg = cfg.WithTelemetry(t)
+	}
 
 	w, err := dvmc.WorkloadByName(*workloadName)
 	if err != nil {
@@ -71,7 +89,13 @@ func main() {
 	fmt.Printf("dvmc-sim: %s on %d-node %v/%v system (dvmc=%v safetynet=%v link=%.1fGB/s)\n",
 		w.Name, cfg.Nodes, cfg.Protocol, cfg.Model, cfg.DVMC.Any(), cfg.SafetyNet, cfg.LinkGBps)
 
-	res, err := sys.Run(*txns, *maxCycles)
+	var res dvmc.Results
+	if *httpAddr != "" {
+		fmt.Printf("dvmc-sim: serving /metrics and /debug/pprof/ on %s\n", *httpAddr)
+		res, err = runWithHTTP(sys, *httpAddr, *txns, *maxCycles)
+	} else {
+		res, err = sys.Run(*txns, *maxCycles)
+	}
 	if err != nil {
 		fatalf("run: %v", err)
 	}
@@ -105,14 +129,22 @@ func main() {
 		fmt.Printf("  %v\n", v)
 	}
 
+	// The telemetry registry is the single source of truth for detailed
+	// statistics: the -v report, the -metrics-out file, and the live
+	// /metrics endpoint all render the same snapshot.
+	snap := sys.TelemetrySnapshot()
 	if *verbose {
-		fmt.Println("\nper-node statistics:")
-		for n := 0; n < cfg.Nodes; n++ {
-			cs := sys.CPUStats(n)
-			ms := sys.ControllerStats(n)
-			fmt.Printf("  node %d: txns=%d ops=%d wbStalls=%d vcStalls=%d membarStalls=%d l1miss=%d l2miss=%d\n",
-				n, cs.Transactions, cs.OpsRetired, cs.WBFullStalls, cs.VCFullStalls,
-				cs.MembarStalls, ms.L1Misses, ms.L2Misses)
+		fmt.Println()
+		if err := snap.Text(os.Stdout); err != nil {
+			fatalf("telemetry report: %v", err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := telemetry.WriteSnapshotFile(snap, *metricsOut); err != nil {
+			fatalf("%v", err)
+		}
+		if *metricsOut != "-" {
+			fmt.Printf("telemetry snapshot written to %s\n", *metricsOut)
 		}
 	}
 	if res.Violations > 0 {

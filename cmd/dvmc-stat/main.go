@@ -1,0 +1,202 @@
+// Command dvmc-stat inspects recorded telemetry snapshots: the JSON
+// files written by the -metrics-out flags of dvmc-sim, dvmc-bench, and
+// dvmc-fuzz (and served live by dvmc-sim -http). The JSON snapshot is
+// the interchange format; every other rendering (Prometheus text, CSV,
+// human-readable) is re-encoded from it, so all views agree by
+// construction.
+//
+// Subcommands:
+//
+//	dump    re-encode a snapshot (text, json, prom, csv, series-csv)
+//	series  print tracked time series as CSV, optionally filtered
+//	top     rank metrics by value
+//
+// Exit codes (all subcommands): 0 clean, 1 usage or I/O error, 2 the
+// snapshot records checker violations — the same convention as
+// dvmc-trace and dvmc-fuzz.
+//
+// Examples:
+//
+//	dvmc-sim -workload oltp -txns 200 -metrics-out run.json
+//	dvmc-stat dump run.json
+//	dvmc-stat dump -format prom run.json
+//	dvmc-stat series -metric checker.met_queue_depth run.json
+//	dvmc-stat top -n 10 run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"dvmc/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "dump":
+		dump(os.Args[2:])
+	case "series":
+		series(os.Args[2:])
+	case "top":
+		top(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fatalf("unknown subcommand %q (want dump, series, or top)", os.Args[1])
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  dvmc-stat dump   [-format text|json|prom|csv|series-csv] <snapshot.json | ->
+  dvmc-stat series [-metric NAME] <snapshot.json | ->
+  dvmc-stat top    [-n N] [-kind counter|gauge] <snapshot.json | ->
+
+Snapshots are the JSON files written by the -metrics-out flags of
+dvmc-sim, dvmc-bench, and dvmc-fuzz. All renderings are derived from
+the JSON, so text, Prometheus, and CSV views always agree.
+
+exit codes: 0 clean, 1 usage or I/O error, 2 the snapshot records
+checker violations.
+`)
+	os.Exit(1)
+}
+
+// newFlagSet builds a flag set that exits 1 (usage), not 2, on parse
+// errors — exit 2 is reserved for snapshots with recorded violations.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(1)
+	}
+}
+
+// load decodes the snapshot named by the single positional argument
+// ("-" reads stdin).
+func load(fs *flag.FlagSet) *telemetry.Snapshot {
+	if fs.NArg() != 1 {
+		fatalf("%s: need exactly one snapshot file (or '-' for stdin)", fs.Name())
+	}
+	path := fs.Arg(0)
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := telemetry.DecodeSnapshot(r)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return snap
+}
+
+// exitOn reports recorded violations with exit code 2 (after the
+// requested output was produced).
+func exitOn(snap *telemetry.Snapshot) {
+	if len(snap.Events) > 0 || snap.EventsDropped > 0 {
+		fmt.Fprintf(os.Stderr, "dvmc-stat: snapshot records %d violation event(s)\n",
+			uint64(len(snap.Events))+snap.EventsDropped)
+		os.Exit(2)
+	}
+}
+
+func dump(args []string) {
+	fs := newFlagSet("dump")
+	format := fs.String("format", "text", "output format: text|json|prom|csv|series-csv")
+	parseFlags(fs, args)
+	snap := load(fs)
+	var err error
+	switch *format {
+	case "text":
+		err = snap.Text(os.Stdout)
+	case "json":
+		err = snap.EncodeJSON(os.Stdout)
+	case "prom":
+		err = snap.Prometheus(os.Stdout)
+	case "csv":
+		err = snap.CSV(os.Stdout)
+	case "series-csv":
+		err = snap.SeriesCSV(os.Stdout)
+	default:
+		fatalf("dump: unknown format %q", *format)
+	}
+	if err != nil {
+		fatalf("dump: %v", err)
+	}
+	exitOn(snap)
+}
+
+func series(args []string) {
+	fs := newFlagSet("series")
+	metric := fs.String("metric", "", "only this metric's series (default: all tracked)")
+	parseFlags(fs, args)
+	snap := load(fs)
+	if *metric != "" {
+		filtered := snap.Series[:0:0]
+		for _, s := range snap.Series {
+			if s.Name == *metric {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			fatalf("series: no tracked series named %q in snapshot", *metric)
+		}
+		snap.Series = filtered
+	}
+	if err := snap.SeriesCSV(os.Stdout); err != nil {
+		fatalf("series: %v", err)
+	}
+	exitOn(snap)
+}
+
+func top(args []string) {
+	fs := newFlagSet("top")
+	n := fs.Int("n", 10, "how many metrics to show")
+	kind := fs.String("kind", "", "restrict to one kind: counter|gauge")
+	parseFlags(fs, args)
+	if *kind != "" && *kind != "counter" && *kind != "gauge" {
+		fatalf("top: unknown kind %q", *kind)
+	}
+	snap := load(fs)
+	ms := make([]telemetry.MetricSnapshot, 0, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		if *kind == "" || m.Kind == *kind {
+			ms = append(ms, m)
+		}
+	}
+	sort.SliceStable(ms, func(i, j int) bool {
+		ti, tj := ms[i].Total(), ms[j].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return ms[i].Name < ms[j].Name
+	})
+	if *n < len(ms) {
+		ms = ms[:*n]
+	}
+	fmt.Printf("top %d metrics @ cycle %d\n", len(ms), snap.Cycle)
+	for _, m := range ms {
+		fmt.Printf("  %-36s %-8s %14d\n", m.Name, m.Kind, m.Total())
+	}
+	exitOn(snap)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dvmc-stat: "+format+"\n", args...)
+	os.Exit(1)
+}

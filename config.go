@@ -122,6 +122,10 @@ type Config struct {
 	// (differential verification of the online checkers).
 	Trace TraceConfig
 
+	// Telemetry sizes the metric registry and, when Enabled, schedules
+	// the cycle-driven sampler that captures occupancy time series.
+	Telemetry TelemetryConfig
+
 	// Seed drives every pseudo-random choice; perturbing it provides the
 	// paper's "small pseudo-random perturbations" across repeated runs.
 	Seed uint64
@@ -201,6 +205,9 @@ func (c Config) Validate() error {
 	if err := c.Trace.Validate(); err != nil {
 		return err
 	}
+	if err := c.Telemetry.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -238,6 +245,12 @@ func (c Config) WithSeed(s uint64) Config {
 // WithTrace returns a copy with execution-trace capture configured.
 func (c Config) WithTrace(t TraceConfig) Config {
 	c.Trace = t
+	return c
+}
+
+// WithTelemetry returns a copy with telemetry sampling configured.
+func (c Config) WithTelemetry(t TelemetryConfig) Config {
+	c.Telemetry = t
 	return c
 }
 

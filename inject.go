@@ -2,6 +2,7 @@ package dvmc
 
 import (
 	"fmt"
+	"sort"
 
 	"dvmc/internal/coherence"
 	"dvmc/internal/core"
@@ -9,6 +10,7 @@ import (
 	"dvmc/internal/network"
 	"dvmc/internal/proc"
 	"dvmc/internal/sim"
+	"dvmc/internal/stats"
 )
 
 // FaultKind enumerates the error classes of the paper's Section 6.1
@@ -457,6 +459,10 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 	}
 	if detected() {
 		res.Detected = true
+		// Attribute detection latency: back-fill the activation time onto
+		// the recorded violation events, populating the per-invariant
+		// latency distributions in the telemetry registry.
+		s.Telemetry().AttributeInjection(uint64(res.ActivatedAt))
 		switch {
 		case s.eccCorrections() > baseECC:
 			// The flip was corrected in place on first use: detection and
@@ -479,6 +485,9 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 			}
 			res.DetectionKind = core.UOMismatch
 			res.Latency = s.Now() - res.ActivatedAt
+			// Inline UO-replay detections never reach the violation sink;
+			// record their latency directly.
+			s.Telemetry().ObserveLatency(core.UOMismatch.String(), uint64(res.Latency))
 		}
 		if s.snMgr != nil {
 			if res.DetectionKind == core.OperationTimeout {
@@ -551,6 +560,38 @@ func (c CampaignResult) Counts() (applied, detected, masked, undetected int) {
 		}
 	}
 	return
+}
+
+// KindLatency is one invariant's detection-latency sample across a
+// campaign.
+type KindLatency struct {
+	Kind   core.ViolationKind
+	Sample *stats.Sample
+}
+
+// LatencyByKind aggregates detection latencies per detecting invariant,
+// sorted by invariant name — the campaign-level counterpart of the
+// per-run telemetry registry's LatencyByInvariant (each injection runs
+// in a fresh System, so per-run registries see one detection each).
+func (c CampaignResult) LatencyByKind() []KindLatency {
+	byKind := map[core.ViolationKind]*stats.Sample{}
+	for _, r := range c.Results {
+		if !r.Detected {
+			continue
+		}
+		s := byKind[r.DetectionKind]
+		if s == nil {
+			s = &stats.Sample{}
+			byKind[r.DetectionKind] = s
+		}
+		s.Add(float64(r.Latency))
+	}
+	out := make([]KindLatency, 0, len(byKind))
+	for k, s := range byKind {
+		out = append(out, KindLatency{Kind: k, Sample: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind.String() < out[j].Kind.String() })
+	return out
 }
 
 // MaxLatency returns the worst detection latency among detected faults.

@@ -94,6 +94,7 @@ var DeterministicPkgs = map[string]bool{
 	"internal/network":   true,
 	"internal/trace":     true,
 	"internal/safetynet": true,
+	"internal/telemetry": true,
 }
 
 // Deterministic reports whether the pass's package is on the

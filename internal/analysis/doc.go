@@ -28,6 +28,7 @@
 //	internal/network    torus and broadcast interconnects
 //	internal/trace      execution-trace recorder and codec
 //	internal/safetynet  checkpoint/recovery
+//	internal/telemetry  metrics registry and cycle-driven sampler
 //
 // Code outside the allowlist is exempt from maprange and detsource:
 // cmd/dvmc-bench legitimately calls time.Now to measure host throughput,

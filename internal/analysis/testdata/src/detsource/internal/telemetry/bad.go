@@ -1,0 +1,31 @@
+// Package telemetry is a seeded-bad fixture proving the detsource
+// analyzer covers internal/telemetry now that it is on the determinism
+// allowlist: a sampler must be clocked by the event kernel, never the
+// host, and must not smuggle in scheduler- or environment-dependent
+// state.
+package telemetry
+
+import (
+	"os"
+	"time"
+)
+
+// WallClockSample timestamps a sample with the host clock instead of
+// the simulated cycle: flagged.
+func WallClockSample() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// EnvPeriod reads the sampling period from the host environment:
+// flagged.
+func EnvPeriod() string {
+	return os.Getenv("DVMC_SAMPLE_EVERY") // want "os.Getenv makes behavior depend on the host environment"
+}
+
+// AsyncFlush writes a snapshot from a goroutine: flagged.
+func AsyncFlush(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement introduces scheduler-dependent ordering"
+}
+
+// CyclePeriod derives the period from simulated state only: allowed.
+func CyclePeriod(every, now uint64) bool { return every != 0 && now%every == 0 }

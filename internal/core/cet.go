@@ -107,6 +107,14 @@ func (c *CacheChecker) Stats() CETStats { return c.stats }
 // OpenEpochs returns the CET occupancy (tests).
 func (c *CacheChecker) OpenEpochs() int { return len(c.cet) }
 
+// SlabInUse returns the number of occupied CET slab slots (telemetry:
+// high-water pressure on the epoch-table storage).
+func (c *CacheChecker) SlabInUse() int { return len(c.slab) - len(c.free) }
+
+// ScrubQueueLen returns the current depth of the delayed-inform scrub
+// ring (telemetry).
+func (c *CacheChecker) ScrubQueueLen() int { return c.scrubLen() }
+
 // Reset drops all epoch state (SafetyNet recovery: the caches were
 // invalidated, so no epochs are open). Slab and FIFO capacity is kept.
 func (c *CacheChecker) Reset() {

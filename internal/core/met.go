@@ -164,6 +164,14 @@ func (m *MemChecker) Stats() METStats {
 	return s
 }
 
+// QueueDepth returns the current inform priority-queue occupancy
+// (telemetry: backpressure at the MET).
+func (m *MemChecker) QueueDepth() int { return len(m.pq) }
+
+// Entries returns the current MET entry count, without copying stats
+// (telemetry).
+func (m *MemChecker) Entries() int { return len(m.met) }
+
 // Reset drops all MET entries and queued informs (SafetyNet recovery).
 // Entries are reconstructed from restored memory by the home
 // controllers' new-block hooks.

@@ -139,6 +139,14 @@ func (b *BroadcastTree) Tick(now sim.Cycle) {
 // LinkStats returns the root link's utilisation (the tree's bottleneck).
 func (b *BroadcastTree) LinkStats() []LinkStat { return []LinkStat{b.stat} }
 
+// ClassBytes returns the bytes carried for one traffic class on the
+// broadcast root link, without allocating.
+func (b *BroadcastTree) ClassBytes(c Class) uint64 { return b.stat.ClassBytes(c) }
+
+// TotalBytes returns the total bytes carried on the broadcast root
+// link, without allocating.
+func (b *BroadcastTree) TotalBytes() uint64 { return b.stat.Bytes }
+
 // DebugQueue reports pending broadcast state.
 func (b *BroadcastTree) DebugQueue() string {
 	return fmt.Sprintf("queued=%d inFlight=%v delayed=%d", len(b.queue), b.inFlight != nil, len(b.delayed))

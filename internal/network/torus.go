@@ -408,6 +408,27 @@ func (t *Torus) Counters() (sent, delivered, dropped uint64) {
 	return t.sent, t.delivered, t.dropped
 }
 
+// ClassBytes returns the total bytes carried for one traffic class
+// summed over all links. Allocation-free (telemetry probes call it
+// every sampling tick).
+func (t *Torus) ClassBytes(c Class) uint64 {
+	var n uint64
+	for _, l := range t.links {
+		n += l.stat.ClassBytes(c)
+	}
+	return n
+}
+
+// TotalBytes returns the total bytes carried summed over all links,
+// without allocating.
+func (t *Torus) TotalBytes() uint64 {
+	var n uint64
+	for _, l := range t.links {
+		n += l.stat.Bytes
+	}
+	return n
+}
+
 // maxDefer bounds how long a low-priority message may be overtaken at
 // one link; it keeps total inform delay within the MET's sorting window.
 const maxDefer sim.Cycle = 192

@@ -221,6 +221,19 @@ func (c *CPU) Transactions() uint64 { return c.stats.Transactions }
 // WriteBuffer exposes the write buffer for fault injection.
 func (c *CPU) WriteBuffer() WriteBuffer { return c.wb }
 
+// ROBLen returns the current reorder-buffer occupancy (telemetry).
+func (c *CPU) ROBLen() int { return len(c.rob) }
+
+// WBLen returns the current write-buffer store count (0 when the model
+// has no write buffer). Allocation-free; telemetry probes call it every
+// sampling tick.
+func (c *CPU) WBLen() int {
+	if c.wb == nil {
+		return 0
+	}
+	return c.wb.Len()
+}
+
 func (c *CPU) wbEmpty() bool { return c.wb == nil || c.wb.Empty() }
 
 // effectiveModel applies the Table 8 rule: 32-bit SPARC v8 code runs

@@ -115,6 +115,10 @@ func (m *Manager) Tick(now sim.Cycle) {
 // Live returns the retained checkpoints, oldest first.
 func (m *Manager) Live() []Checkpoint { return append([]Checkpoint(nil), m.live...) }
 
+// LiveCount returns the number of retained checkpoints without copying
+// them (telemetry).
+func (m *Manager) LiveCount() int { return len(m.live) }
+
 // ValidFor returns the newest live checkpoint taken at or before
 // errorCycle — the checkpoint recovery must use. ok=false means the error
 // went undetected past the recovery window (all pre-error checkpoints

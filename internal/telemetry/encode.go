@@ -1,0 +1,342 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dvmc/internal/stats"
+)
+
+// Snapshot is the serialisable view of a registry at one instant: the
+// JSON interchange format shared by the -metrics-out flags, dvmc-stat,
+// and the live /metrics endpoint. Prometheus and CSV renderings are
+// derived from it, so every encoder sees the same data in the same
+// (sorted, deterministic) order.
+type Snapshot struct {
+	// Cycle is the simulation cycle the snapshot was taken at.
+	Cycle uint64 `json:"cycle"`
+	// Metrics holds every registered metric, sorted by name.
+	Metrics []MetricSnapshot `json:"metrics"`
+	// Series holds the tracked time-series rings, sorted by
+	// (name, label value slot order).
+	Series []SeriesSnapshot `json:"series,omitempty"`
+	// Events is the structured violation log in arrival order.
+	Events []ViolationEvent `json:"events,omitempty"`
+	// EventsDropped counts events discarded after the log filled.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	// Latency holds per-invariant detection-latency distributions,
+	// sorted by invariant name.
+	Latency []LatencySnapshot `json:"latency,omitempty"`
+}
+
+// MetricSnapshot is one metric: a scalar (one value, empty label) or a
+// vector (one value per label value).
+type MetricSnapshot struct {
+	Name   string        `json:"name"`
+	Help   string        `json:"help,omitempty"`
+	Kind   string        `json:"kind"`
+	Label  string        `json:"label,omitempty"`
+	Values []MetricValue `json:"values"`
+}
+
+// MetricValue is one slot of a metric.
+type MetricValue struct {
+	LabelValue string `json:"label_value,omitempty"`
+	Value      int64  `json:"value"`
+}
+
+// Total sums the metric's slots.
+func (m *MetricSnapshot) Total() int64 {
+	var t int64
+	for _, v := range m.Values {
+		t += v.Value
+	}
+	return t
+}
+
+// SeriesSnapshot is one time-series ring, oldest sample first.
+type SeriesSnapshot struct {
+	Name       string   `json:"name"`
+	Label      string   `json:"label,omitempty"`
+	LabelValue string   `json:"label_value,omitempty"`
+	Cycles     []uint64 `json:"cycles"`
+	Values     []int64  `json:"values"`
+}
+
+// LatencySnapshot is one invariant's detection-latency distribution.
+// Raw observations are kept so downstream tools (dvmc-stat, the
+// experiment harness) can re-bucket histograms at any resolution.
+type LatencySnapshot struct {
+	Invariant string    `json:"invariant"`
+	N         int       `json:"n"`
+	MeanCyc   float64   `json:"mean_cycles"`
+	MinCyc    float64   `json:"min_cycles"`
+	MaxCyc    float64   `json:"max_cycles"`
+	P50Cyc    float64   `json:"p50_cycles"`
+	P99Cyc    float64   `json:"p99_cycles"`
+	Values    []float64 `json:"values"`
+}
+
+// Sample rebuilds a stats.Sample from the stored observations.
+func (l *LatencySnapshot) Sample() *stats.Sample {
+	s := &stats.Sample{}
+	for _, v := range l.Values {
+		s.Add(v)
+	}
+	return s
+}
+
+// Snapshot captures the registry (after refreshing all probes) as of
+// the given cycle. The result is deterministic: metrics and latency
+// entries are sorted by name, series by (name, slot).
+func (r *Registry) Snapshot(cycle uint64) *Snapshot {
+	r.Collect()
+	snap := &Snapshot{Cycle: cycle, EventsDropped: r.eventsDropped}
+	for _, m := range r.Metrics() {
+		ms := MetricSnapshot{
+			Name:  m.Name(),
+			Help:  m.Help(),
+			Kind:  m.Kind().String(),
+			Label: m.Label(),
+		}
+		for i := 0; i < m.Len(); i++ {
+			ms.Values = append(ms.Values, MetricValue{LabelValue: m.LabelValue(i), Value: m.Value(i)})
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	series := append([]*Series(nil), r.series...)
+	sort.SliceStable(series, func(i, j int) bool {
+		if series[i].metric.name != series[j].metric.name {
+			return series[i].metric.name < series[j].metric.name
+		}
+		return series[i].slot < series[j].slot
+	})
+	for _, s := range series {
+		ss := SeriesSnapshot{
+			Name:       s.metric.name,
+			Label:      s.metric.label,
+			LabelValue: s.LabelValue(),
+		}
+		for i := 0; i < s.Len(); i++ {
+			c, v := s.At(i)
+			ss.Cycles = append(ss.Cycles, c)
+			ss.Values = append(ss.Values, v)
+		}
+		snap.Series = append(snap.Series, ss)
+	}
+	snap.Events = append(snap.Events, r.events...)
+	for _, il := range r.LatencyByInvariant() {
+		snap.Latency = append(snap.Latency, LatencySnapshot{
+			Invariant: il.Invariant,
+			N:         il.Sample.N(),
+			MeanCyc:   il.Sample.Mean(),
+			MinCyc:    il.Sample.Min(),
+			MaxCyc:    il.Sample.Max(),
+			P50Cyc:    il.Sample.Quantile(0.5),
+			P99Cyc:    il.Sample.Quantile(0.99),
+			Values:    il.Sample.Values(),
+		})
+	}
+	return snap
+}
+
+// EncodeJSON writes the snapshot as indented JSON (the stable
+// interchange format; dvmc-stat decodes this and re-encodes any other
+// format from it).
+func (s *Snapshot) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// DecodeSnapshot reads a JSON snapshot, rejecting unknown fields so
+// format drift is caught loudly.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("telemetry: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// promName converts a metric name to Prometheus conventions:
+// "dvmc_" prefix and dots replaced by underscores.
+func promName(name string) string {
+	return "dvmc_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// Prometheus writes the snapshot's metrics in Prometheus text
+// exposition format (metrics only; series, events, and latency
+// distributions live in the JSON and CSV renderings). Output order is
+// sorted-name deterministic.
+func (s *Snapshot) Prometheus(w io.Writer) error {
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		pn := promName(m.Name)
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, m.Kind); err != nil {
+			return err
+		}
+		for _, v := range m.Values {
+			var err error
+			if m.Label == "" {
+				_, err = fmt.Fprintf(w, "%s %d\n", pn, v.Value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", pn, m.Label, v.LabelValue, v.Value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE dvmc_snapshot_cycle gauge\ndvmc_snapshot_cycle %d\n", s.Cycle)
+	return err
+}
+
+// CSV writes the snapshot's metric values in long form:
+// metric,kind,label,label_value,value — one row per slot, sorted by
+// (name, slot order).
+func (s *Snapshot) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "metric,kind,label,label_value,value"); err != nil {
+		return err
+	}
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		for _, v := range m.Values {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d\n", m.Name, m.Kind, m.Label, v.LabelValue, v.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SeriesCSV writes the tracked time series in long form:
+// metric,label_value,cycle,value — one row per sample, series in
+// (name, slot) order, samples oldest first.
+func (s *Snapshot) SeriesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "metric,label_value,cycle,value"); err != nil {
+		return err
+	}
+	for i := range s.Series {
+		sr := &s.Series[i]
+		for j := range sr.Cycles {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d\n", sr.Name, sr.LabelValue, sr.Cycles[j], sr.Values[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Text writes a human-readable report: metrics grouped with per-slot
+// breakdowns, then per-invariant detection-latency histograms, then the
+// violation-event log.
+func (s *Snapshot) Text(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "telemetry snapshot @ cycle %d\n", s.Cycle); err != nil {
+		return err
+	}
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Label == "" {
+			if _, err := fmt.Fprintf(w, "  %-36s %12d\n", m.Name, m.Values[0].Value); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-36s %12d", m.Name, m.Total()); err != nil {
+			return err
+		}
+		parts := make([]string, 0, len(m.Values))
+		for _, v := range m.Values {
+			parts = append(parts, fmt.Sprintf("%s=%s:%d", m.Label, v.LabelValue, v.Value))
+		}
+		if _, err := fmt.Fprintf(w, "  (%s)\n", strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	if len(s.Latency) > 0 {
+		if _, err := fmt.Fprintln(w, "detection latency (cycles):"); err != nil {
+			return err
+		}
+		for i := range s.Latency {
+			l := &s.Latency[i]
+			if _, err := fmt.Fprintf(w, "  %-24s n=%d mean=%.1f p50=%.0f p99=%.0f max=%.0f\n",
+				l.Invariant, l.N, l.MeanCyc, l.P50Cyc, l.P99Cyc, l.MaxCyc); err != nil {
+				return err
+			}
+			if bins := l.Sample().Histogram(8); bins != nil {
+				if _, err := fmt.Fprintf(w, "    %s\n", stats.FormatHistogram(bins)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(s.Events) > 0 {
+		if _, err := fmt.Fprintf(w, "violations (%d recorded, %d dropped):\n", len(s.Events), s.EventsDropped); err != nil {
+			return err
+		}
+		for i := range s.Events {
+			ev := &s.Events[i]
+			if _, err := fmt.Fprintf(w, "  [%d] %s node=%d addr=%#x detect=%d", i, ev.Invariant, ev.Node, ev.Addr, ev.DetectCycle); err != nil {
+				return err
+			}
+			if ev.InjectCycle != 0 {
+				if _, err := fmt.Fprintf(w, " inject=%d latency=%d", ev.InjectCycle, ev.Latency); err != nil {
+					return err
+				}
+			}
+			if ev.Detail != "" {
+				if _, err := fmt.Fprintf(w, " via %q", ev.Detail); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the snapshot to path, picking the format by
+// extension: .prom (Prometheus text), .csv (metric values), .series.csv
+// (time series), anything else JSON. "-" writes JSON to stdout.
+func WriteSnapshotFile(s *Snapshot, path string) error {
+	if path == "-" {
+		return s.EncodeJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	var werr error
+	switch {
+	case strings.HasSuffix(path, ".series.csv"):
+		werr = s.SeriesCSV(f)
+	case filepath.Ext(path) == ".csv":
+		werr = s.CSV(f)
+	case filepath.Ext(path) == ".prom":
+		werr = s.Prometheus(f)
+	default:
+		werr = s.EncodeJSON(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("telemetry: write %s: %w", path, werr)
+	}
+	return nil
+}

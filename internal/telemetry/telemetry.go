@@ -1,0 +1,92 @@
+// Package telemetry is the simulator's deterministic observability
+// layer: a central registry of named counters and gauges with per-node,
+// per-class, and per-invariant labels, fixed-capacity time-series rings
+// fed by a cycle-driven Sampler, and structured detection-latency
+// attribution for checker violations.
+//
+// The paper evaluates DVMC through end-of-run aggregates (runtime
+// overhead, replay bandwidth, link utilisation, detection latency); this
+// package adds visibility into how a run got there: VC and write-buffer
+// occupancy over time, inform-queue backpressure at the METs, epoch-table
+// pressure near Time16 wraparound, SafetyNet log growth, and per-invariant
+// detection-latency distributions.
+//
+// Determinism is a first-class property, exactly as in the simulator
+// proper: sampling is driven by the event kernel's cycle counter (never a
+// wall clock), metric registration order is fixed by the assembly code,
+// and every encoder iterates metrics in sorted-name order — so a
+// telemetry dump is a pure function of (Config, Workload, Seed) and can
+// be pinned byte-for-byte by golden tests. The package therefore lives
+// inside the dvmc-lint determinism allowlist. The steady-state hot paths
+// (metric updates and sampler ticks) are allocation-free, enforced by
+// AllocsPerRun assertions, matching the checker hot-path discipline.
+//
+// Wall-clock-facing surfaces (the live /metrics HTTP endpoint, pprof) are
+// deliberately kept in the cmd layer, outside this package and outside
+// the allowlist.
+package telemetry
+
+import (
+	"fmt"
+
+	"dvmc/internal/sim"
+)
+
+// DefaultEvery is the default sampling period in cycles. It is a power
+// of two so the modulo on the sampler's per-cycle check is cheap.
+const DefaultEvery sim.Cycle = 1024
+
+// DefaultSeriesCap is the default per-series ring capacity. Rings keep
+// the newest samples (flight-recorder semantics) once full.
+const DefaultSeriesCap = 512
+
+// DefaultMaxEvents bounds the recorded ViolationEvent log.
+const DefaultMaxEvents = 1024
+
+// Config enables and sizes the telemetry subsystem for one System.
+type Config struct {
+	// Enabled turns on cycle sampling. The registry itself always
+	// exists (end-of-run counters cost nothing); Enabled additionally
+	// schedules the Sampler on the simulation kernel so time series are
+	// captured while the system runs.
+	Enabled bool
+	// Every is the sampling period in cycles (default DefaultEvery).
+	Every sim.Cycle
+	// SeriesCap is the per-series ring capacity in samples (default
+	// DefaultSeriesCap). Once full the ring keeps the newest samples.
+	SeriesCap int
+	// MaxEvents bounds the structured violation-event log (default
+	// DefaultMaxEvents); further events are counted but not stored.
+	MaxEvents int
+}
+
+// On returns an enabled configuration with defaults.
+func On() Config { return Config{Enabled: true} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Every < 0 {
+		return fmt.Errorf("telemetry: negative sampling period %d", c.Every)
+	}
+	if c.SeriesCap < 0 {
+		return fmt.Errorf("telemetry: negative series capacity %d", c.SeriesCap)
+	}
+	if c.MaxEvents < 0 {
+		return fmt.Errorf("telemetry: negative event capacity %d", c.MaxEvents)
+	}
+	return nil
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.Every == 0 {
+		c.Every = DefaultEvery
+	}
+	if c.SeriesCap == 0 {
+		c.SeriesCap = DefaultSeriesCap
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = DefaultMaxEvents
+	}
+	return c
+}

@@ -132,6 +132,10 @@ func (s *System) results(start sim.Cycle) Results {
 	return r
 }
 
+// ResultsSoFar gathers whole-run metrics (since cycle 0) without
+// advancing the system — live introspection and chunked run drivers.
+func (s *System) ResultsSoFar() Results { return s.results(0) }
+
 // CPUStats exposes one core's counters (examples and tests).
 func (s *System) CPUStats(node int) proc.Stats { return s.cpus[node].Stats() }
 

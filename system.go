@@ -10,6 +10,7 @@ import (
 	"dvmc/internal/proc"
 	"dvmc/internal/safetynet"
 	"dvmc/internal/sim"
+	"dvmc/internal/telemetry"
 	"dvmc/internal/trace"
 	"dvmc/internal/workload"
 )
@@ -75,6 +76,12 @@ type System struct {
 	// shared recorder preserves the global chronological order of events
 	// across processors, which the offline oracle's value checks rely on.
 	rec *trace.Recorder
+
+	// reg is the telemetry registry (always built; see telemetry.go);
+	// sampler is scheduled on the kernel only when Config.Telemetry is
+	// enabled.
+	reg     *telemetry.Registry
+	sampler *telemetry.Sampler
 
 	violations  core.CollectorSink
 	onViolation func(Violation)
@@ -283,6 +290,10 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 
 		s.kernel.Register(cpu)
 	}
+
+	// Telemetry last: the sampler (if enabled) must tick after every
+	// component so each sample observes the cycle's final state.
+	s.buildTelemetry(cfg)
 	return s, nil
 }
 
@@ -311,6 +322,7 @@ func (s *System) sink() core.Sink {
 			return
 		}
 		s.violations.Violation(v)
+		s.recordViolation(v)
 		if s.onViolation != nil {
 			s.onViolation(v)
 		}
