@@ -110,12 +110,17 @@ func main() {
 		fig        = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|errors|all")
 		reps       = flag.Int("reps", 3, "perturbed repetitions per configuration")
 		txns       = flag.Uint64("txns", 120, "transactions per run")
-		workers    = flag.Int("workers", runtime.NumCPU(), "worker pool size for the figure matrices (1 = serial)")
+		workers    = flag.Int("workers", 0, "worker pool size for the figure matrices (0 = min(GOMAXPROCS, jobs), 1 = serial)")
 		jsonPath   = flag.String("json", "", "write a machine-readable report (wall clocks + checker microbenchmarks) to this file")
 		compare    = flag.Bool("compare", false, "re-run each figure serially and fail unless the parallel table is identical")
 		metricsOut = flag.String("metrics-out", "", "write the representative run's telemetry snapshot to this file (.json|.prom|.csv|.series.csv; '-' for stdout JSON)")
 	)
 	flag.Parse()
+	if *workers <= 0 {
+		// Resolve "auto" here so the JSON report records the actual pool
+		// cap; parallelFor still clamps to each figure's job count.
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	opts := dvmc.DefaultExperimentOpts()
 	opts.Repetitions = *reps

@@ -1,0 +1,314 @@
+// Command dvmc-farm runs a distributed campaign: a coordinator shards
+// a fuzzing campaign or the Section 6.1 injection matrix into leases,
+// workers (local or on other machines) execute them over HTTP+JSON, and
+// the coordinator merges the results into artifacts byte-identical to a
+// serial single-process run — at any worker count, join/leave order, or
+// crash/retry schedule.
+//
+// Subcommands:
+//
+//	serve   start a coordinator for a new job and wait for completion
+//	resume  restart a coordinator from its checkpoint file
+//	work    run a worker against a coordinator
+//	status  print a coordinator's progress
+//
+// The coordinator journals accepted results to an append-only
+// checkpoint (-checkpoint); if it crashes, `resume` picks up without
+// re-running completed shards. Workers may come and go freely: leases
+// expire and are stolen, and re-executed shards reproduce identical
+// bytes, so the merged output never depends on the schedule.
+//
+// Exit codes: 0 clean, 1 usage or I/O error, 2 campaign failure found
+// (fuzz: escape, false alarm, or crash; experiment: undetected faults).
+//
+// Example (two terminals):
+//
+//	dvmc-farm serve -seed 1 -n 500 -corpus corpus/ -checkpoint farm.ckpt
+//	dvmc-farm work -coordinator http://127.0.0.1:8700
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"dvmc/internal/fabric"
+	"dvmc/internal/fuzz"
+	"dvmc/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:], false)
+	case "resume":
+		serve(os.Args[2:], true)
+	case "work":
+		work(os.Args[2:])
+	case "status":
+		status(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fatalf("unknown subcommand %q (want serve, resume, work, or status)", os.Args[1])
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  dvmc-farm serve  [flags]    coordinate a new sharded campaign
+  dvmc-farm resume [flags]    restart a coordinator from -checkpoint
+  dvmc-farm work   [flags]    execute leases for a coordinator
+  dvmc-farm status [flags]    print a coordinator's progress
+
+The merged results are byte-identical to a serial run of the same
+campaign, regardless of worker count, ordering, or crashes.
+'<sub> -h' lists each subcommand's flags.
+
+exit codes: 0 clean, 1 usage or I/O error, 2 campaign failure found
+`)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dvmc-farm: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(1)
+	}
+}
+
+// serve runs a coordinator to completion: bind, hand out leases, merge
+// results, write artifacts. resume=true loads the job from -checkpoint
+// instead of the job flags.
+func serve(args []string, resume bool) {
+	name := "serve"
+	if resume {
+		name = "resume"
+	}
+	fs := newFlagSet(name)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8700", "coordinator listen address")
+		checkpoint = fs.String("checkpoint", "", "append-only journal of accepted results (required for resume)")
+		ttl        = fs.Uint64("ttl", 60, "lease TTL in seconds before a shard is stealable")
+		shard      = fs.Int("shard", fabric.DefaultShardSize, "cases per lease")
+		jsonOut    = fs.Bool("json", false, "print the fuzz summary as JSON")
+		recordsOut = fs.String("records-out", "", "write the full fuzz record table (JSON) to this file")
+		metricsOut = fs.String("metrics-out", "", "write the merged telemetry snapshot to this file ('-' for stdout; needs -metrics)")
+
+		// Job flags (serve only; resume reads the spec from the journal).
+		kind      = fs.String("job", "fuzz", "job kind: fuzz | experiment")
+		seed      = fs.Uint64("seed", 1, "campaign master seed")
+		n         = fs.Int("n", 200, "fuzz: number of runs")
+		faultFrac = fs.Float64("fault-frac", 0.5, "fuzz: fraction of runs that inject a fault")
+		budget    = fs.Uint64("budget", fuzz.DefaultBudget, "per-run cycle budget")
+		corpus    = fs.String("corpus", "", "fuzz: directory for minimized failure reproducers")
+		minimize  = fs.Bool("minimize", true, "fuzz: delta-debug failures before writing them")
+		minBudget = fs.Int("minimize-budget", fuzz.DefaultMinimizeBudget, "fuzz: max re-runs per minimized failure")
+		metrics   = fs.Bool("metrics", false, "fuzz: instrument every case and merge telemetry farm-wide")
+		faults    = fs.Int("faults", 100, "experiment: injections per protocol x model row")
+	)
+	parseFlags(fs, args)
+	if fs.NArg() != 0 {
+		fatalf("%s: unexpected arguments %v", name, fs.Args())
+	}
+
+	opts := fabric.CoordinatorOptions{CheckpointPath: *checkpoint, TTLSeconds: *ttl}
+	var coord *fabric.Coordinator
+	var err error
+	if resume {
+		if *checkpoint == "" {
+			fatalf("resume: -checkpoint is required")
+		}
+		coord, err = fabric.ResumeCoordinator(*checkpoint, opts)
+	} else {
+		spec := fabric.JobSpec{Kind: fabric.JobKind(*kind), ShardSize: *shard}
+		switch spec.Kind {
+		case fabric.JobFuzz:
+			spec.Fuzz = &fuzz.CampaignConfig{
+				Seed: *seed, Runs: *n, FaultFrac: *faultFrac, Budget: *budget,
+				CorpusDir: *corpus, Minimize: *minimize, MinimizeBudget: *minBudget,
+				Metrics: *metrics,
+			}
+		case fabric.JobExperiment:
+			spec.Experiment = &fabric.ExperimentSpec{Faults: *faults, Budget: *budget, Seed: *seed}
+		default:
+			fatalf("serve: unknown -job %q", *kind)
+		}
+		coord, err = fabric.NewCoordinator(spec, opts)
+	}
+	if err != nil {
+		fatalf("%s: %v", name, err)
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%s: %v", name, err)
+	}
+	srv := &http.Server{Handler: coord}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatalf("%s: %v", name, err)
+		}
+	}()
+	st := coord.Status()
+	fmt.Fprintf(os.Stderr, "dvmc-farm: coordinating %s job: %d cases in %d shards on %s (%d already done)\n",
+		st.Kind, st.Cases, st.Total, ln.Addr(), st.Done)
+
+	<-coord.Done()
+	out, err := coord.Finalize()
+	if err != nil {
+		fatalf("%s: %v", name, err)
+	}
+	failed, err := writeOutputs(coord, out, *jsonOut, *recordsOut, *metricsOut)
+	if err != nil {
+		fatalf("%s: %v", name, err)
+	}
+	// Linger past the workers' poll interval so they observe the job's
+	// Done state instead of a vanished coordinator.
+	time.Sleep(4 * time.Second)
+	srv.Shutdown(context.Background())
+	if failed {
+		os.Exit(2)
+	}
+}
+
+// writeOutputs renders a finished job's artifacts exactly as the serial
+// CLIs do (dvmc-fuzz's summary encoding, the experiments' table text),
+// so farm output files can be compared byte-for-byte against serial
+// baselines.
+func writeOutputs(coord *fabric.Coordinator, out *fabric.Output, jsonOut bool, recordsOut, metricsOut string) (failed bool, err error) {
+	if out.Records != nil {
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out.Summary); err != nil {
+				return false, err
+			}
+		} else {
+			fmt.Print(out.Summary)
+		}
+		if recordsOut != "" {
+			data, err := json.MarshalIndent(out.Records, "", "  ")
+			if err != nil {
+				return false, err
+			}
+			if err := os.WriteFile(recordsOut, append(data, '\n'), 0o644); err != nil {
+				return false, err
+			}
+		}
+		if metricsOut != "" && out.Snapshot != nil {
+			if err := telemetry.WriteSnapshotFile(out.Snapshot, metricsOut); err != nil {
+				return false, err
+			}
+		}
+		if out.Summary.Failed() {
+			fmt.Fprintf(os.Stderr, "dvmc-farm: %d failing runs\n", out.Summary.Failures)
+			return true, nil
+		}
+		return false, nil
+	}
+
+	// Experiment job: print the table; fail on undetected faults.
+	fmt.Print(out.Table)
+	undetected := 0
+	for _, c := range out.Campaigns {
+		_, _, _, u := c.Counts()
+		undetected += u
+	}
+	if undetected > 0 {
+		fmt.Fprintf(os.Stderr, "dvmc-farm: %d undetected faults\n", undetected)
+		return true, nil
+	}
+	return false, nil
+}
+
+func work(args []string) {
+	fs := newFlagSet("work")
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:8700", "coordinator base URL")
+		workerName  = fs.String("name", "", "worker name (default host-pid)")
+		maxShards   = fs.Int("max-shards", 0, "stop after completing this many shards (0 = run until the job finishes)")
+		quiet       = fs.Bool("q", false, "suppress per-shard progress lines")
+	)
+	parseFlags(fs, args)
+	if fs.NArg() != 0 {
+		fatalf("work: unexpected arguments %v", fs.Args())
+	}
+	name := *workerName
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dvmc-farm[%s]: "+format+"\n", append([]any{name}, args...)...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	n, err := fabric.RunWorker(context.Background(), fabric.WorkerOptions{
+		Name: name, Coordinator: *coordinator, MaxShards: *maxShards, Logf: logf,
+	})
+	if err != nil {
+		fatalf("work: %v (after %d shards)", err, n)
+	}
+}
+
+func status(args []string) {
+	fs := newFlagSet("status")
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:8700", "coordinator base URL")
+		jsonOut     = fs.Bool("json", false, "print the raw status JSON")
+	)
+	parseFlags(fs, args)
+	if fs.NArg() != 0 {
+		fatalf("status: unexpected arguments %v", fs.Args())
+	}
+	resp, err := http.Get(*coordinator + fabric.PathStatus)
+	if err != nil {
+		fatalf("status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st fabric.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fatalf("status: %v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fatalf("status: %v", err)
+		}
+		return
+	}
+	fmt.Printf("%s job: %d cases, shards %d done / %d active / %d pending of %d",
+		st.Kind, st.Cases, st.Done, st.Active, st.Pending, st.Total)
+	if st.Finished {
+		fmt.Print("  [finished]")
+	}
+	fmt.Println()
+	for _, w := range st.Workers {
+		fmt.Printf("  worker %-20s %3d shards, seen %ds ago\n", w.Name, w.Shards, w.LastSeenSeconds)
+	}
+}

@@ -31,7 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 
 	"dvmc"
@@ -174,7 +173,7 @@ func run(args []string) {
 	var (
 		seed       = fs.Uint64("seed", 1, "campaign master seed")
 		n          = fs.Int("n", 200, "number of runs")
-		workers    = fs.Int("workers", runtime.NumCPU(), "worker pool size")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, runs), 1 = serial)")
 		faultFrac  = fs.Float64("fault-frac", 0.5, "fraction of runs that inject a fault")
 		budget     = fs.Uint64("budget", fuzz.DefaultBudget, "per-run cycle budget")
 		corpus     = fs.String("corpus", "", "directory for minimized failure reproducers")
@@ -196,7 +195,7 @@ func run(args []string) {
 	if err != nil {
 		fatalf("run: %v", err)
 	}
-	records, summary, err := cp.Run()
+	records, summary, _, err := cp.Run()
 	if err != nil {
 		fatalf("run: %v", err)
 	}

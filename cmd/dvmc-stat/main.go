@@ -1,8 +1,9 @@
-// Command dvmc-stat inspects recorded telemetry snapshots: the JSON
-// files written by the -metrics-out flags of dvmc-sim, dvmc-bench, and
-// dvmc-fuzz (and served live by dvmc-sim -http). The JSON snapshot is
-// the interchange format; every other rendering (Prometheus text, CSV,
-// human-readable) is re-encoded from it, so all views agree by
+// Command dvmc-stat inspects telemetry snapshots: the JSON files
+// written by the -metrics-out flags of dvmc-sim, dvmc-bench, dvmc-fuzz,
+// and dvmc-farm, or fetched live from an http(s) URL (dvmc-sim -http's
+// /metrics, a dvmc-farm coordinator's /metrics.json). The JSON snapshot
+// is the interchange format; every other rendering (Prometheus text,
+// CSV, human-readable) is re-encoded from it, so all views agree by
 // construction.
 //
 // Subcommands:
@@ -28,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 
 	"dvmc/internal/telemetry"
 )
@@ -54,13 +57,15 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  dvmc-stat dump   [-format text|json|prom|csv|series-csv] <snapshot.json | ->
-  dvmc-stat series [-metric NAME] <snapshot.json | ->
-  dvmc-stat top    [-n N] [-kind counter|gauge] <snapshot.json | ->
+  dvmc-stat dump   [-format text|json|prom|csv|series-csv] <snapshot>
+  dvmc-stat series [-metric NAME] <snapshot>
+  dvmc-stat top    [-n N] [-kind counter|gauge] <snapshot>
 
-Snapshots are the JSON files written by the -metrics-out flags of
-dvmc-sim, dvmc-bench, and dvmc-fuzz. All renderings are derived from
-the JSON, so text, Prometheus, and CSV views always agree.
+<snapshot> is a JSON snapshot file written by the -metrics-out flags of
+dvmc-sim, dvmc-bench, dvmc-fuzz, or dvmc-farm; '-' for stdin; or an
+http(s):// URL — dvmc-sim -http's /metrics or a dvmc-farm coordinator's
+/metrics.json for a live farm-wide view. All renderings are derived
+from the JSON, so text, Prometheus, and CSV views always agree.
 
 exit codes: 0 clean, 1 usage or I/O error, 2 the snapshot records
 checker violations.
@@ -82,15 +87,29 @@ func parseFlags(fs *flag.FlagSet, args []string) {
 	}
 }
 
-// load decodes the snapshot named by the single positional argument
-// ("-" reads stdin).
+// load decodes the snapshot named by the single positional argument:
+// a file path, "-" for stdin, or an http(s):// URL — the live /metrics
+// endpoint of dvmc-sim -http or a dvmc-farm coordinator's
+// /metrics.json, so a running farm can be watched with the same tool
+// that reads recorded files.
 func load(fs *flag.FlagSet) *telemetry.Snapshot {
 	if fs.NArg() != 1 {
-		fatalf("%s: need exactly one snapshot file (or '-' for stdin)", fs.Name())
+		fatalf("%s: need exactly one snapshot source (file, '-' for stdin, or http(s) URL)", fs.Name())
 	}
 	path := fs.Arg(0)
 	var r io.Reader = os.Stdin
-	if path != "-" {
+	switch {
+	case strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://"):
+		resp, err := http.Get(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatalf("%s: %s", path, resp.Status)
+		}
+		r = resp.Body
+	case path != "-":
 		f, err := os.Open(path)
 		if err != nil {
 			fatalf("%v", err)

@@ -2,6 +2,7 @@ package dvmc
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -17,10 +18,13 @@ type ExperimentOpts struct {
 	Repetitions  int    // perturbed repetitions per configuration
 	SeedBase     uint64
 
-	// Workers bounds the harness's worker pool; <=1 runs serially. Every
-	// simulation is a pure function of its (Config, Workload, opts) job
-	// and workers write only their own result slots, so the assembled
-	// tables are byte-identical at any worker count.
+	// Workers bounds the harness's worker pool; 1 runs serially and <=0
+	// picks min(GOMAXPROCS, jobs) — oversubscribing a small host makes
+	// parallel runs slower than serial, so the default never exceeds the
+	// schedulable parallelism. Every simulation is a pure function of its
+	// (Config, Workload, opts) job and workers write only their own
+	// result slots, so the assembled tables are byte-identical at any
+	// worker count.
 	Workers int
 }
 
@@ -74,13 +78,17 @@ func (t Table) String() string {
 	return b.String()
 }
 
-// parallelFor runs fn(0..n-1) on min(workers, n) goroutines. Callers
-// must make fn(i) write only slot i of their outputs; under that
-// contract results are independent of worker count and schedule. The
-// root package sits outside the dvmc-lint determinism allowlist
-// precisely for harness-level concurrency like this: each simulation is
-// a sealed deterministic machine, and the harness only farms them out.
+// parallelFor runs fn(0..n-1) on min(workers, n) goroutines; workers<=0
+// sizes the pool to min(GOMAXPROCS, n). Callers must make fn(i) write
+// only slot i of their outputs; under that contract results are
+// independent of worker count and schedule. The root package sits
+// outside the dvmc-lint determinism allowlist precisely for
+// harness-level concurrency like this: each simulation is a sealed
+// deterministic machine, and the harness only farms them out.
 func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -429,51 +437,76 @@ func Figure9(opts ExperimentOpts) (Table, error) {
 	return t, nil
 }
 
-// ErrorDetectionTable regenerates the Section 6.1 experiment: a fault
-// campaign per consistency model and protocol, reporting detection
-// coverage. workers bounds the row-level worker pool (<=1 serial); the
-// table is identical at any worker count.
-func ErrorDetectionTable(faultsPerConfig int, budget uint64, seed uint64, workers int) (Table, error) {
+// ErrorDetectionRow is one row of the Section 6.1 table: a fault
+// campaign against one protocol × consistency-model system.
+type ErrorDetectionRow struct {
+	Protocol Protocol
+	Model    Model
+}
+
+// ErrorDetectionRows lists the Section 6.1 campaign rows in table
+// order (directory first, models in Models order).
+func ErrorDetectionRows() []ErrorDetectionRow {
+	var rows []ErrorDetectionRow
+	for _, protocol := range []Protocol{Directory, Snooping} {
+		for _, m := range Models {
+			rows = append(rows, ErrorDetectionRow{protocol, m})
+		}
+	}
+	return rows
+}
+
+// ErrorDetectionConfig builds one row's fully-protected system
+// configuration (ECC on, tight SafetyNet interval, periodic membar
+// injection) — the exact knobs the Section 6.1 campaign has always
+// used, exported so the distributed fabric reproduces the same rows.
+func ErrorDetectionConfig(r ErrorDetectionRow, seed uint64) Config {
+	cfg := protectConfig(r.Protocol, r.Model).WithSeed(seed)
+	cfg.Memory.CacheECC = true
+	cfg.SNConfig.Interval = 10000
+	cfg.SNConfig.Keep = 10
+	cfg.Proc.MembarInjectionInterval = 5000
+	return cfg
+}
+
+// AssembleErrorDetectionTable renders per-row campaign results (in
+// ErrorDetectionRows order; missing trailing rows are skipped) into the
+// Section 6.1 table. Serial runs and the fabric's merged shards go
+// through this same assembly, so their tables are byte-identical.
+func AssembleErrorDetectionTable(campaigns []CampaignResult) Table {
 	t := Table{
 		Title: "Section 6.1: error-detection campaign (detected / applied; masked faults had no architectural effect)",
 		Cols:  []string{"applied", "detected", "masked", "undetected"},
 	}
-	type rowJob struct {
-		protocol Protocol
-		model    Model
-	}
-	var rows []rowJob
-	for _, protocol := range []Protocol{Directory, Snooping} {
-		for _, m := range Models {
-			rows = append(rows, rowJob{protocol, m})
+	for i, r := range ErrorDetectionRows() {
+		if i >= len(campaigns) {
+			break
 		}
-	}
-	cells := make([][]Cell, len(rows))
-	errs := make([]error, len(rows))
-	parallelFor(len(rows), workers, func(i int) {
-		r := rows[i]
-		cfg := protectConfig(r.protocol, r.model).WithSeed(seed)
-		cfg.Memory.CacheECC = true
-		cfg.SNConfig.Interval = 10000
-		cfg.SNConfig.Keep = 10
-		cfg.Proc.MembarInjectionInterval = 5000
-		camp, err := RunCampaign(cfg, OLTP(), faultsPerConfig, budget)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		applied, detected, masked, undetected := camp.Counts()
-		cells[i] = []Cell{
+		applied, detected, masked, undetected := campaigns[i].Counts()
+		t.Rows = append(t.Rows, fmt.Sprintf("%v/%v", r.Protocol, r.Model))
+		t.Cells = append(t.Cells, []Cell{
 			{Mean: float64(applied)}, {Mean: float64(detected)},
 			{Mean: float64(masked)}, {Mean: float64(undetected)},
-		}
-	})
-	for i, r := range rows {
-		if errs[i] != nil {
-			return t, errs[i]
-		}
-		t.Rows = append(t.Rows, fmt.Sprintf("%v/%v", r.protocol, r.model))
-		t.Cells = append(t.Cells, cells[i])
+		})
 	}
-	return t, nil
+	return t
+}
+
+// ErrorDetectionTable regenerates the Section 6.1 experiment: a fault
+// campaign per consistency model and protocol, reporting detection
+// coverage. workers bounds the row-level worker pool (1 serial, <=0
+// min(GOMAXPROCS, rows)); the table is identical at any worker count.
+func ErrorDetectionTable(faultsPerConfig int, budget uint64, seed uint64, workers int) (Table, error) {
+	rows := ErrorDetectionRows()
+	campaigns := make([]CampaignResult, len(rows))
+	errs := make([]error, len(rows))
+	parallelFor(len(rows), workers, func(i int) {
+		campaigns[i], errs[i] = RunCampaign(ErrorDetectionConfig(rows[i], seed), OLTP(), faultsPerConfig, budget)
+	})
+	for i := range rows {
+		if errs[i] != nil {
+			return AssembleErrorDetectionTable(nil), errs[i]
+		}
+	}
+	return AssembleErrorDetectionTable(campaigns), nil
 }

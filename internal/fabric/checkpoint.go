@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dvmc/internal/hash"
+)
+
+// The checkpoint is an append-only journal of coordinator progress: one
+// CRC-framed record per line,
+//
+//	DVMC1 <crc16 hex4> <payload JSON>\n
+//
+// where the CRC-16 (the repo's CCITT signature, internal/hash) covers
+// the payload bytes. The first record is the job spec; every subsequent
+// record is one accepted shard result. Appends are flushed per record,
+// so after a coordinator crash the file holds every accepted result
+// plus at most one torn trailing line.
+//
+// Decoding is strict: a framing error, CRC mismatch, or malformed
+// payload anywhere but the unterminated tail refuses the whole file
+// rather than silently dropping accepted work — a truncated or
+// corrupted checkpoint must never masquerade as a shorter valid one.
+// Only an unterminated final line (no trailing newline: the signature
+// of a crash mid-append) is recovered by dropping it.
+
+// checkpointMagic frames every record line.
+const checkpointMagic = "DVMC1"
+
+// CheckpointEntry is one journal record; exactly one field is set.
+type CheckpointEntry struct {
+	Spec   *JobSpec     `json:"spec,omitempty"`
+	Result *ShardResult `json:"result,omitempty"`
+}
+
+// AppendEntry writes one framed record line.
+func AppendEntry(w io.Writer, e CheckpointEntry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("fabric: checkpoint encode: %w", err)
+	}
+	if bytes.ContainsRune(payload, '\n') {
+		// Unreachable: encoding/json never emits raw newlines. Refuse
+		// rather than corrupt the line framing if that ever changes.
+		return fmt.Errorf("fabric: checkpoint payload contains newline")
+	}
+	_, err = fmt.Fprintf(w, "%s %04x %s\n", checkpointMagic, uint16(hash.Sum(payload)), payload)
+	return err
+}
+
+// DecodeEntryLine strictly decodes one record line (without its
+// terminating newline).
+func DecodeEntryLine(line []byte) (CheckpointEntry, error) {
+	var e CheckpointEntry
+	rest, ok := bytes.CutPrefix(line, []byte(checkpointMagic+" "))
+	if !ok {
+		return e, fmt.Errorf("fabric: checkpoint line missing %s frame", checkpointMagic)
+	}
+	crcHex, payload, ok := bytes.Cut(rest, []byte(" "))
+	if !ok || len(crcHex) != 4 {
+		return e, fmt.Errorf("fabric: checkpoint line missing crc field")
+	}
+	var want uint16
+	if _, err := fmt.Sscanf(string(crcHex), "%04x", &want); err != nil {
+		return e, fmt.Errorf("fabric: checkpoint crc field %q: %w", crcHex, err)
+	}
+	if got := uint16(hash.Sum(payload)); got != want {
+		return e, fmt.Errorf("fabric: checkpoint crc mismatch: line says %04x, payload sums to %04x", want, got)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return e, fmt.Errorf("fabric: checkpoint payload: %w", err)
+	}
+	if (e.Spec == nil) == (e.Result == nil) {
+		return e, fmt.Errorf("fabric: checkpoint entry must carry exactly one of spec/result")
+	}
+	return e, nil
+}
+
+// ReadCheckpoint decodes a checkpoint file's bytes. droppedTail reports
+// the length of an unterminated (torn) final line that was recovered
+// by dropping; any other defect is an error. An empty file yields no
+// entries.
+func ReadCheckpoint(data []byte) (entries []CheckpointEntry, droppedTail int, err error) {
+	for len(data) > 0 {
+		line, rest, ok := bytes.Cut(data, []byte("\n"))
+		if !ok {
+			// Unterminated tail: the one recoverable defect. A record is
+			// only accepted once its newline hits the disk.
+			return entries, len(line), nil
+		}
+		e, err := DecodeEntryLine(line)
+		if err != nil {
+			return nil, 0, err
+		}
+		entries = append(entries, e)
+		data = rest
+	}
+	return entries, 0, nil
+}

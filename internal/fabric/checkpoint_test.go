@@ -1,0 +1,131 @@
+package fabric
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvmc/internal/fuzz"
+)
+
+func sampleEntries() []CheckpointEntry {
+	spec := JobSpec{Kind: JobFuzz, Fuzz: &fuzz.CampaignConfig{Seed: 7, Runs: 10}, ShardSize: 4}
+	return []CheckpointEntry{
+		{Spec: &spec},
+		{Result: &ShardResult{Shard: Shard{ID: 0, From: 0, To: 4}}},
+		{Result: &ShardResult{Shard: Shard{ID: 1, From: 4, To: 8}}},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleEntries()
+	for _, e := range in {
+		if err := AppendEntry(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, dropped, err := ReadCheckpoint(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("clean file reported %d dropped tail bytes", dropped)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	if out[0].Spec == nil || out[0].Spec.Fuzz.Seed != 7 {
+		t.Fatalf("spec entry = %+v", out[0])
+	}
+	if out[2].Result == nil || out[2].Result.Shard.ID != 1 {
+		t.Fatalf("result entry = %+v", out[2])
+	}
+}
+
+func TestCheckpointRefusesCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	for _, e := range sampleEntries() {
+		if err := AppendEntry(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clean := buf.String()
+	lines := strings.SplitAfter(clean, "\n") // keeps the newlines
+
+	flip := func(s string, i int) string {
+		b := []byte(s)
+		b[i] ^= 0x01
+		return string(b)
+	}
+	cases := map[string]string{
+		// A flipped payload byte in a middle line: CRC mismatch.
+		"payload bit flip": lines[0] + flip(lines[1], len(lines[1])/2) + lines[2],
+		// A record truncated in the middle but still newline-terminated:
+		// a short line must never pass as a valid shorter record.
+		"mid-record truncation": lines[0] + lines[1][:len(lines[1])/2] + "\n" + lines[2],
+		// A line without the magic frame.
+		"foreign line": lines[0] + "not a checkpoint line\n" + lines[2],
+		// A bad CRC field.
+		"mangled crc": lines[0] + strings.Replace(lines[1], "DVMC1 ", "DVMC1 zz", 1),
+	}
+	for name, data := range cases {
+		if _, _, err := ReadCheckpoint([]byte(data)); err == nil {
+			t.Errorf("%s: corrupt checkpoint decoded without error", name)
+		}
+	}
+}
+
+func TestCheckpointRecoversTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleEntries()
+	for _, e := range in {
+		if err := AppendEntry(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-append: start a fourth record but lose the
+	// tail before the newline lands.
+	var extra bytes.Buffer
+	if err := AppendEntry(&extra, CheckpointEntry{Result: &ShardResult{Shard: Shard{ID: 2, From: 8, To: 10}}}); err != nil {
+		t.Fatal(err)
+	}
+	torn := append(buf.Bytes(), extra.Bytes()[:extra.Len()/2]...)
+
+	out, dropped, err := ReadCheckpoint(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("recovered %d entries, want %d (torn tail dropped)", len(out), len(in))
+	}
+	if dropped != extra.Len()/2 {
+		t.Fatalf("dropped = %d bytes, want %d", dropped, extra.Len()/2)
+	}
+}
+
+func TestCheckpointEntryShape(t *testing.T) {
+	// Exactly one of spec/result per entry.
+	spec := JobSpec{Kind: JobFuzz, Fuzz: &fuzz.CampaignConfig{Seed: 1, Runs: 1}}
+	var both bytes.Buffer
+	if err := AppendEntry(&both, CheckpointEntry{Spec: &spec, Result: &ShardResult{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(both.Bytes()); err == nil {
+		t.Error("entry with both spec and result must be refused")
+	}
+	var neither bytes.Buffer
+	if err := AppendEntry(&neither, CheckpointEntry{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(neither.Bytes()); err == nil {
+		t.Error("entry with neither spec nor result must be refused")
+	}
+}
+
+func TestCheckpointEmpty(t *testing.T) {
+	out, dropped, err := ReadCheckpoint(nil)
+	if err != nil || len(out) != 0 || dropped != 0 {
+		t.Fatalf("empty checkpoint = (%v, %d, %v)", out, dropped, err)
+	}
+}

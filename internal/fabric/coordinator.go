@@ -1,0 +1,481 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dvmc"
+	"dvmc/internal/fuzz"
+	"dvmc/internal/telemetry"
+)
+
+// CoordinatorOptions tune the lease protocol and durability.
+type CoordinatorOptions struct {
+	// CheckpointPath, when nonempty, journals the spec and every
+	// accepted shard result to an append-only file (see checkpoint.go).
+	// NewCoordinator refuses an existing file — restart with
+	// ResumeCoordinator instead, which is the crash-recovery path.
+	CheckpointPath string
+	// TTLSeconds is the lease lifetime; a worker that neither renews nor
+	// completes within it loses the shard to work-stealing. 0 picks 60.
+	TTLSeconds uint64
+	// Clock supplies the logical time (in seconds) the lease table runs
+	// on. Nil picks wall seconds since coordinator start; tests inject a
+	// counter to step leases deterministically.
+	Clock func() uint64
+}
+
+type workerInfo struct {
+	shards   int
+	lastSeen uint64
+}
+
+// Coordinator owns a job's lease table and accumulates shard results.
+// It is the only component that writes campaign artifacts, and it does
+// so exactly once, after the last shard completes, through the same
+// finalize code the serial drivers use — which is how a farm of any
+// shape reproduces a serial run's bytes.
+type Coordinator struct {
+	mu      sync.Mutex
+	spec    JobSpec
+	leases  *LeaseTable
+	results map[int]*ShardResult
+	workers map[string]*workerInfo
+	ckpt    *os.File
+	clock   func() uint64
+	ttl     uint64
+	doneCh  chan struct{}
+}
+
+// NewCoordinator starts a fresh job.
+func NewCoordinator(spec JobSpec, opts CoordinatorOptions) (*Coordinator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	shards := spec.Shards()
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("fabric: job has no cases to shard")
+	}
+	c := newCoordinator(spec, shards, opts)
+	if opts.CheckpointPath != "" {
+		f, err := os.OpenFile(opts.CheckpointPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: checkpoint %s exists or is unwritable (resume instead?): %w", opts.CheckpointPath, err)
+		}
+		c.ckpt = f
+		if err := c.journal(CheckpointEntry{Spec: &spec}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ResumeCoordinator restarts a job from its checkpoint: the spec and
+// every accepted shard result are replayed from the journal, completed
+// shards are never re-run, and new results append to the same file. A
+// torn trailing line (coordinator crashed mid-append) is truncated
+// away; any other corruption refuses to resume.
+func ResumeCoordinator(path string, opts CoordinatorOptions) (*Coordinator, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	entries, droppedTail, err := ReadCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 || entries[0].Spec == nil {
+		return nil, fmt.Errorf("fabric: checkpoint %s does not start with a job spec", path)
+	}
+	spec := *entries[0].Spec
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("fabric: checkpoint %s: %w", path, err)
+	}
+	if droppedTail > 0 {
+		if err := os.Truncate(path, int64(len(data)-droppedTail)); err != nil {
+			return nil, fmt.Errorf("fabric: dropping torn checkpoint tail: %w", err)
+		}
+	}
+	c := newCoordinator(spec, spec.Shards(), opts)
+	for _, e := range entries[1:] {
+		if e.Result == nil {
+			return nil, fmt.Errorf("fabric: checkpoint %s has a second spec entry", path)
+		}
+		r := *e.Result
+		if c.leases.Complete(r.Shard.ID) {
+			c.results[r.Shard.ID] = &r
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c.ckpt = f
+	if c.leases.Done() {
+		close(c.doneCh)
+	}
+	return c, nil
+}
+
+func newCoordinator(spec JobSpec, shards []Shard, opts CoordinatorOptions) *Coordinator {
+	ttl := opts.TTLSeconds
+	if ttl == 0 {
+		ttl = 60
+	}
+	clock := opts.Clock
+	if clock == nil {
+		start := time.Now()
+		clock = func() uint64 { return uint64(time.Since(start) / time.Second) }
+	}
+	return &Coordinator{
+		spec:    spec,
+		leases:  NewLeaseTable(shards, ttl),
+		results: make(map[int]*ShardResult),
+		workers: make(map[string]*workerInfo),
+		clock:   clock,
+		ttl:     ttl,
+		doneCh:  make(chan struct{}),
+	}
+}
+
+// journal appends one entry and flushes it to disk before the state
+// change is acknowledged — an accepted result is never lost to a crash.
+func (c *Coordinator) journal(e CheckpointEntry) error {
+	if c.ckpt == nil {
+		return nil
+	}
+	if err := AppendEntry(c.ckpt, e); err != nil {
+		return err
+	}
+	return c.ckpt.Sync()
+}
+
+// Close releases the checkpoint file handle.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ckpt == nil {
+		return nil
+	}
+	err := c.ckpt.Close()
+	c.ckpt = nil
+	return err
+}
+
+// Done is closed when every shard has completed.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+func (c *Coordinator) touch(worker string) {
+	if worker == "" {
+		return
+	}
+	info := c.workers[worker]
+	if info == nil {
+		info = &workerInfo{}
+		c.workers[worker] = info
+	}
+	info.lastSeen = c.clock()
+}
+
+// Register admits a worker and hands it the job spec.
+func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	return RegisterResponse{Spec: c.spec, TTLSeconds: c.ttl}
+}
+
+// Lease assigns a shard (or reports the job done / temporarily dry).
+func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	if c.leases.Done() {
+		return LeaseResponse{Done: true}
+	}
+	if sh, ok := c.leases.Acquire(req.Worker, c.clock()); ok {
+		return LeaseResponse{Shard: &sh}
+	}
+	// Everything is either done or actively leased; poll back soon —
+	// both to steal expired leases promptly and to observe Done before
+	// the coordinator's post-job linger expires.
+	wait := c.ttl / 4
+	if wait == 0 || wait > 2 {
+		wait = 2
+	}
+	return LeaseResponse{WaitSeconds: wait}
+}
+
+// Renew extends a worker's lease.
+func (c *Coordinator) Renew(req RenewRequest) RenewResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	return RenewResponse{OK: c.leases.Renew(req.Worker, req.Shard, c.clock())}
+}
+
+// Complete accepts a shard result. The first completion wins; a
+// duplicate (a worker finishing a shard that was stolen and completed
+// by someone else) is acknowledged but dropped — both copies carry
+// identical bytes, so nothing is lost.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	id := req.Result.Shard.ID
+	if !c.leases.Complete(id) {
+		return CompleteResponse{Accepted: false, Done: c.leases.Done()}, nil
+	}
+	r := req.Result
+	c.results[id] = &r
+	if err := c.journal(CheckpointEntry{Result: &r}); err != nil {
+		return CompleteResponse{}, err
+	}
+	if info := c.workers[req.Worker]; info != nil {
+		info.shards++
+	}
+	done := c.leases.Done()
+	if done {
+		close(c.doneCh)
+	}
+	return CompleteResponse{Accepted: true, Done: done}, nil
+}
+
+// Status reports progress.
+func (c *Coordinator) Status() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	pending, active, done := c.leases.Counts(now)
+	resp := StatusResponse{
+		Kind:     c.spec.Kind,
+		Total:    c.leases.Len(),
+		Pending:  pending,
+		Active:   active,
+		Done:     done,
+		Cases:    c.spec.TotalCases(),
+		Finished: c.leases.Done(),
+	}
+	names := make([]string, 0, len(c.workers))
+	//dvmc:orderinsensitive keys are collected and sorted before use
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		info := c.workers[name]
+		resp.Workers = append(resp.Workers, WorkerStatus{
+			Name: name, Shards: info.shards, LastSeenSeconds: now - info.lastSeen,
+		})
+	}
+	return resp
+}
+
+// MetricsSnapshot merges the telemetry snapshots of every shard
+// accepted so far — the live farm-wide view /metrics.json serves, and
+// (once finished) the job's final merged snapshot. Order-independence
+// of the merge makes this canonical at any completion state.
+func (c *Coordinator) MetricsSnapshot() (*telemetry.Snapshot, error) {
+	c.mu.Lock()
+	snaps := make([]*telemetry.Snapshot, 0, len(c.results))
+	for _, r := range c.results {
+		if len(r.Snapshot) == 0 {
+			continue
+		}
+		s, err := telemetry.DecodeSnapshot(bytes.NewReader(r.Snapshot))
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		snaps = append(snaps, s)
+	}
+	c.mu.Unlock()
+	return telemetry.MergeSnapshots(snaps...)
+}
+
+// Output is a finished job's merged artifacts — the same values the
+// serial drivers produce, byte for byte.
+type Output struct {
+	// Fuzz jobs: the complete record table (index order), its summary,
+	// and — with Metrics on — the merged telemetry snapshot.
+	Records  []fuzz.Record
+	Summary  fuzz.Summary
+	Snapshot *telemetry.Snapshot
+	// Experiment jobs: one merged campaign per Section 6.1 row, and the
+	// assembled table.
+	Campaigns []dvmc.CampaignResult
+	Table     dvmc.Table
+}
+
+// Finalize assembles the finished job's artifacts. For fuzz jobs it
+// runs the same fuzz.FinalizeRecords corpus pass as the serial driver
+// (writing into the spec's CorpusDir), then Summarize. Callable only
+// after Done.
+func (c *Coordinator) Finalize() (*Output, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.leases.Done() {
+		return nil, fmt.Errorf("fabric: Finalize before all shards completed")
+	}
+	ids := make([]int, 0, len(c.results))
+	for id := range c.results {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	ordered := make([]ShardResult, len(ids))
+	for i, id := range ids {
+		ordered[i] = *c.results[id]
+	}
+	return finalize(c.spec, ordered)
+}
+
+// finalize merges ordered shard results into the job's artifacts.
+func finalize(spec JobSpec, results []ShardResult) (*Output, error) {
+	out := &Output{}
+	switch spec.Kind {
+	case JobFuzz:
+		records := make([]fuzz.Record, spec.Fuzz.Runs)
+		filled := make([]bool, spec.Fuzz.Runs)
+		var snaps []*telemetry.Snapshot
+		for _, r := range results {
+			for _, rec := range r.Records {
+				if rec.Index < 0 || rec.Index >= len(records) || filled[rec.Index] {
+					return nil, fmt.Errorf("fabric: shard %d delivered record index %d out of place", r.Shard.ID, rec.Index)
+				}
+				records[rec.Index] = rec
+				filled[rec.Index] = true
+			}
+			if len(r.Snapshot) > 0 {
+				s, err := telemetry.DecodeSnapshot(bytes.NewReader(r.Snapshot))
+				if err != nil {
+					return nil, err
+				}
+				snaps = append(snaps, s)
+			}
+		}
+		for i, ok := range filled {
+			if !ok {
+				return nil, fmt.Errorf("fabric: record %d missing after all shards completed", i)
+			}
+		}
+		if err := fuzz.FinalizeRecords(records, spec.Fuzz.CorpusDir); err != nil {
+			return nil, err
+		}
+		out.Records = records
+		out.Summary = fuzz.Summarize(spec.Fuzz.Seed, records)
+		if spec.Fuzz.Metrics {
+			merged, err := telemetry.MergeSnapshots(snaps...)
+			if err != nil {
+				return nil, err
+			}
+			out.Snapshot = merged
+		}
+	case JobExperiment:
+		faults := spec.Experiment.Faults
+		rows := dvmc.ErrorDetectionRows()
+		campaigns := make([]dvmc.CampaignResult, len(rows))
+		for i := range campaigns {
+			campaigns[i] = dvmc.CampaignResult{Results: make([]dvmc.InjectionResult, faults)}
+		}
+		for _, r := range results {
+			for _, p := range r.Rows {
+				if p.Row < 0 || p.Row >= len(rows) {
+					return nil, fmt.Errorf("fabric: shard %d delivered row %d outside the matrix", r.Shard.ID, p.Row)
+				}
+				merged, err := dvmc.Merge(campaigns[p.Row], p.Expand(faults))
+				if err != nil {
+					return nil, fmt.Errorf("fabric: shard %d row %d: %w", r.Shard.ID, p.Row, err)
+				}
+				campaigns[p.Row] = merged
+			}
+		}
+		for i := range campaigns {
+			for j, slot := range campaigns[i].Results {
+				if !slot.Occupied() {
+					return nil, fmt.Errorf("fabric: row %d injection %d missing after all shards completed", i, j)
+				}
+			}
+		}
+		out.Campaigns = campaigns
+		out.Table = dvmc.AssembleErrorDetectionTable(campaigns)
+	default:
+		return nil, fmt.Errorf("fabric: unknown job kind %q", spec.Kind)
+	}
+	return out, nil
+}
+
+// ServeHTTP implements the coordinator side of the wire protocol.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case PathRegister:
+		var req RegisterRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.Register(req))
+	case PathLease:
+		var req LeaseRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.Lease(req))
+	case PathRenew:
+		var req RenewRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.Renew(req))
+	case PathComplete:
+		var req CompleteRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := c.Complete(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	case PathStatus:
+		writeJSON(w, c.Status())
+	case PathMetrics:
+		snap, err := c.MetricsSnapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := snap.EncodeJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already committed; nothing useful to add.
+		return
+	}
+}

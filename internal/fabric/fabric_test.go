@@ -1,0 +1,501 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dvmc"
+	"dvmc/internal/fuzz"
+	"dvmc/internal/telemetry"
+)
+
+// --- protocol ---
+
+func TestProtocolRoundTrips(t *testing.T) {
+	roundTrip := func(in, out any) {
+		t.Helper()
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatal(err)
+		}
+		// out is a pointer; compare against the original value.
+		if !reflect.DeepEqual(reflect.ValueOf(out).Elem().Interface(), in) {
+			t.Fatalf("round trip lost data:\n in: %+v\nout: %+v", in, reflect.ValueOf(out).Elem().Interface())
+		}
+	}
+	spec := JobSpec{
+		Kind:      JobFuzz,
+		Fuzz:      &fuzz.CampaignConfig{Seed: 3, Runs: 9, FaultFrac: 0.25, Budget: 1000, Minimize: true, MinimizeBudget: 5, Metrics: true},
+		ShardSize: 2,
+	}
+	roundTrip(RegisterRequest{Worker: "w1"}, &RegisterRequest{})
+	roundTrip(RegisterResponse{Spec: spec, TTLSeconds: 30}, &RegisterResponse{})
+	roundTrip(LeaseRequest{Worker: "w1"}, &LeaseRequest{})
+	roundTrip(LeaseResponse{Shard: &Shard{ID: 2, From: 4, To: 6}}, &LeaseResponse{})
+	roundTrip(LeaseResponse{Done: true}, &LeaseResponse{})
+	roundTrip(RenewRequest{Worker: "w1", Shard: 2}, &RenewRequest{})
+	roundTrip(RenewResponse{OK: true}, &RenewResponse{})
+	roundTrip(CompleteResponse{Accepted: true, Done: true}, &CompleteResponse{})
+	roundTrip(StatusResponse{Kind: JobFuzz, Total: 3, Done: 1, Cases: 9,
+		Workers: []WorkerStatus{{Name: "w1", Shards: 1, LastSeenSeconds: 2}}}, &StatusResponse{})
+
+	// A shard result with real records survives the wire byte-for-byte.
+	cfg := *spec.Fuzz
+	recs, snap, err := fuzz.RunRange(cfg, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in := CompleteRequest{Worker: "w1", Result: ShardResult{
+		Shard: Shard{ID: 0, From: 0, To: 2}, Records: recs, Snapshot: buf.Bytes(),
+	}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out CompleteRequest
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	inJSON, _ := json.Marshal(in.Result.Records)
+	outJSON, _ := json.Marshal(out.Result.Records)
+	if !bytes.Equal(inJSON, outJSON) {
+		t.Fatal("records changed across the wire")
+	}
+	// The wire may re-compact embedded JSON; the decoded snapshot must
+	// canonically re-encode to the same bytes.
+	reSnap, err := telemetry.DecodeSnapshot(bytes.NewReader(out.Result.Snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reBuf bytes.Buffer
+	if err := reSnap.EncodeJSON(&reBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reBuf.Bytes(), buf.Bytes()) {
+		t.Fatal("snapshot content changed across the wire")
+	}
+}
+
+func TestRowPartialExpand(t *testing.T) {
+	p := RowPartial{Row: 1, From: 2, Results: []dvmc.InjectionResult{
+		{Injection: dvmc.Injection{Kind: dvmc.AllFaultKinds()[0], Node: 1, Cycle: 7}, Applied: true},
+	}}
+	got := p.Expand(5)
+	if len(got.Results) != 5 {
+		t.Fatalf("expanded length %d, want 5", len(got.Results))
+	}
+	for i, r := range got.Results {
+		if (i == 2) != r.Occupied() {
+			t.Fatalf("slot %d occupied=%v", i, r.Occupied())
+		}
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	good := JobSpec{Kind: JobFuzz, Fuzz: &fuzz.CampaignConfig{Seed: 1, Runs: 4}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []JobSpec{
+		{},
+		{Kind: JobFuzz},
+		{Kind: JobFuzz, Fuzz: &fuzz.CampaignConfig{Runs: 0}},
+		{Kind: JobExperiment},
+		{Kind: JobExperiment, Experiment: &ExperimentSpec{Faults: 0, Budget: 1}},
+		{Kind: JobExperiment, Experiment: &ExperimentSpec{Faults: 1, Budget: 0}},
+		{Kind: "bogus"},
+		{Kind: JobFuzz, Fuzz: &fuzz.CampaignConfig{Seed: 1, Runs: 4}, ShardSize: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated: %+v", i, s)
+		}
+	}
+}
+
+// --- end-to-end determinism ---
+
+// farmSpec is the shared fixture: small enough to run in seconds, large
+// enough to exercise failures (minimization + corpus), metrics, and
+// multiple shards.
+func farmSpec(corpusDir string) JobSpec {
+	return JobSpec{
+		Kind: JobFuzz,
+		Fuzz: &fuzz.CampaignConfig{
+			Seed: 2024, Runs: 12, FaultFrac: 0.5,
+			Minimize: true, MinimizeBudget: 200, Metrics: true,
+			CorpusDir: corpusDir,
+		},
+		ShardSize: 5,
+	}
+}
+
+// serialBaseline runs the same campaign in one process with the serial
+// driver, producing the reference bytes the farm must reproduce.
+func serialBaseline(t *testing.T, spec JobSpec) ([]byte, fuzz.Summary, []byte, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := *spec.Fuzz
+	cfg.Workers = 1
+	cfg.CorpusDir = dir
+	cp, err := fuzz.NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, sum, snap, err := cp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapJSON bytes.Buffer
+	if err := snap.EncodeJSON(&snapJSON); err != nil {
+		t.Fatal(err)
+	}
+	return recordsJSON(t, recs), sum, snapJSON.Bytes(), dir
+}
+
+// recordsJSON marshals records with CorpusFile reduced to its base name
+// (the corpus directories differ between runs under comparison).
+func recordsJSON(t *testing.T, recs []fuzz.Record) []byte {
+	t.Helper()
+	norm := append([]fuzz.Record(nil), recs...)
+	for i := range norm {
+		if norm[i].CorpusFile != "" {
+			norm[i].CorpusFile = filepath.Base(norm[i].CorpusFile)
+		}
+	}
+	data, err := json.Marshal(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// corpusContents snapshots a corpus directory as name -> bytes.
+func corpusContents(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+func assertFarmMatchesSerial(t *testing.T, out *Output, farmCorpus string,
+	wantRecords []byte, wantSummary fuzz.Summary, wantSnap []byte, serialCorpus string) {
+	t.Helper()
+	if got := recordsJSON(t, out.Records); !bytes.Equal(got, wantRecords) {
+		t.Error("farm records differ from serial run")
+	}
+	if !reflect.DeepEqual(out.Summary, wantSummary) {
+		t.Errorf("farm summary = %+v, want %+v", out.Summary, wantSummary)
+	}
+	var snapJSON bytes.Buffer
+	if err := out.Snapshot.EncodeJSON(&snapJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapJSON.Bytes(), wantSnap) {
+		t.Error("farm merged telemetry differs from serial run")
+	}
+	if !reflect.DeepEqual(corpusContents(t, farmCorpus), corpusContents(t, serialCorpus)) {
+		t.Error("farm corpus artifacts differ from serial run")
+	}
+}
+
+// TestFarmMatchesSerial is the fabric's headline property: a
+// coordinator with concurrent workers over loopback HTTP produces
+// byte-identical records, summary, corpus, and merged telemetry to the
+// serial single-process driver.
+func TestFarmMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm test in -short mode")
+	}
+	farmCorpus := t.TempDir()
+	spec := farmSpec(farmCorpus)
+	wantRecords, wantSummary, wantSnap, serialCorpus := serialBaseline(t, spec)
+
+	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	errs := make(chan error, 2)
+	for _, name := range []string{"w1", "w2"} {
+		go func(name string) {
+			_, err := RunWorker(ctx, WorkerOptions{Name: name, Coordinator: srv.URL})
+			errs <- err
+		}(name)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("workers returned but the job is not done")
+	}
+	st := coord.Status()
+	if !st.Finished || st.Done != st.Total {
+		t.Fatalf("status after completion: %+v", st)
+	}
+
+	out, err := coord.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFarmMatchesSerial(t, out, farmCorpus, wantRecords, wantSummary, wantSnap, serialCorpus)
+}
+
+// TestFarmCrashResumeMatchesSerial kills a worker mid-job, crashes the
+// coordinator, resumes from the checkpoint, and still reproduces the
+// serial bytes — the acceptance scenario for the checkpoint journal.
+func TestFarmCrashResumeMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm test in -short mode")
+	}
+	farmCorpus := t.TempDir()
+	spec := farmSpec(farmCorpus)
+	wantRecords, wantSummary, wantSnap, serialCorpus := serialBaseline(t, spec)
+
+	ckpt := filepath.Join(t.TempDir(), "farm.ckpt")
+	coord, err := NewCoordinator(spec, CoordinatorOptions{CheckpointPath: ckpt, TTLSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Worker 1 completes exactly one shard, then leaves.
+	if n, err := RunWorker(ctx, WorkerOptions{Name: "w1", Coordinator: srv.URL, MaxShards: 1}); err != nil || n != 1 {
+		t.Fatalf("worker 1: completed %d shards, err %v", n, err)
+	}
+	// Worker 2 "crashes": it acquires a lease and never completes it.
+	var reg RegisterResponse
+	if err := postJSON(ctx, srv.Client(), srv.URL+PathRegister, RegisterRequest{Worker: "w2"}, &reg); err != nil {
+		t.Fatal(err)
+	}
+	var lease LeaseResponse
+	if err := postJSON(ctx, srv.Client(), srv.URL+PathLease, LeaseRequest{Worker: "w2"}, &lease); err != nil {
+		t.Fatal(err)
+	}
+	if lease.Shard == nil {
+		t.Fatal("crashing worker got no lease to abandon")
+	}
+
+	// Coordinator crash: server down, handle closed. Simulate a torn
+	// final append — the resume path must truncate it away.
+	srv.Close()
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(ckpt, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("DVMC1 0f0f {\"result\":{\"shard\""); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume. The completed shard must be journaled; the abandoned lease
+	// must be pending again (leases are not durable, results are).
+	coord2, err := ResumeCoordinator(ckpt, CoordinatorOptions{TTLSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := coord2.Status()
+	if st.Done != 1 || st.Pending != st.Total-1 {
+		t.Fatalf("resumed status = %+v, want 1 done and the rest pending", st)
+	}
+	srv2 := httptest.NewServer(coord2)
+	defer srv2.Close()
+
+	// A fresh worker drains the remainder.
+	if _, err := RunWorker(ctx, WorkerOptions{Name: "w3", Coordinator: srv2.URL}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := coord2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFarmMatchesSerial(t, out, farmCorpus, wantRecords, wantSummary, wantSnap, serialCorpus)
+
+	// And a second resume of the finished job (coordinator restarted
+	// after completion) finalizes identically with no workers at all.
+	if err := coord2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	coord3, err := ResumeCoordinator(ckpt, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord3.Close()
+	select {
+	case <-coord3.Done():
+	default:
+		t.Fatal("fully-journaled job must resume as done")
+	}
+	out3, err := coord3.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recordsJSON(t, out3.Records); !bytes.Equal(got, wantRecords) {
+		t.Error("post-restart finalize records differ from serial run")
+	}
+	if !reflect.DeepEqual(out3.Summary, wantSummary) {
+		t.Error("post-restart finalize summary differs")
+	}
+}
+
+// TestFarmExperimentMatchesSerial shards the Section 6.1 matrix with
+// shard boundaries that cross rows and checks the assembled table's
+// bytes against the serial dvmc.ErrorDetectionTable.
+func TestFarmExperimentMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm test in -short mode")
+	}
+	const faults, budget, seed = 2, 150_000, 11
+	want, err := dvmc.ErrorDetectionTable(faults, budget, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := JobSpec{
+		Kind:       JobExperiment,
+		Experiment: &ExperimentSpec{Faults: faults, Budget: budget, Seed: seed},
+		ShardSize:  3, // 16 cases, shards straddle the 2-fault rows
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord)
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	errs := make(chan error, 2)
+	for _, name := range []string{"w1", "w2"} {
+		go func(name string) {
+			_, err := RunWorker(ctx, WorkerOptions{Name: name, Coordinator: srv.URL})
+			errs <- err
+		}(name)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := coord.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table.String() != want.String() {
+		t.Errorf("farm table differs from serial:\n%s\nvs\n%s", out.Table, want)
+	}
+	if len(out.Campaigns) != len(dvmc.ErrorDetectionRows()) {
+		t.Fatalf("campaign count %d", len(out.Campaigns))
+	}
+}
+
+// TestExecuteShardDeterministic: the same shard executed twice (a
+// steal/retry) yields identical bytes.
+func TestExecuteShardDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm test in -short mode")
+	}
+	spec := farmSpec("")
+	sh := spec.Shards()[1]
+	a, err := ExecuteShard(spec, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExecuteShard(spec, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("re-executing a shard produced different bytes")
+	}
+}
+
+// TestMetricsSnapshotPartial: /metrics.json's merge over a partially
+// complete job is valid and grows monotonically to the final snapshot.
+func TestMetricsSnapshotPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm test in -short mode")
+	}
+	spec := farmSpec("")
+	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete shard 0 by hand.
+	sh := spec.Shards()[0]
+	res, err := ExecuteShard(spec, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Complete(CompleteRequest{Worker: "w1", Result: res}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := coord.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Metrics) == 0 {
+		t.Fatal("partial metrics snapshot is empty")
+	}
+	// Duplicate completion of the same shard is dropped.
+	ack, err := coord.Complete(CompleteRequest{Worker: "w2", Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted {
+		t.Fatal("duplicate shard completion was accepted")
+	}
+	again, err := coord.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := snap.EncodeJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := again.EncodeJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("dropped duplicate changed the metrics merge")
+	}
+}

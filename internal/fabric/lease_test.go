@@ -1,0 +1,161 @@
+package fabric
+
+import (
+	"testing"
+
+	"dvmc/internal/fuzz"
+)
+
+func shards3() []Shard {
+	return []Shard{{ID: 0, From: 0, To: 4}, {ID: 1, From: 4, To: 8}, {ID: 2, From: 8, To: 10}}
+}
+
+func TestLeaseAcquireOrder(t *testing.T) {
+	lt := NewLeaseTable(shards3(), 10)
+	a, ok := lt.Acquire("w1", 0)
+	if !ok || a.ID != 0 {
+		t.Fatalf("first acquire = %+v ok=%v, want shard 0", a, ok)
+	}
+	b, ok := lt.Acquire("w2", 0)
+	if !ok || b.ID != 1 {
+		t.Fatalf("second acquire = %+v, want shard 1", b)
+	}
+	c, ok := lt.Acquire("w1", 0)
+	if !ok || c.ID != 2 {
+		t.Fatalf("third acquire = %+v, want shard 2", c)
+	}
+	if _, ok := lt.Acquire("w3", 5); ok {
+		t.Fatal("acquire with every shard actively leased must fail")
+	}
+}
+
+func TestLeaseExpiryAndSteal(t *testing.T) {
+	lt := NewLeaseTable(shards3(), 10)
+	lt.Acquire("w1", 0) // shard 0, expires at 10
+	lt.Acquire("w2", 5) // shard 1, expires at 15
+	lt.Acquire("w2", 5) // shard 2, expires at 15
+
+	if _, ok := lt.Acquire("w3", 9); ok {
+		t.Fatal("no lease has expired at t=9")
+	}
+	// At t=10 w1's lease on shard 0 is stealable; w3 takes it.
+	s, ok := lt.Acquire("w3", 10)
+	if !ok || s.ID != 0 {
+		t.Fatalf("steal at t=10 = %+v ok=%v, want shard 0", s, ok)
+	}
+	// w1's renew must now fail: the shard belongs to w3.
+	if lt.Renew("w1", 0, 11) {
+		t.Fatal("renew of a stolen lease must fail")
+	}
+	if !lt.Renew("w3", 0, 11) {
+		t.Fatal("the thief's renew must succeed")
+	}
+	// Shard 0 renewed at t=11 (expiry 21), shards 1 and 2 expire at 15:
+	// at t=14 nothing is pending or stealable.
+	if _, ok := lt.Acquire("w4", 14); ok {
+		t.Fatal("acquire at t=14 must fail (all leases live)")
+	}
+	// At t=15 shards 1 and 2 expire; the lowest ID is stolen first.
+	if s, ok := lt.Acquire("w4", 15); !ok || s.ID != 1 {
+		t.Fatalf("steal at t=15 = %+v ok=%v, want shard 1", s, ok)
+	}
+}
+
+func TestLeaseRenewSemantics(t *testing.T) {
+	// Single-shard table so an Acquire can only ever mean a steal.
+	lt := NewLeaseTable(shards3()[:1], 10)
+	if lt.Renew("w1", 0, 0) {
+		t.Fatal("renew of an unleased shard must fail")
+	}
+	lt.Acquire("w1", 0)
+	if lt.Renew("w2", 0, 1) {
+		t.Fatal("renew by a non-owner must fail")
+	}
+	if !lt.Renew("w1", 0, 8) {
+		t.Fatal("owner renew must succeed")
+	}
+	// Renewed at 8 with ttl 10: alive at 17, stealable at 18.
+	if _, ok := lt.Acquire("w2", 17); ok {
+		t.Fatal("lease renewed at t=8 must still hold at t=17")
+	}
+	if s, ok := lt.Acquire("w2", 18); !ok || s.ID != 0 {
+		t.Fatal("lease must expire at t=18")
+	}
+	if lt.Renew("w1", 99, 0) || lt.Renew("w1", -1, 0) {
+		t.Fatal("renew of an out-of-range shard must fail")
+	}
+}
+
+func TestLeaseCompleteIdempotent(t *testing.T) {
+	lt := NewLeaseTable(shards3(), 10)
+	lt.Acquire("w1", 0)
+	if !lt.Complete(0) {
+		t.Fatal("first completion must be accepted")
+	}
+	if lt.Complete(0) {
+		t.Fatal("duplicate completion must be rejected")
+	}
+	// Completion without a lease (expired-and-raced worker) is accepted.
+	if !lt.Complete(2) {
+		t.Fatal("completion of a never-leased shard must be accepted")
+	}
+	if lt.Complete(99) || lt.Complete(-1) {
+		t.Fatal("completion of an unknown shard must be rejected")
+	}
+	if lt.Done() {
+		t.Fatal("table with shard 1 open is not done")
+	}
+	lt.Complete(1)
+	if !lt.Done() {
+		t.Fatal("all shards completed; table must report done")
+	}
+	// A done shard is never reassigned.
+	if _, ok := lt.Acquire("w9", 1000); ok {
+		t.Fatal("acquire on a finished table must fail")
+	}
+}
+
+func TestLeaseCounts(t *testing.T) {
+	lt := NewLeaseTable(shards3(), 10)
+	lt.Acquire("w1", 0)
+	lt.Complete(2)
+	p, a, d := lt.Counts(5)
+	if p != 1 || a != 1 || d != 1 {
+		t.Fatalf("counts at t=5 = (%d, %d, %d), want (1, 1, 1)", p, a, d)
+	}
+	// Shard 0's lease expires at 10: it counts as pending again.
+	p, a, d = lt.Counts(10)
+	if p != 2 || a != 0 || d != 1 {
+		t.Fatalf("counts at t=10 = (%d, %d, %d), want (2, 0, 1)", p, a, d)
+	}
+	if lt.Len() != 3 {
+		t.Fatalf("Len = %d", lt.Len())
+	}
+	if lt.State(2) != LeaseDone || lt.State(0) != LeaseActive || lt.State(1) != LeasePending {
+		t.Fatal("State() disagrees with transitions")
+	}
+}
+
+func TestLeaseStateString(t *testing.T) {
+	for s, want := range map[LeaseState]string{
+		LeasePending: "pending", LeaseActive: "active", LeaseDone: "done", LeaseState(99): "invalid",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("LeaseState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestSpecShards(t *testing.T) {
+	spec := JobSpec{Kind: JobFuzz, Fuzz: &fuzz.CampaignConfig{Seed: 1, Runs: 10}, ShardSize: 4}
+	got := spec.Shards()
+	want := shards3()
+	if len(got) != len(want) {
+		t.Fatalf("shards = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -2,12 +2,14 @@ package fuzz
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
 	"dvmc/internal/sim"
 	"dvmc/internal/stats"
+	"dvmc/internal/telemetry"
 )
 
 // newCaseRand is the per-run stream: forked from the campaign master
@@ -23,7 +25,8 @@ type CampaignConfig struct {
 	Seed uint64 `json:"seed"`
 	// Runs is the number of cases to execute.
 	Runs int `json:"runs"`
-	// Workers bounds the worker pool; <=0 means 1.
+	// Workers bounds the worker pool; <=0 picks min(GOMAXPROCS, Runs)
+	// so small hosts never oversubscribe (1 runs serially).
 	Workers int `json:"workers"`
 	// FaultFrac is the fraction of runs that inject a fault.
 	FaultFrac float64 `json:"fault_frac"`
@@ -40,6 +43,13 @@ type CampaignConfig struct {
 	// MinimizeBudget bounds the minimizer's re-run count per failure;
 	// zero picks a default.
 	MinimizeBudget int `json:"minimize_budget,omitempty"`
+	// Metrics runs every case telemetry-instrumented and merges the
+	// per-case snapshots into one canonical campaign-level snapshot
+	// (telemetry.MergeSnapshots). Classification is unaffected —
+	// telemetry observes the simulation without perturbing it — and the
+	// merged snapshot is byte-identical at any worker count, shard
+	// split, or merge order.
+	Metrics bool `json:"metrics,omitempty"`
 }
 
 // DefaultBudget is the per-run cycle budget when none is given: enough
@@ -121,7 +131,10 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		cfg.Budget = DefaultBudget
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = 1
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Runs {
+		cfg.Workers = cfg.Runs
 	}
 	if cfg.MinimizeBudget <= 0 {
 		cfg.MinimizeBudget = DefaultMinimizeBudget
@@ -192,15 +205,121 @@ func deriveCase(seed uint64, index int, faultFrac float64, budget uint64) *Case 
 	return c
 }
 
-// Run executes the campaign and returns its records in index order.
-func (cp *Campaign) Run() ([]Record, Summary, error) {
+// runOne executes run index i of the campaign: derive the case, run it
+// (instrumented when cfg.Metrics), and — for failures — attach the
+// minimized reproducer. Every step is a pure function of (cfg, i), so
+// the record (and snapshot) are identical wherever the run executes:
+// a local goroutine pool or a fabric worker on another machine.
+func runOne(cfg CampaignConfig, i int) (Record, *telemetry.Snapshot) {
+	c := deriveCase(cfg.Seed, i, cfg.FaultFrac, cfg.Budget)
+	var (
+		res  RunResult
+		snap *telemetry.Snapshot
+		err  error
+	)
+	if cfg.Metrics {
+		res, _, snap, err = RunCaseInstrumented(c)
+	} else {
+		res, _, err = RunCase(c)
+	}
+	if err != nil {
+		// Structural errors cannot occur for derived cases; record them
+		// as crashes so the campaign survives.
+		res = RunResult{Class: ClassCrash, Panic: err.Error()}
+	}
+	rec := Record{Index: i, Case: c, Result: res}
+	if rec.Result.Class.Failure() {
+		repro := rec.Case.Clone()
+		repro.Expect = rec.Result.Class
+		if cfg.Minimize {
+			if min, err := Minimize(repro, cfg.MinimizeBudget); err == nil {
+				repro = min
+			}
+		}
+		rec.Minimized = repro
+	}
+	return rec, snap
+}
+
+// RunRange executes runs [from, to) serially and returns their records
+// in index order plus, when cfg.Metrics, the canonical merge of their
+// telemetry snapshots — the shard unit the fabric's workers execute.
+// cfg.Runs bounds the range; corpus writing is the merge side's job
+// (FinalizeRecords), not the shard's.
+func RunRange(cfg CampaignConfig, from, to int) ([]Record, *telemetry.Snapshot, error) {
+	if from < 0 || to > cfg.Runs || from > to {
+		return nil, nil, fmt.Errorf("fuzz: RunRange: range [%d, %d) outside 0..%d", from, to, cfg.Runs)
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = DefaultBudget
+	}
+	if cfg.MinimizeBudget <= 0 {
+		cfg.MinimizeBudget = DefaultMinimizeBudget
+	}
+	records := make([]Record, 0, to-from)
+	var snaps []*telemetry.Snapshot
+	for i := from; i < to; i++ {
+		rec, snap := runOne(cfg, i)
+		records = append(records, rec)
+		if snap != nil {
+			snaps = append(snaps, snap)
+		}
+	}
+	var merged *telemetry.Snapshot
+	if cfg.Metrics {
+		var err error
+		merged, err = telemetry.MergeSnapshots(snaps...)
+		if err != nil {
+			return records, nil, err
+		}
+	}
+	return records, merged, nil
+}
+
+// FinalizeRecords persists the failure reproducers of a complete record
+// table into corpusDir, in ascending index order, filling in each
+// record's CorpusFile. Records must already carry their Minimized
+// reproducers (runOne attaches them); each reproducer is re-run once to
+// capture its trace next to the case, for offline inspection with
+// dvmc-trace. The serial campaign driver and the fabric coordinator
+// share this step, so corpus bytes cannot diverge between them. An
+// empty corpusDir is a no-op.
+func FinalizeRecords(records []Record, corpusDir string) error {
+	if corpusDir == "" {
+		return nil
+	}
+	for i := range records {
+		rec := &records[i]
+		if !rec.Result.Class.Failure() || rec.Minimized == nil {
+			continue
+		}
+		name := corpusName(rec)
+		path, err := WriteCase(corpusDir, name, rec.Minimized)
+		if err != nil {
+			return err
+		}
+		rec.CorpusFile = path
+		if _, trace, err := RunCase(rec.Minimized); err == nil && len(trace) > 0 {
+			if _, err := WriteTrace(corpusDir, name, trace); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the campaign and returns its records in index order,
+// plus the merged telemetry snapshot when cfg.Metrics is on (nil
+// otherwise).
+func (cp *Campaign) Run() ([]Record, Summary, *telemetry.Snapshot, error) {
 	cfg := cp.cfg
 	records := make([]Record, cfg.Runs)
+	snaps := make([]*telemetry.Snapshot, cfg.Runs)
 
 	// Bounded worker pool. This package deliberately sits outside the
 	// dvmc-lint determinism allowlist: determinism is architectural —
-	// workers only write their own slots, and every simulation is a
-	// pure function of its derived case.
+	// workers only write their own slots, and every slot is a pure
+	// function of its run index.
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -208,14 +327,7 @@ func (cp *Campaign) Run() ([]Record, Summary, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				c := deriveCase(cfg.Seed, i, cfg.FaultFrac, cfg.Budget)
-				res, _, err := RunCase(c)
-				if err != nil {
-					// Structural errors cannot occur for derived cases;
-					// record them as crashes so the campaign survives.
-					res = RunResult{Class: ClassCrash, Panic: err.Error()}
-				}
-				records[i] = Record{Index: i, Case: c, Result: res}
+				records[i], snaps[i] = runOne(cfg, i)
 			}
 		}()
 	}
@@ -225,40 +337,20 @@ func (cp *Campaign) Run() ([]Record, Summary, error) {
 	close(jobs)
 	wg.Wait()
 
-	// Post-pool, single-threaded: minimize and persist failures in
-	// ascending index order so corpus bytes are reproducible.
-	for i := range records {
-		rec := &records[i]
-		if !rec.Result.Class.Failure() {
-			continue
-		}
-		repro := rec.Case.Clone()
-		repro.Expect = rec.Result.Class
-		if cfg.Minimize {
-			min, err := Minimize(repro, cfg.MinimizeBudget)
-			if err == nil {
-				repro = min
-			}
-		}
-		rec.Minimized = repro
-		if cfg.CorpusDir != "" {
-			name := corpusName(rec)
-			path, err := WriteCase(cfg.CorpusDir, name, repro)
-			if err != nil {
-				return records, Summary{}, err
-			}
-			rec.CorpusFile = path
-			// Re-run the reproducer once to capture its trace next to the
-			// case, for offline inspection with dvmc-trace.
-			if _, trace, err := RunCase(repro); err == nil && len(trace) > 0 {
-				if _, err := WriteTrace(cfg.CorpusDir, name, trace); err != nil {
-					return records, Summary{}, err
-				}
-			}
+	// Post-pool, single-threaded: persist failures in ascending index
+	// order so corpus bytes are reproducible.
+	if err := FinalizeRecords(records, cfg.CorpusDir); err != nil {
+		return records, Summary{}, nil, err
+	}
+	var merged *telemetry.Snapshot
+	if cfg.Metrics {
+		var err error
+		merged, err = telemetry.MergeSnapshots(snaps...)
+		if err != nil {
+			return records, Summary{}, nil, err
 		}
 	}
-
-	return records, cp.summarize(records), nil
+	return records, Summarize(cfg.Seed, records), merged, nil
 }
 
 // corpusName labels a failing run's reproducer file.
@@ -273,10 +365,12 @@ func caseSeedOf(rec *Record) uint64 {
 	return 0
 }
 
-// summarize builds the classification table and latency statistics.
-func (cp *Campaign) summarize(records []Record) Summary {
+// Summarize builds the classification table and latency statistics
+// over a complete record table — shared by the serial driver and the
+// fabric coordinator.
+func Summarize(seed uint64, records []Record) Summary {
 	s := Summary{
-		Seed:   cp.cfg.Seed,
+		Seed:   seed,
 		Runs:   len(records),
 		Counts: make(map[Class]int),
 	}

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"dvmc/internal/telemetry"
 )
 
 // --- generator ---
@@ -403,7 +405,7 @@ func campaignRecordsJSON(t *testing.T, workers int, dir string) ([]byte, Summary
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, sum, err := cp.Run()
+	recs, sum, _, err := cp.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,6 +444,136 @@ func TestCampaignReproducibleAcrossWorkers(t *testing.T) {
 	}
 	if total != 24 {
 		t.Fatalf("class counts sum to %d", total)
+	}
+}
+
+// TestRunRangeShardsMatchCampaign is the fabric's sharding contract:
+// executing index ranges on independent "workers" (RunRange calls) and
+// concatenating the records reproduces Campaign.Run exactly, and the
+// shared Summarize gives the same summary.
+func TestRunRangeShardsMatchCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed: 2024, Runs: 12, Workers: 2, FaultFrac: 0.5,
+		Minimize: true, MinimizeBudget: 200,
+	}
+	cp, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, sum, _, err := cp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sharded []Record
+	for _, r := range [][2]int{{0, 5}, {5, 6}, {6, 12}} {
+		recs, snap, err := RunRange(cfg, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap != nil {
+			t.Fatal("RunRange returned a snapshot with Metrics off")
+		}
+		sharded = append(sharded, recs...)
+	}
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(sharded)
+	if !bytes.Equal(a, b) {
+		t.Fatal("sharded RunRange records differ from Campaign.Run")
+	}
+	if !reflect.DeepEqual(sum, Summarize(cfg.Seed, sharded)) {
+		t.Fatal("Summarize over sharded records differs from campaign summary")
+	}
+}
+
+// TestRunRangeBounds: out-of-range shards are refused.
+func TestRunRangeBounds(t *testing.T) {
+	cfg := CampaignConfig{Seed: 1, Runs: 4}
+	for _, r := range [][2]int{{-1, 2}, {0, 5}, {3, 2}} {
+		if _, _, err := RunRange(cfg, r[0], r[1]); err == nil {
+			t.Errorf("RunRange(%d, %d) accepted an invalid range", r[0], r[1])
+		}
+	}
+}
+
+// TestCampaignMetricsDeterministic: with Metrics on, classification is
+// unchanged and the merged snapshot is byte-identical across worker
+// counts and against a sharded RunRange merge.
+func TestCampaignMetricsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	cfg := CampaignConfig{Seed: 7, Runs: 8, FaultFrac: 0.5, Metrics: true}
+	encode := func(workers int) ([]byte, []byte) {
+		c := cfg
+		c.Workers = workers
+		cp, err := NewCampaign(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _, snap, err := cp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap == nil {
+			t.Fatal("Metrics campaign returned a nil snapshot")
+		}
+		var buf bytes.Buffer
+		if err := snap.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rj, _ := json.Marshal(recs)
+		return rj, buf.Bytes()
+	}
+	recs1, snap1 := encode(1)
+	recs4, snap4 := encode(4)
+	if !bytes.Equal(recs1, recs4) {
+		t.Fatal("Metrics-mode records differ across worker counts")
+	}
+	if !bytes.Equal(snap1, snap4) {
+		t.Fatal("merged snapshots differ across worker counts")
+	}
+
+	// Uninstrumented classification must match exactly.
+	plain := cfg
+	plain.Metrics = false
+	cp, err := NewCampaign(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recsPlain, _, snapPlain, err := cp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapPlain != nil {
+		t.Fatal("uninstrumented campaign returned a snapshot")
+	}
+	pj, _ := json.Marshal(recsPlain)
+	if !bytes.Equal(pj, recs1) {
+		t.Fatal("telemetry instrumentation changed campaign classification")
+	}
+
+	// Shard-merge of per-range snapshots equals the campaign's merge.
+	var snaps []*telemetry.Snapshot
+	for _, r := range [][2]int{{0, 3}, {3, 8}} {
+		_, snap, err := RunRange(cfg, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+	}
+	merged, err := telemetry.MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := merged.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), snap1) {
+		t.Fatal("shard-merged snapshot differs from campaign merge")
 	}
 }
 

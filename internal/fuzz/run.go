@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dvmc"
+	"dvmc/internal/telemetry"
 )
 
 // RunResult is the outcome of one case execution.
@@ -34,32 +35,51 @@ type RunResult struct {
 // crash classification — the campaign driver relies on this to survive
 // hostile generated programs. The returned trace is the run's captured
 // execution trace (nil for crashes), written next to corpus reproducers.
-func RunCase(c *Case) (res RunResult, traceBytes []byte, err error) {
+func RunCase(c *Case) (RunResult, []byte, error) {
+	res, trace, _, err := runCase(c, false)
+	return res, trace, err
+}
+
+// RunCaseInstrumented is RunCase with telemetry sampling enabled: the
+// classification and trace are identical (telemetry observes the
+// simulation without perturbing it), and the additional snapshot
+// captures the run's metrics as of its final cycle. The snapshot is nil
+// for crash runs — a recovered panic leaves no coherent registry to
+// read.
+func RunCaseInstrumented(c *Case) (RunResult, []byte, *telemetry.Snapshot, error) {
+	return runCase(c, true)
+}
+
+func runCase(c *Case, instrument bool) (res RunResult, traceBytes []byte, snap *telemetry.Snapshot, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = RunResult{Class: ClassCrash, Panic: fmt.Sprint(r)}
 			traceBytes = nil
+			snap = nil
 			err = nil
 		}
 	}()
 	if err := c.Validate(); err != nil {
-		return RunResult{}, nil, err
+		return RunResult{}, nil, nil, err
 	}
 	cfg, err := c.Config()
 	if err != nil {
-		return RunResult{}, nil, err
+		return RunResult{}, nil, nil, err
+	}
+	if instrument {
+		cfg = cfg.WithTelemetry(dvmc.TelemetryOn())
 	}
 	w := c.Program.Spec(caseName(c))
 
 	if c.Fault == nil {
 		sys, err := dvmc.NewSystem(cfg, w)
 		if err != nil {
-			return RunResult{}, nil, err
+			return RunResult{}, nil, nil, err
 		}
 		r, finished := sys.RunToCompletion(c.Budget)
 		verdict, err := sys.Verdict()
 		if err != nil {
-			return RunResult{}, nil, err
+			return RunResult{}, nil, nil, err
 		}
 		res := RunResult{
 			Online:   len(verdict.Online),
@@ -68,24 +88,27 @@ func RunCase(c *Case) (res RunResult, traceBytes []byte, err error) {
 			Finished: finished,
 		}
 		res.Class, res.Detail = classifyClean(verdict, finished)
+		if instrument {
+			snap = sys.TelemetrySnapshot()
+		}
 		data, err := sys.TraceBytes()
 		if err != nil {
-			return res, nil, err
+			return res, nil, snap, err
 		}
-		return res, data, nil
+		return res, data, snap, nil
 	}
 
 	inj, err := c.Fault.Injection()
 	if err != nil {
-		return RunResult{}, nil, err
+		return RunResult{}, nil, nil, err
 	}
 	ir, sys, err := dvmc.RunInjectionSystem(cfg, w, inj, c.Budget)
 	if err != nil {
-		return RunResult{}, nil, err
+		return RunResult{}, nil, nil, err
 	}
 	verdict, err := sys.Verdict()
 	if err != nil {
-		return RunResult{}, nil, err
+		return RunResult{}, nil, nil, err
 	}
 	res = RunResult{
 		Online:   len(verdict.Online),
@@ -98,11 +121,14 @@ func RunCase(c *Case) (res RunResult, traceBytes []byte, err error) {
 		Finished: sys.Finished(),
 	}
 	res.Class, res.Detail = classifyFault(ir, verdict)
+	if instrument {
+		snap = sys.TelemetrySnapshot()
+	}
 	data, err := sys.TraceBytes()
 	if err != nil {
-		return res, nil, err
+		return res, nil, snap, err
 	}
-	return res, data, nil
+	return res, data, snap, nil
 }
 
 // classifyClean judges a fault-free run: ground truth says nothing went

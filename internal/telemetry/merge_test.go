@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// mergeInput builds a synthetic per-run snapshot the way a campaign
+// case would produce one.
+func mergeInput(cycle uint64, nodeVals map[string]int64, lat []float64, events []ViolationEvent) *Snapshot {
+	s := &Snapshot{Cycle: cycle, Events: events}
+	ms := MetricSnapshot{Name: "proc.ops_retired", Help: "operations retired", Kind: "counter", Label: "node"}
+	// Deliberately insert slots in reverse order: the merge must
+	// canonicalise slot order, not inherit it.
+	for i := len(nodeLabelsSorted(nodeVals)) - 1; i >= 0; i-- {
+		lv := nodeLabelsSorted(nodeVals)[i]
+		ms.Values = append(ms.Values, MetricValue{LabelValue: lv, Value: nodeVals[lv]})
+	}
+	s.Metrics = append(s.Metrics, ms)
+	s.Metrics = append(s.Metrics, MetricSnapshot{
+		Name: "checker.violations", Kind: "counter",
+		Values: []MetricValue{{Value: int64(len(events))}},
+	})
+	if len(lat) > 0 {
+		ls := LatencySnapshot{Invariant: "uo-mismatch", Values: lat}
+		sm := ls.Sample()
+		ls.N, ls.MeanCyc = sm.N(), sm.Mean()
+		s.Latency = append(s.Latency, ls)
+	}
+	s.Series = append(s.Series, SeriesSnapshot{Name: "proc.rob_occupancy", Cycles: []uint64{cycle}, Values: []int64{1}})
+	return s
+}
+
+func nodeLabelsSorted(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	//dvmc:orderinsensitive keys are collected and sorted before use
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func encodeMerged(t *testing.T, snaps ...*Snapshot) []byte {
+	t.Helper()
+	m, err := MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeSnapshotsOrderAndGroupingIndependent is the fabric's
+// telemetry contract at the byte level: any order, and any grouping
+// (merge-of-merges versus one flat merge), encodes identically.
+func TestMergeSnapshotsOrderAndGroupingIndependent(t *testing.T) {
+	a := mergeInput(100, map[string]int64{"node0": 5, "node1": 7}, []float64{40, 10},
+		[]ViolationEvent{{Invariant: "uo-mismatch", Node: 1, DetectCycle: 90}})
+	b := mergeInput(250, map[string]int64{"node0": 2, "node2": 9}, []float64{25},
+		[]ViolationEvent{{Invariant: "cet-overlap", Node: 0, DetectCycle: 90}})
+	c := mergeInput(30, map[string]int64{"node1": 1}, nil, nil)
+
+	flat := encodeMerged(t, a, b, c)
+	for _, perm := range [][]*Snapshot{{a, c, b}, {b, a, c}, {c, b, a}} {
+		if got := encodeMerged(t, perm...); !bytes.Equal(got, flat) {
+			t.Fatalf("merge is order-dependent:\n%s\nvs\n%s", got, flat)
+		}
+	}
+	ab, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeMerged(t, ab, c); !bytes.Equal(got, flat) {
+		t.Fatalf("merge is grouping-dependent:\n%s\nvs\n%s", got, flat)
+	}
+	ca, err := MergeSnapshots(c, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeMerged(t, b, ca); !bytes.Equal(got, flat) {
+		t.Fatal("merge of merges differs from flat merge")
+	}
+}
+
+// TestMergeSnapshotsSemantics spot-checks sums, max-cycle, latency
+// pooling, event ordering, and series dropping.
+func TestMergeSnapshotsSemantics(t *testing.T) {
+	a := mergeInput(100, map[string]int64{"node0": 5, "node1": 7}, []float64{40, 10},
+		[]ViolationEvent{{Invariant: "uo-mismatch", Node: 1, DetectCycle: 90}})
+	b := mergeInput(250, map[string]int64{"node0": 2, "node2": 9}, []float64{25},
+		[]ViolationEvent{{Invariant: "cet-overlap", Node: 0, DetectCycle: 90}})
+	a.EventsDropped = 3
+	m, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycle != 250 {
+		t.Fatalf("merged cycle = %d, want 250", m.Cycle)
+	}
+	if m.EventsDropped != 3 {
+		t.Fatalf("merged dropped = %d, want 3", m.EventsDropped)
+	}
+	if len(m.Series) != 0 {
+		t.Fatalf("merged snapshot kept %d per-process series", len(m.Series))
+	}
+	var ops *MetricSnapshot
+	for i := range m.Metrics {
+		if m.Metrics[i].Name == "proc.ops_retired" {
+			ops = &m.Metrics[i]
+		}
+	}
+	if ops == nil {
+		t.Fatal("proc.ops_retired missing from merge")
+	}
+	want := []MetricValue{{LabelValue: "node0", Value: 7}, {LabelValue: "node1", Value: 7}, {LabelValue: "node2", Value: 9}}
+	if len(ops.Values) != len(want) {
+		t.Fatalf("ops slots = %v, want %v", ops.Values, want)
+	}
+	for i, w := range want {
+		if ops.Values[i] != w {
+			t.Fatalf("ops slot %d = %v, want %v", i, ops.Values[i], w)
+		}
+	}
+	if len(m.Latency) != 1 || m.Latency[0].N != 3 || m.Latency[0].MinCyc != 10 || m.Latency[0].MaxCyc != 40 {
+		t.Fatalf("merged latency = %+v", m.Latency)
+	}
+	for i, v := range m.Latency[0].Values {
+		if i > 0 && m.Latency[0].Values[i-1] > v {
+			t.Fatal("merged latency values not sorted ascending")
+		}
+	}
+	// Equal detect cycles order by invariant name.
+	if len(m.Events) != 2 || m.Events[0].Invariant != "cet-overlap" || m.Events[1].Invariant != "uo-mismatch" {
+		t.Fatalf("merged events = %+v", m.Events)
+	}
+}
+
+// TestMergeSnapshotsSchemaConflict: one name, two shapes — refuse.
+func TestMergeSnapshotsSchemaConflict(t *testing.T) {
+	a := &Snapshot{Metrics: []MetricSnapshot{{Name: "x", Kind: "counter", Values: []MetricValue{{Value: 1}}}}}
+	b := &Snapshot{Metrics: []MetricSnapshot{{Name: "x", Kind: "gauge", Values: []MetricValue{{Value: 1}}}}}
+	if _, err := MergeSnapshots(a, b); err == nil {
+		t.Fatal("conflicting metric kinds must not merge")
+	}
+}
+
+// TestMergeSnapshotsEmpty: no inputs (and nil inputs) give a valid
+// empty aggregate.
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	m, err := MergeSnapshots(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycle != 0 || len(m.Metrics) != 0 || len(m.Events) != 0 {
+		t.Fatalf("empty merge = %+v", m)
+	}
+}
