@@ -37,12 +37,16 @@ import (
 )
 
 type figureReport struct {
-	Key            string  `json:"key"`
-	Name           string  `json:"name"`
-	WallMS         float64 `json:"wall_ms"`
-	SerialWallMS   float64 `json:"serial_wall_ms,omitempty"`
-	SpeedupPercent float64 `json:"speedup_percent,omitempty"`
-	Identical      *bool   `json:"tables_identical,omitempty"`
+	Key          string  `json:"key"`
+	Name         string  `json:"name"`
+	WallMS       float64 `json:"wall_ms"`
+	SerialWallMS float64 `json:"serial_wall_ms,omitempty"`
+	// ParallelSpeedup is the percent wall clock saved by the parallel run
+	// against the serial re-run (-compare). Null when the host has a
+	// single core: the comparison then measures goroutine overhead, not
+	// speedup, and reporting a number would be dishonest.
+	ParallelSpeedup *float64 `json:"parallel_speedup"`
+	Identical       *bool    `json:"tables_identical,omitempty"`
 }
 
 type microReport struct {
@@ -78,6 +82,7 @@ type report struct {
 	Repetitions  int              `json:"repetitions"`
 	Transactions uint64           `json:"transactions"`
 	Compared     bool             `json:"compared_serial_vs_parallel"`
+	SingleCore   bool             `json:"single_core"`
 	Figures      []figureReport   `json:"figures"`
 	Bandwidth    *bandwidthReport `json:"bandwidth,omitempty"`
 	Micro        []microReport    `json:"microbenchmarks"`
@@ -164,6 +169,10 @@ func main() {
 		Repetitions:  *reps,
 		Transactions: *txns,
 		Compared:     *compare,
+		SingleCore:   runtime.GOMAXPROCS(0) == 1,
+	}
+	if rep.SingleCore && *compare {
+		fmt.Println("single core (GOMAXPROCS=1): parallel speedup will not be measured")
 	}
 
 	for _, key := range selected {
@@ -191,8 +200,9 @@ func main() {
 			}
 			identical := st.String() == t.String()
 			fr.SerialWallMS = float64(sWall.Microseconds()) / 1000
-			if sWall > 0 {
-				fr.SpeedupPercent = 100 * (1 - wall.Seconds()/sWall.Seconds())
+			if sWall > 0 && !rep.SingleCore {
+				sp := 100 * (1 - wall.Seconds()/sWall.Seconds())
+				fr.ParallelSpeedup = &sp
 			}
 			fr.Identical = &identical
 			fmt.Printf("  [serial re-run %v; parallel table identical: %v]\n\n", sWall.Round(time.Millisecond), identical)

@@ -1,16 +1,20 @@
 // Command dvmc-lint runs the dvmc static-analysis suite (internal/analysis)
 // over the module containing the working directory: maprange, detsource,
-// time16cmp, and exhaustive. It prints findings as
+// time16cmp, exhaustive, allocfree, confine, and pooldiscipline. It prints
+// findings as
 //
 //	file:line:col: [analyzer] message
 //
-// and exits 0 when clean, 1 on any diagnostic, 2 when the module fails to
-// load or type-check. Package patterns are accepted for familiarity
+// (or, with -json, as a machine-readable array of
+// {file,line,col,analyzer,msg,reason} records) and exits 0 when clean, 1 on
+// any diagnostic, 2 when the module fails to load or type-check. Package
+// patterns are accepted for familiarity
 // ("go run ./cmd/dvmc-lint ./...") but the suite always analyzes the
 // whole module: the determinism contract is a whole-module property.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +24,17 @@ import (
 	"dvmc/internal/analysis"
 )
 
+// jsonFinding is the machine-readable shape of one diagnostic, for CI
+// annotation tooling and editors (-json flag).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Msg      string `json:"msg"`
+	Reason   string `json:"reason,omitempty"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -27,8 +42,9 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("dvmc-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	analyzers := fs.String("analyzers", "", "comma-separated subset to run (maprange,detsource,time16cmp,exhaustive); empty = all")
+	analyzers := fs.String("analyzers", "", "comma-separated subset to run (see -list); empty = all")
 	listDoc := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,msg,reason}")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: dvmc-lint [flags] [packages]\n\nFlags:\n")
 		fs.PrintDefaults()
@@ -70,6 +86,7 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	diags := analysis.Run(mod, selected)
 	cwd, _ := os.Getwd()
+	findings := make([]jsonFinding, 0, len(diags))
 	for _, d := range diags {
 		file := d.Pos.Filename
 		if cwd != "" {
@@ -77,7 +94,22 @@ func run(args []string, stdout, stderr *os.File) int {
 				file = rel
 			}
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		findings = append(findings, jsonFinding{
+			File: file, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Msg: d.Message, Reason: d.Reason,
+		})
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "dvmc-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Msg)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "dvmc-lint: %d finding(s)\n", len(diags))

@@ -5,7 +5,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
-	"sync"
 	"testing"
 
 	"dvmc"
@@ -48,8 +47,8 @@ func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) 
 // the core metric families.
 func TestTelemetryMuxMetrics(t *testing.T) {
 	sys := newTestSystem(t)
-	var mu sync.Mutex
-	srv := httptest.NewServer(telemetryMux(&mu, sys))
+	ls := &lockedSystem{sys: sys}
+	srv := httptest.NewServer(telemetryMux(ls))
 	defer srv.Close()
 
 	code, ctype, body := get(t, srv, "/metrics")
@@ -73,9 +72,9 @@ func TestTelemetryMuxMetrics(t *testing.T) {
 
 	// The endpoint reflects live progress: advancing the system moves
 	// the snapshot cycle on the next scrape.
-	mu.Lock()
-	sys.RunCycles(1024)
-	mu.Unlock()
+	ls.mu.Lock()
+	ls.sys.RunCycles(1024)
+	ls.mu.Unlock()
 	_, _, body2 := get(t, srv, "/metrics")
 	if !strings.Contains(body2, "dvmc_snapshot_cycle 5120") {
 		t.Errorf("/metrics after RunCycles: snapshot cycle not advanced to 5120")
@@ -86,8 +85,7 @@ func TestTelemetryMuxMetrics(t *testing.T) {
 // through the snapshot decoder.
 func TestTelemetryMuxJSON(t *testing.T) {
 	sys := newTestSystem(t)
-	var mu sync.Mutex
-	srv := httptest.NewServer(telemetryMux(&mu, sys))
+	srv := httptest.NewServer(telemetryMux(&lockedSystem{sys: sys}))
 	defer srv.Close()
 
 	code, ctype, body := get(t, srv, "/metrics.json")
@@ -113,8 +111,7 @@ func TestTelemetryMuxJSON(t *testing.T) {
 // TestTelemetryMuxPprof confirms the profiling index is wired in.
 func TestTelemetryMuxPprof(t *testing.T) {
 	sys := newTestSystem(t)
-	var mu sync.Mutex
-	srv := httptest.NewServer(telemetryMux(&mu, sys))
+	srv := httptest.NewServer(telemetryMux(&lockedSystem{sys: sys}))
 	defer srv.Close()
 
 	code, _, body := get(t, srv, "/debug/pprof/")

@@ -22,7 +22,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, DetSource, Time16Cmp, Exhaustive}
+	return []*Analyzer{MapRange, DetSource, Time16Cmp, Exhaustive, AllocFree, Confine, PoolDiscipline}
 }
 
 // ByName resolves a comma-separated analyzer list ("maprange,detsource").
@@ -40,7 +40,7 @@ func ByName(list string) ([]*Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have maprange, detsource, time16cmp, exhaustive)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have maprange, detsource, time16cmp, exhaustive, allocfree, confine, pooldiscipline)", name)
 		}
 		out = append(out, a)
 	}
@@ -52,6 +52,11 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Reason is an optional machine-readable category slug ("heap",
+	// "boxing", "guardedby", "pool-leak", …) carried into dvmc-lint's
+	// -json output so tooling can group findings without parsing the
+	// message text.
+	Reason string
 }
 
 // String renders the finding in the canonical "file:line:col: [analyzer]
@@ -71,10 +76,17 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfReason(pos, "", format, args...)
+}
+
+// ReportfReason records a diagnostic at pos with a machine-readable
+// category slug.
+func (p *Pass) ReportfReason(pos token.Pos, reason, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Mod.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Reason:   reason,
 	})
 }
 
@@ -161,11 +173,12 @@ func directiveFor(fset *token.FileSet, file *ast.File, node ast.Node, directive 
 	return false, ""
 }
 
-// walkWithStack traverses the file calling fn for every node with the
-// stack of ancestors (outermost first, ending at the node itself).
-func walkWithStack(file *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+// walkWithStack traverses the subtree rooted at node calling fn for every
+// node with the stack of ancestors (outermost first, ending at the node
+// itself).
+func walkWithStack(node ast.Node, fn func(n ast.Node, stack []ast.Node)) {
 	v := &stackVisitor{fn: fn}
-	ast.Walk(v, file)
+	ast.Walk(v, node)
 }
 
 type stackVisitor struct {

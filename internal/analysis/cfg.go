@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// This file is the suite's lightweight per-function control-flow pass.
+// It lowers one function body into a graph of basic blocks — straight-line
+// statement runs connected by the edges if/for/range/switch/select/
+// branch statements induce — so path-sensitive analyzers (pooldiscipline's
+// all-exits ownership check, allocfree's panic-path exemption) can reason
+// about "every path from here to an exit" without importing
+// golang.org/x/tools. The builder is deliberately conservative: constructs
+// it does not model (goto, labeled branches) abort the build, and callers
+// must skip such functions rather than guess.
+
+// cfgBlock is one basic block: statements that execute in sequence,
+// followed by zero or more successor edges. Terminal blocks are marked
+// with the kind of exit they represent.
+type cfgBlock struct {
+	// stmts are the straight-line statements of the block, in order.
+	// Control statements (if/for/switch/…) appear as the last statement
+	// of their block so analyzers can inspect conditions; their bodies
+	// live in successor blocks.
+	stmts []ast.Stmt
+	succs []*cfgBlock
+
+	// exit marks a block whose end leaves the function: a return
+	// statement, or falling off the end of the body.
+	exit bool
+	// panics marks a block terminated by an unconditional panic call;
+	// paths through it are crash paths, which ownership analyses treat
+	// as exempt (the process dies, nothing leaks into steady state).
+	panics bool
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+// buildCFG lowers body into a funcCFG. ok is false when the body uses a
+// construct the builder does not model (goto, labeled statements);
+// analyzers must then skip the function instead of reporting from an
+// incomplete graph.
+func buildCFG(body *ast.BlockStmt) (g *funcCFG, ok bool) {
+	b := &cfgBuilder{}
+	g = &funcCFG{}
+	b.g = g
+	entry := b.newBlock()
+	g.entry = entry
+	last := b.stmts(body.List, entry, nil, nil)
+	if b.failed {
+		return nil, false
+	}
+	if last != nil {
+		last.exit = true // fell off the end of the body
+	}
+	return g, true
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	failed bool
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// stmts lowers a statement list starting in cur. brk and cont are the
+// targets an unlabeled break/continue jumps to (nil outside loops and
+// switches). It returns the block that control falls out of, or nil when
+// every path diverges (returns, panics, or branches away).
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *cfgBlock, brk, cont *cfgBlock) *cfgBlock {
+	for _, st := range list {
+		if cur == nil {
+			// Unreachable code after a terminator; give it its own block
+			// so its statements are still inspectable, but keep it
+			// disconnected.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(st, cur, brk, cont)
+		if b.failed {
+			return nil
+		}
+	}
+	return cur
+}
+
+// stmt lowers one statement; returns the fall-through block or nil.
+func (b *cfgBuilder) stmt(st ast.Stmt, cur *cfgBlock, brk, cont *cfgBlock) *cfgBlock {
+	switch s := st.(type) {
+	case *ast.LabeledStmt:
+		// Labels imply goto/labeled-branch targets; out of scope.
+		b.failed = true
+		return nil
+
+	case *ast.BranchStmt:
+		cur.stmts = append(cur.stmts, s)
+		if s.Label != nil {
+			b.failed = true
+			return nil
+		}
+		switch s.Tok.String() {
+		case "break":
+			if brk == nil {
+				b.failed = true
+				return nil
+			}
+			cur.succs = append(cur.succs, brk)
+		case "continue":
+			if cont == nil {
+				b.failed = true
+				return nil
+			}
+			cur.succs = append(cur.succs, cont)
+		default: // goto, fallthrough
+			if s.Tok.String() == "fallthrough" {
+				// Handled by the switch lowering: treat as fall-through to
+				// the next case, which the conservative switch model
+				// already over-approximates (every case is a successor).
+				return cur
+			}
+			b.failed = true
+			return nil
+		}
+		return nil
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		cur.exit = true
+		return nil
+
+	case *ast.ExprStmt:
+		cur.stmts = append(cur.stmts, s)
+		if isPanicCall(s.X) {
+			cur.panics = true
+			return nil
+		}
+		return cur
+
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur, brk, cont)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		cur.stmts = append(cur.stmts, s)
+		thenB := b.newBlock()
+		cur.succs = append(cur.succs, thenB)
+		thenOut := b.stmts(s.Body.List, thenB, brk, cont)
+		var elseOut *cfgBlock
+		hasElse := s.Else != nil
+		if hasElse {
+			elseB := b.newBlock()
+			cur.succs = append(cur.succs, elseB)
+			elseOut = b.stmt(s.Else, elseB, brk, cont)
+		}
+		if b.failed {
+			return nil
+		}
+		if !hasElse {
+			// No else: condition-false falls through.
+			join := b.newBlock()
+			cur.succs = append(cur.succs, join)
+			if thenOut != nil {
+				thenOut.succs = append(thenOut.succs, join)
+			}
+			return join
+		}
+		if thenOut == nil && elseOut == nil {
+			return nil
+		}
+		join := b.newBlock()
+		if thenOut != nil {
+			thenOut.succs = append(thenOut.succs, join)
+		}
+		if elseOut != nil {
+			elseOut.succs = append(elseOut.succs, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		head := b.newBlock()
+		cur.succs = append(cur.succs, head)
+		head.stmts = append(head.stmts, s) // condition lives in the head
+		body := b.newBlock()
+		after := b.newBlock()
+		head.succs = append(head.succs, body)
+		if s.Cond != nil {
+			head.succs = append(head.succs, after) // condition may be false
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.stmts = append(post.stmts, s.Post)
+			post.succs = append(post.succs, head)
+		}
+		bodyOut := b.stmts(s.Body.List, body, after, post)
+		if b.failed {
+			return nil
+		}
+		if bodyOut != nil {
+			bodyOut.succs = append(bodyOut.succs, post)
+		}
+		// For a condition-less `for {}` with no break, after has no
+		// predecessors; statements lowered into it stay disconnected,
+		// which may-analyses over the reachable graph simply never see.
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		cur.succs = append(cur.succs, head)
+		head.stmts = append(head.stmts, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		head.succs = append(head.succs, body, after) // zero iterations possible
+		bodyOut := b.stmts(s.Body.List, body, after, head)
+		if b.failed {
+			return nil
+		}
+		if bodyOut != nil {
+			bodyOut.succs = append(bodyOut.succs, head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		return b.switchLike(s, s.Init, s.Body, cur, cont, true)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(s, s.Init, s.Body, cur, cont, true)
+
+	case *ast.SelectStmt:
+		return b.switchLike(s, nil, s.Body, cur, cont, false)
+
+	default:
+		// Assignments, declarations, sends, defers, go statements,
+		// increments: straight-line.
+		cur.stmts = append(cur.stmts, st)
+		return cur
+	}
+}
+
+// switchLike lowers switch/type-switch/select bodies: the statement's
+// block gains one successor per case clause plus (when no default exists
+// and mayFallThrough) the after-block for the no-case-matched path.
+func (b *cfgBuilder) switchLike(st ast.Stmt, init ast.Stmt, body *ast.BlockStmt, cur *cfgBlock, cont *cfgBlock, mayFallThrough bool) *cfgBlock {
+	if init != nil {
+		cur.stmts = append(cur.stmts, init)
+	}
+	cur.stmts = append(cur.stmts, st)
+	after := b.newBlock()
+	hasDefault := false
+	for _, cs := range body.List {
+		var caseBody []ast.Stmt
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseBody = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+				caseBody = cc.Body
+			} else {
+				caseBody = make([]ast.Stmt, 0, len(cc.Body)+1)
+				caseBody = append(caseBody, cc.Comm)
+				caseBody = append(caseBody, cc.Body...)
+			}
+		default:
+			continue
+		}
+		blk := b.newBlock()
+		cur.succs = append(cur.succs, blk)
+		out := b.stmts(caseBody, blk, after, cont)
+		if b.failed {
+			return nil
+		}
+		if out != nil {
+			out.succs = append(out.succs, after)
+		}
+	}
+	if !hasDefault && mayFallThrough {
+		cur.succs = append(cur.succs, after)
+	}
+	return after
+}
+
+// isPanicCall reports whether e is a direct call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// eachReachable visits every block reachable from entry exactly once.
+func (g *funcCFG) eachReachable(fn func(*cfgBlock)) {
+	seen := make(map[*cfgBlock]bool)
+	var walk func(*cfgBlock)
+	walk = func(blk *cfgBlock) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		fn(blk)
+		for _, s := range blk.succs {
+			walk(s)
+		}
+	}
+	walk(g.entry)
+}

@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// GuardedBy is the annotation directive of the confine analyzer's
+// checklocks-lite discipline: `//dvmc:guardedby <lock>` on a struct field
+// declares that the field may only be accessed while the sibling lock
+// field is held; the same directive on a function declares that its
+// callers hold the lock (helpers invoked under the lock, and constructors
+// touching fields before the value is shared).
+const GuardedBy = "dvmc:guardedby"
+
+// Confine enforces the concurrency confinement split that PR 6's -race
+// matrix only samples dynamically:
+//
+// Inside the deterministic allowlist (DeterministicPkgs) concurrency is
+// forbidden outright — go statements, select, channel types/sends/
+// receives/close, and the sync and sync/atomic imports are all findings.
+// The simulated machine replays byte-identically for a fixed seed; a
+// single goroutine or lock anywhere in it silently reintroduces host
+// scheduling into the replay.
+//
+// Outside the allowlist, where concurrency is legitimate (the fabric
+// coordinator, the cmd layer's HTTP servers), confine checks the
+// //dvmc:guardedby contract: every read or write of an annotated field
+// must sit between a Lock() (or RLock()) and the first Unlock() of its
+// guard on the same receiver within the same function literal, be under a
+// deferred Unlock, or live in a function itself marked //dvmc:guardedby.
+// The check is positional and intra-procedural — a lint, not a proof —
+// but it turns "remember to take c.mu" into a diagnostic.
+var Confine = &Analyzer{
+	Name: "confine",
+	Doc: "forbid go/select/sync/channel ops in deterministic packages; " +
+		"outside them, require //dvmc:guardedby fields to be accessed " +
+		"only while their lock is held",
+	Run: runConfine,
+}
+
+func runConfine(p *Pass) {
+	if p.Deterministic() {
+		for _, f := range p.Pkg.Files {
+			banConcurrency(p, f)
+		}
+		return
+	}
+	checkGuarded(p)
+}
+
+// banConcurrency reports every concurrency construct in one file of a
+// deterministic package.
+func banConcurrency(p *Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "sync" || path == "sync/atomic" {
+			p.ReportfReason(imp.Pos(), "import", "deterministic package imports %q; locks and atomics reintroduce host scheduling into the replay — confine concurrency to the cmd and fabric layers", path)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			p.ReportfReason(e.Pos(), "goroutine", "go statement in deterministic package; goroutine interleaving is host-scheduler nondeterminism — drive concurrency from the cmd or fabric layer instead")
+		case *ast.SelectStmt:
+			p.ReportfReason(e.Pos(), "select", "select in deterministic package; select picks ready cases pseudo-randomly and breaks replay")
+		case *ast.SendStmt:
+			p.ReportfReason(e.Pos(), "channel", "channel send in deterministic package; channels couple the simulation to goroutine scheduling")
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				p.ReportfReason(e.Pos(), "channel", "channel receive in deterministic package; channels couple the simulation to goroutine scheduling")
+			}
+		case *ast.ChanType:
+			p.ReportfReason(e.Pos(), "channel", "channel type in deterministic package; channels couple the simulation to goroutine scheduling")
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					p.ReportfReason(e.Pos(), "channel", "close of a channel in deterministic package; channels couple the simulation to goroutine scheduling")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// guardedField records one //dvmc:guardedby annotation on a struct field.
+type guardedField struct {
+	guard string // name of the sibling lock field
+}
+
+// checkGuarded runs the checklocks-lite pass over one non-deterministic
+// package: collect annotated fields, then verify every access.
+func checkGuarded(p *Pass) {
+	info := p.Pkg.Info
+	guarded := make(map[*types.Var]guardedField)
+
+	// Pass 1: collect annotations and validate them.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			names := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					names[nm.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				found, reason := directiveFor(p.Mod.Fset, f, fld, GuardedBy)
+				if !found {
+					continue
+				}
+				guard := firstWord(reason)
+				if guard == "" {
+					p.Reportf(fld.Pos(), "//%s annotation requires the name of the guarding lock field", GuardedBy)
+					continue
+				}
+				if !names[guard] {
+					p.Reportf(fld.Pos(), "//%s names %q, which is not a field of this struct", GuardedBy, guard)
+					continue
+				}
+				for _, nm := range fld.Names {
+					if v, ok := info.Defs[nm].(*types.Var); ok {
+						guarded[v] = guardedField{guard: guard}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: for every file, group lock events and guarded accesses by
+	// their innermost enclosing function (decl or literal), then check
+	// each access positionally against the lock/unlock events of its
+	// scope.
+	for _, f := range p.Pkg.Files {
+		checkGuardedFile(p, f, guarded)
+	}
+}
+
+// lockEvent is one guard.Lock()/Unlock() call, resolved to the root
+// object the lock hangs off (the `c` in c.mu.Lock()).
+type lockEvent struct {
+	root     types.Object
+	guard    string
+	pos      token.Pos
+	unlock   bool
+	deferred bool
+}
+
+// guardedAccess is one use of a guarded field.
+type guardedAccess struct {
+	root  types.Object
+	field *types.Var
+	guard string
+	pos   token.Pos
+}
+
+func checkGuardedFile(p *Pass, f *ast.File, guarded map[*types.Var]guardedField) {
+	info := p.Pkg.Info
+	events := make(map[ast.Node][]lockEvent) // scope -> events
+	accesses := make(map[ast.Node][]guardedAccess)
+	held := make(map[ast.Node]map[string]bool) // scope -> guards asserted held
+
+	walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+		switch e := n.(type) {
+		case *ast.FuncDecl:
+			if found, reason := directiveFor(p.Mod.Fset, f, e, GuardedBy); found {
+				g := firstWord(reason)
+				if g == "" {
+					p.Reportf(e.Pos(), "//%s annotation requires the name of the lock the callers hold", GuardedBy)
+					return
+				}
+				if held[e] == nil {
+					held[e] = make(map[string]bool)
+				}
+				held[e][g] = true
+			}
+		case *ast.CallExpr:
+			ev, ok := lockCallEvent(info, e)
+			if !ok {
+				return
+			}
+			scope := enclosingFuncNode(stack)
+			if scope == nil {
+				return
+			}
+			if len(stack) >= 2 {
+				if _, isDefer := stack[len(stack)-2].(*ast.DeferStmt); isDefer {
+					ev.deferred = true
+				}
+			}
+			events[scope] = append(events[scope], ev)
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[e]
+			if !ok || sel.Kind() != types.FieldVal {
+				return
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return
+			}
+			gf, ok := guarded[v]
+			if !ok {
+				return
+			}
+			root := rootObject(info, e.X)
+			if root == nil {
+				return
+			}
+			scope := enclosingFuncNode(stack)
+			if scope == nil {
+				return // package-level initializer: runs before any goroutine
+			}
+			accesses[scope] = append(accesses[scope], guardedAccess{
+				root: root, field: v, guard: gf.guard, pos: e.Sel.Pos(),
+			})
+		}
+	})
+
+	for scope, accs := range accesses {
+		hold := held[scope]
+		evs := events[scope]
+		for _, a := range accs {
+			if hold[a.guard] {
+				continue
+			}
+			if lockedAt(evs, a) {
+				continue
+			}
+			p.ReportfReason(a.pos, "guardedby", "field %s is guarded by %s (//dvmc:guardedby) but is accessed without holding it; take %s.Lock() first, or mark the enclosing function //dvmc:guardedby %s if every caller holds it", a.field.Name(), a.guard, a.guard, a.guard)
+		}
+	}
+}
+
+// lockedAt reports whether the access position sits inside a region
+// where its guard is held: strictly after more Lock than Unlock events
+// on the same root object. A deferred Unlock never decrements — it runs
+// at function exit, so its textual position says nothing about where the
+// lock is released. The comparison is purely positional within one
+// function — straight-line reasoning, which matches the
+// Lock/defer-Unlock and Lock/.../Unlock shapes this module uses.
+func lockedAt(evs []lockEvent, a guardedAccess) bool {
+	depth := 0
+	for _, ev := range evs {
+		if ev.root != a.root || ev.guard != a.guard {
+			continue
+		}
+		if ev.pos >= a.pos {
+			continue
+		}
+		switch {
+		case ev.deferred:
+			// runs at exit; position irrelevant
+		case ev.unlock:
+			if depth > 0 {
+				depth--
+			}
+		default:
+			depth++
+		}
+	}
+	return depth > 0
+}
+
+// lockCallEvent matches calls of the shape root.guard.Lock() /
+// Unlock() / RLock() / RUnlock() and returns the event.
+func lockCallEvent(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var unlock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return lockEvent{}, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	root := rootObject(info, inner.X)
+	if root == nil {
+		return lockEvent{}, false
+	}
+	return lockEvent{root: root, guard: inner.Sel.Name, pos: call.Pos(), unlock: unlock}, true
+}
+
+// rootObject resolves the base identifier of a selector chain (the `c`
+// of c.mu or s.srv.mu) to its object. Non-identifier bases (calls,
+// indexes) are out of scope.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFuncNode returns the innermost FuncDecl or FuncLit on the
+// stack (excluding the node itself when it is one).
+func enclosingFuncNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	// The node itself may be the FuncDecl being annotated.
+	if len(stack) > 0 {
+		if fd, ok := stack[len(stack)-1].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// firstWord returns the first whitespace-delimited token of s.
+func firstWord(s string) string {
+	fs := strings.Fields(s)
+	if len(fs) == 0 {
+		return ""
+	}
+	return fs[0]
+}

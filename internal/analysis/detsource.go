@@ -6,16 +6,16 @@ import (
 	"strconv"
 )
 
-// DetSource bans sources of nondeterminism in the deterministic packages:
-// wall-clock reads (time.Now), the global math/rand generators,
-// environment lookups (os.Getenv / os.LookupEnv), goroutines, and select
-// statements. The simulator is a single-threaded discrete-event machine;
-// randomness must come from seed-forked sim.Rand streams and time from
-// the event kernel's cycle counter.
+// DetSource bans sources of nondeterministic *data* in the deterministic
+// packages: wall-clock reads (time.Now), the global math/rand generators,
+// and environment lookups (os.Getenv / os.LookupEnv). Randomness must
+// come from seed-forked sim.Rand streams and time from the event kernel's
+// cycle counter. Nondeterministic *scheduling* — goroutines, select,
+// channels, locks — is the confine analyzer's half of the contract.
 var DetSource = &Analyzer{
 	Name: "detsource",
-	Doc: "ban time.Now, math/rand, os.Getenv, go statements, and select " +
-		"in deterministic packages; use sim.Rand and the event kernel instead",
+	Doc: "ban time.Now, math/rand, and os.Getenv in deterministic " +
+		"packages; use sim.Rand and the event kernel instead",
 	Run: runDetSource,
 }
 
@@ -37,10 +37,6 @@ func runDetSource(p *Pass) {
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
-			case *ast.GoStmt:
-				p.Reportf(n.Pos(), "go statement introduces scheduler-dependent ordering in a deterministic package; schedule the work as an event on the sim event kernel (sim.EventQueue)")
-			case *ast.SelectStmt:
-				p.Reportf(n.Pos(), "select statement resolves ready channels in random order; deterministic packages must sequence work through the sim event kernel")
 			case *ast.SelectorExpr:
 				pkg, sel := selectorPkgFunc(info, n)
 				switch {

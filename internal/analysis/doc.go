@@ -53,29 +53,72 @@
 //     and type switches over the coherence Msg* payload family to cover
 //     every declared variant or carry an explicit default clause (which
 //     should panic or record a violation, never silently ignore).
+//   - allocfree: proves the //dvmc:hotpath set heap-allocation-free —
+//     escaping composites, make/new/append growth, interface boxing,
+//     capturing closures, string concat/conversions, and fmt calls are
+//     findings, and the hot set is closed under static calls (a hot
+//     function may only call hot, provably-clean, or //dvmc:alloc-ok
+//     annotated code). A per-function escape pass keeps provably-local
+//     allocations and panic-only paths silent.
+//   - confine: inside the allowlist, forbids concurrency outright (go,
+//     select, channel types/ops, and the sync and sync/atomic imports);
+//     outside it, checks the //dvmc:guardedby contract over annotated
+//     struct fields with a positional Lock/Unlock discipline.
+//   - pooldiscipline: every pool acquire (InformPool message/epoch/
+//     open/closed, Torus.allocTransit, OOOWB.allocEntry) must reach its
+//     release or an ownership handoff on all control-flow paths to a
+//     function exit, walked over a per-function CFG; a leaked pooled
+//     object silently refills the pool from the heap and kills the
+//     steady-state zero-alloc claim.
 //
-// # The //dvmc:orderinsensitive annotation
+// # Annotation vocabulary
 //
-// A map range whose observable effect provably does not depend on
-// iteration order (e.g. building another map, summing counters, or a
-// scan whose results are sorted before use in a way the analyzer cannot
-// see) may be annotated on the line directly above the loop:
+// All directives are line comments placed directly above (or on) the
+// annotated declaration or statement. Every reason text is mandatory
+// and is a reviewed assertion, not an escape hatch — it should say why
+// the claim holds, so a reviewer can check it. An annotation without a
+// reason is itself a diagnostic.
+//
+//	//dvmc:orderinsensitive <reason>
+//
+// On a map-range statement: its observable effect does not depend on
+// iteration order (commutative fold, building another map, or results
+// sorted before use in a way the analyzer cannot see):
 //
 //	//dvmc:orderinsensitive folds into a commutative sum
 //	for _, v := range m.counts {
 //		total += v
 //	}
 //
-// The reason text is mandatory; an annotation without one is itself a
-// diagnostic. Annotations are a reviewed assertion, not an escape hatch:
-// the reason should say why order cannot matter, so a reviewer can check
-// the claim.
+//	//dvmc:hotpath
+//
+// On a function declaration: the function is part of the steady-state
+// hot set the AllocsPerRun tests pin to zero allocations; allocfree
+// proves the property over every statement. Takes no reason — the mark
+// itself is the claim.
+//
+//	//dvmc:alloc-ok <reason>
+//
+// On a statement inside a hot function: this allocation is acceptable —
+// a cold fallback (pool refill, violation reporting), or an append whose
+// capacity amortizes to steady-state zero (retained scratch buffers,
+// freelists).
+//
+//	//dvmc:guardedby <lock>
+//
+// On a struct field: the field may only be accessed while the named
+// sibling mutex field is held. On a function: its callers hold the lock
+// (under-lock helpers, and constructors running before the value is
+// shared). The <lock> word is the guard's field name; confine validates
+// it names a real sibling field.
 //
 // # Running
 //
 //	go run ./cmd/dvmc-lint ./...
 //
 // prints findings as file:line:col: [analyzer] message and exits 1 if
-// there are any, 2 on load/type-check failure. CI runs it as a required
-// job next to build and test.
+// there are any, 2 on load/type-check failure; -json emits the findings
+// as a machine-readable array instead ({file,line,col,analyzer,msg,
+// reason}), which CI maps to inline annotations through a GitHub
+// problem matcher. CI runs it as a required job next to build and test.
 package analysis

@@ -46,6 +46,14 @@ type Module struct {
 	// their presence, but drivers should surface them: findings computed
 	// from a partially-checked package may be incomplete.
 	TypeErrors []error
+
+	// funcs is the lazily-built module-wide function index (see
+	// funcIndex), clean memoizes triviallyClean verdicts, and
+	// emptyAllocOK deduplicates missing-reason annotation findings. All
+	// three are driver-internal; the driver is single-threaded.
+	funcs        map[*types.Func]*funcInfo
+	clean        map[*funcInfo]int8
+	emptyAllocOK map[ast.Node]bool
 }
 
 // Rel returns pkgPath relative to the module path ("" for the root

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// poolAcquires maps "ReceiverType.method" acquire calls to the release
+// the acquired object must eventually reach. These are the module's three
+// object pools: the inform pool the checkers draw verification messages
+// from, the torus transit freelist, and the out-of-order write buffer's
+// entry freelist. A pooled object that exits a function without being
+// released or handed off is exactly the PR 4 lost-message hazard: the
+// object is live forever, the pool refills from the heap, and the
+// steady-state 0 allocs/op claim quietly dies.
+var poolAcquires = map[string]string{
+	"InformPool.message": "InformPool.Release",
+	"InformPool.epoch":   "InformPool.Release",
+	"InformPool.open":    "InformPool.Release",
+	"InformPool.closed":  "InformPool.Release",
+	"Torus.allocTransit": "Torus.recycleTransit",
+	"OOOWB.allocEntry":   "OOOWB.recycle",
+}
+
+// PoolDiscipline is the intra-procedural ownership check over pooled
+// objects: every acquire must be matched, on every path to a function
+// exit, by a release or an ownership handoff (passed to a call, stored
+// into a structure, returned, sent, or captured). The check walks the
+// suite's per-function CFG; paths ending in panic are exempt (a crash
+// path leaks nothing into steady state). It is deliberately
+// may-leak-biased: aliasing an acquired object to a second variable
+// counts as a handoff, and functions using goto are skipped rather than
+// guessed at.
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc: "require every pool acquire (InformPool message/epoch/open/closed, " +
+		"Torus.allocTransit, OOOWB.allocEntry) to be released or handed " +
+		"off on all paths to a function exit",
+	Run: runPoolDiscipline,
+}
+
+func runPoolDiscipline(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(p, fd)
+		}
+	}
+}
+
+// acquireSite is one pool-acquire call and how its result is bound.
+type acquireSite struct {
+	call    *ast.CallExpr
+	release string     // the expected release, for the message
+	stmt    ast.Stmt   // the statement the call is the direct RHS/expr of
+	v       *types.Var // bound variable, nil when discarded or handed off
+}
+
+func checkPoolFunc(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	var sites []acquireSite
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fi := calleeOf(info, p.Mod, call)
+		if fi == nil || fi.decl.Recv == nil {
+			return
+		}
+		key := recvTypeName(fi.decl) + "." + fi.decl.Name.Name
+		release, ok := poolAcquires[key]
+		if !ok {
+			return
+		}
+		site := acquireSite{call: call, release: release}
+		if len(stack) >= 2 {
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.AssignStmt:
+				if len(parent.Lhs) == 1 && len(parent.Rhs) == 1 && parent.Rhs[0] == ast.Expr(call) {
+					if id, ok := parent.Lhs[0].(*ast.Ident); ok {
+						if id.Name == "_" {
+							p.ReportfReason(call.Pos(), "pool-leak", "pooled object from %s is discarded; it will never reach %s and leaks from the pool", key, release)
+							return
+						}
+						if v, ok := objOf(info, id).(*types.Var); ok {
+							site.stmt = parent
+							site.v = v
+						}
+					}
+				}
+			case *ast.ExprStmt:
+				if parent.X == ast.Expr(call) {
+					p.ReportfReason(call.Pos(), "pool-leak", "pooled object from %s is discarded; it will never reach %s and leaks from the pool", key, release)
+					return
+				}
+			}
+		}
+		if site.v == nil {
+			// Nested in a larger expression (call argument, return value,
+			// field store): ownership is handed off at the acquire site.
+			return
+		}
+		sites = append(sites, site)
+	})
+	if len(sites) == 0 {
+		return
+	}
+	g, ok := buildCFG(fd.Body)
+	if !ok {
+		return // goto/labels: out of the CFG's scope, skip silently
+	}
+	for _, site := range sites {
+		checkAcquirePaths(p, g, site)
+	}
+}
+
+// checkAcquirePaths verifies that from the acquire statement, every path
+// to a function exit consumes the bound variable: releases it, passes it
+// on, stores it, returns it, or overwrites analysis with a handoff. The
+// first leaking path is reported and the search stops.
+func checkAcquirePaths(p *Pass, g *funcCFG, site acquireSite) {
+	info := p.Pkg.Info
+	// Locate the home block and statement index of the acquire.
+	var home *cfgBlock
+	homeIdx := -1
+	g.eachReachable(func(blk *cfgBlock) {
+		if home != nil {
+			return
+		}
+		for i, st := range blk.stmts {
+			if st == site.stmt {
+				home, homeIdx = blk, i
+				return
+			}
+		}
+	})
+	if home == nil {
+		return // acquire in unreachable code; nothing to check
+	}
+
+	visited := make(map[*cfgBlock]bool)
+	var leak func(blk *cfgBlock, from int) bool
+	leak = func(blk *cfgBlock, from int) bool {
+		for i := from; i < len(blk.stmts); i++ {
+			st := blk.stmts[i]
+			if consumesVar(info, blk, st, site.v) {
+				return false // ownership left this function on this path
+			}
+			if reassignsVar(info, st, site.v) {
+				return true // overwritten while still owned: the old object leaks
+			}
+		}
+		if blk.panics {
+			return false // crash path: the process dies, nothing enters steady state
+		}
+		if blk.exit {
+			return true // reached an exit still owning the object
+		}
+		if len(blk.succs) == 0 {
+			return false // dead end (e.g. infinite loop with no break): unobservable
+		}
+		for _, s := range blk.succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if leak(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	if leak(home, homeIdx+1) {
+		p.ReportfReason(site.call.Pos(), "pool-leak", "pooled object %s can leak: a path reaches a function exit without releasing or handing it off (expected %s or an ownership transfer on every exit)", site.v.Name(), site.release)
+	}
+}
+
+// consumesVar reports whether executing st transfers ownership of v out
+// of the current frame: v passed as a call argument (including its own
+// Release), returned, stored through a field/index/deref or into a
+// composite literal, sent on a channel, captured by a closure, or
+// aliased to another variable. Uses that merely read through v
+// (v.field, v.method(), v == nil) do not consume. For control statements
+// that terminate a block, only the header expressions are scanned — the
+// bodies live in successor blocks.
+func consumesVar(info *types.Info, blk *cfgBlock, st ast.Stmt, v *types.Var) bool {
+	last := len(blk.stmts) > 0 && blk.stmts[len(blk.stmts)-1] == st
+	var roots []ast.Node
+	if last {
+		switch s := st.(type) {
+		case *ast.IfStmt:
+			if s.Cond != nil {
+				roots = append(roots, s.Cond)
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				roots = append(roots, s.Cond)
+			}
+		case *ast.RangeStmt:
+			roots = append(roots, s.X)
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				roots = append(roots, s.Tag)
+			}
+		case *ast.TypeSwitchStmt:
+			roots = append(roots, s.Assign)
+		case *ast.SelectStmt:
+			// comm clauses live in successor blocks
+		default:
+			roots = append(roots, st)
+		}
+	} else {
+		roots = append(roots, st)
+	}
+	for _, root := range roots {
+		consumed := false
+		walkWithStack(root, func(n ast.Node, stack []ast.Node) {
+			if consumed {
+				return
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || objOf(info, id) != types.Object(v) {
+				return
+			}
+			if identConsumes(stack) {
+				consumed = true
+			}
+		})
+		if consumed {
+			return true
+		}
+	}
+	return false
+}
+
+// identConsumes classifies one use of the tracked identifier (the last
+// stack element) as ownership-transferring or not.
+func identConsumes(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		child := stack[i+1]
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SelectorExpr:
+			if parent.X == child {
+				return false // v.field / v.method(): reading through v
+			}
+			return false
+		case *ast.IndexExpr:
+			return false // v[i] or x[v]: neither transfers the object
+		case *ast.CallExpr:
+			if parent.Fun == child {
+				return false // v is the callee (a func-typed pooled obj: n/a)
+			}
+			return true // argument, including Release(v) and append(q, v)
+		case *ast.ReturnStmt:
+			return true
+		case *ast.SendStmt:
+			return true
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return true
+		case *ast.UnaryExpr:
+			return true // &v escapes
+		case *ast.FuncLit:
+			return true // captured by a closure
+		case *ast.AssignStmt:
+			// v on the RHS: stored or aliased somewhere.
+			for _, rhs := range parent.Rhs {
+				if containsNode(rhs, child) {
+					return true
+				}
+			}
+			return false
+		case *ast.BinaryExpr:
+			return false // comparisons and arithmetic read, not transfer
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// reassignsVar reports whether st writes a new value into v itself (not
+// through it): plain `v = ...` or `v, x := ...`.
+func reassignsVar(info *types.Info, st ast.Stmt, v *types.Var) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if objOf(info, id) == types.Object(v) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+// Package hot seeds every allocation shape the allocfree analyzer must
+// flag inside //dvmc:hotpath functions, plus the shapes it must stay
+// silent on: provably-local allocations, panic-only paths, reasoned
+// //dvmc:alloc-ok annotations, and trivially allocation-free callees.
+package hot
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+var (
+	global []int
+	last   *pair
+	sunk   interface{}
+)
+
+// sink is trivially allocation-free (interface-to-interface assignment),
+// so calling it is fine — but boxing a value into its parameter is not.
+func sink(v interface{}) { sunk = v }
+
+// dirty allocates, is not marked hot, and is not trivially clean.
+func dirty() []int { return make([]int, 8) }
+
+//dvmc:hotpath
+func EscapingMake(n int) {
+	global = make([]int, n) // want "make allocates on the hot path"
+}
+
+//dvmc:hotpath
+func EscapingNew() *pair {
+	p := new(pair) // want "new allocates on the hot path"
+	return p
+}
+
+//dvmc:hotpath
+func EscapingComposite(a, b int) {
+	last = &pair{a, b} // want "composite literal escapes and allocates"
+}
+
+//dvmc:hotpath
+func SliceLit() []string {
+	return []string{"a", "b"} // want "literal allocates its backing storage"
+}
+
+//dvmc:hotpath
+func MapLit() map[string]int {
+	return map[string]int{"a": 1} // want "literal allocates its backing storage"
+}
+
+//dvmc:hotpath
+func Push(q []int, v int) []int {
+	return append(q, v) // want "append may grow its backing array"
+}
+
+//dvmc:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//dvmc:hotpath
+func Bytes(s string) int {
+	b := []byte(s) // want "conversion copies and allocates"
+	return len(b)
+}
+
+//dvmc:hotpath
+func Format() string {
+	return fmt.Sprint("x") // want "fmt call formats through reflection"
+}
+
+//dvmc:hotpath
+func Callback(n int) func() int {
+	return func() int { return n } // want "closure captures n"
+}
+
+//dvmc:hotpath
+func Box(p pair) {
+	sink(p) // want "boxed into an interface"
+}
+
+//dvmc:hotpath
+func CallsDirty() int {
+	return len(dirty()) // want "neither marked"
+}
+
+// PushAbuse carries the annotation without a reason: the annotation is
+// itself a finding, and it exempts nothing.
+//
+//dvmc:hotpath
+func PushAbuse(q []int, v int) []int {
+	//dvmc:alloc-ok
+	return append(q, v) // want "requires a reason" want "append may grow its backing array"
+}
+
+// --- negatives: none of the following may produce a diagnostic ---
+
+// PushOK: a reasoned annotation exempts the statement.
+//
+//dvmc:hotpath
+func PushOK(q []int, v int) []int {
+	//dvmc:alloc-ok capacity is reserved at construction; growth is a cold one-time event
+	return append(q, v)
+}
+
+// LocalMake: the buffer never escapes, so Go stack-allocates it.
+//
+//dvmc:hotpath
+func LocalMake(n int) int {
+	buf := make([]int, n)
+	t := 0
+	for _, v := range buf {
+		t += v
+	}
+	return t
+}
+
+// MustPositive: the fmt call (and its boxing) sits on a panic-only path.
+//
+//dvmc:hotpath
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	return n
+}
+
+// double is a trivially clean leaf: hot callers need no annotation.
+func double(x int) int { return x * 2 }
+
+//dvmc:hotpath
+func HotDouble(x int) int { return double(x) }

@@ -1,0 +1,43 @@
+// Package fabric stands in for a concurrent (non-allowlisted) package:
+// here confine checks the //dvmc:guardedby contract instead.
+package fabric
+
+import "sync"
+
+type Coordinator struct {
+	mu sync.Mutex
+	//dvmc:guardedby mu
+	leases map[string]int
+	//dvmc:guardedby
+	bogus int // want "requires the name of the guarding lock field"
+	//dvmc:guardedby nosuch
+	worse int // want "not a field of this struct"
+}
+
+// Good holds the lock across the access (defer-Unlock shape).
+func (c *Coordinator) Good(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leases[k]
+}
+
+// Bad reads a guarded field with no lock in sight.
+func (c *Coordinator) Bad(k string) int {
+	return c.leases[k] // want "accessed without holding"
+}
+
+// locked is a helper whose callers hold the lock.
+//
+//dvmc:guardedby mu
+func (c *Coordinator) locked(k string) int {
+	return c.leases[k]
+}
+
+// AfterUnlock reads once under the lock (fine) and once after releasing
+// it (finding).
+func (c *Coordinator) AfterUnlock(k string) int {
+	c.mu.Lock()
+	v := c.leases[k]
+	c.mu.Unlock()
+	return v + c.leases[k] // want "accessed without holding"
+}

@@ -1,0 +1,34 @@
+// Package sim stands in for a deterministic-allowlist package: every
+// concurrency construct in here is a finding.
+package sim
+
+import (
+	"sync"        // want "locks and atomics reintroduce host scheduling"
+	"sync/atomic" // want "locks and atomics reintroduce host scheduling"
+)
+
+var mu sync.Mutex
+
+var ready atomic.Bool
+
+func Spawn(done chan bool) { // want "channel type in deterministic package"
+	go func() { // want "go statement in deterministic package"
+		done <- true // want "channel send in deterministic package"
+	}()
+}
+
+func Wait(done chan bool) bool { // want "channel type in deterministic package"
+	select { // want "select picks ready cases pseudo-randomly"
+	case v := <-done: // want "channel receive in deterministic package"
+		return v
+	default:
+		return false
+	}
+}
+
+func Shutdown(done chan bool) { // want "channel type in deterministic package"
+	close(done) // want "close of a channel in deterministic package"
+	mu.Lock()
+	ready.Store(true)
+	mu.Unlock()
+}

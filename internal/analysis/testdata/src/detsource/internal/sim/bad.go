@@ -23,20 +23,7 @@ func Roll() int {
 	return rand.Intn(6)
 }
 
-// Spawn starts a goroutine: flagged.
-func Spawn(ch chan int) {
-	go func() { ch <- 1 }() // want "go statement introduces scheduler-dependent ordering"
-}
-
-// Race selects between ready channels: flagged.
-func Race(a, b chan int) int {
-	select { // want "select statement resolves ready channels in random order"
-	case v := <-a:
-		return v
-	case v := <-b:
-		return v
-	}
-}
-
 // Since is not time.Now: allowed (only wall-clock *reads* are banned).
+// Goroutines, select, and channels are the confine analyzer's domain and
+// live in its fixture.
 func Since(d time.Duration) time.Duration { return d }

@@ -22,10 +22,5 @@ func EnvPeriod() string {
 	return os.Getenv("DVMC_SAMPLE_EVERY") // want "os.Getenv makes behavior depend on the host environment"
 }
 
-// AsyncFlush writes a snapshot from a goroutine: flagged.
-func AsyncFlush(ch chan int) {
-	go func() { ch <- 1 }() // want "go statement introduces scheduler-dependent ordering"
-}
-
 // CyclePeriod derives the period from simulated state only: allowed.
 func CyclePeriod(every, now uint64) bool { return every != 0 && now%every == 0 }

@@ -1,0 +1,95 @@
+// Package pool seeds every pool-ownership shape the pooldiscipline
+// analyzer classifies: clean acquire/release, ownership handoffs,
+// discarded acquires, leak-on-branch, reassign-while-live, and the
+// panic-path exemption. The type and method names mirror the real
+// module's pools, which is what the analyzer keys on.
+package pool
+
+type Msg struct{ n int }
+
+type InformPool struct{ free []*Msg }
+
+func (p *InformPool) message() *Msg {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Msg{}
+}
+
+func (p *InformPool) Release(m *Msg) { p.free = append(p.free, m) }
+
+type transit struct{ hop int }
+
+type Torus struct{ free []*transit }
+
+func (t *Torus) allocTransit() *transit {
+	if n := len(t.free); n > 0 {
+		tr := t.free[n-1]
+		t.free = t.free[:n-1]
+		return tr
+	}
+	return &transit{}
+}
+
+func (t *Torus) recycleTransit(tr *transit) { t.free = append(t.free, tr) }
+
+// --- findings ---
+
+func Discard(p *InformPool) {
+	p.message() // want "discarded"
+}
+
+func Blank(p *InformPool) {
+	_ = p.message() // want "discarded"
+}
+
+func LeakOnBranch(p *InformPool, cond bool) {
+	m := p.message() // want "can leak"
+	if cond {
+		return
+	}
+	p.Release(m)
+}
+
+func Reassign(p *InformPool) {
+	m := p.message() // want "can leak"
+	m = p.message()
+	p.Release(m)
+}
+
+func DropTransit(t *Torus) {
+	tr := t.allocTransit() // want "can leak"
+	tr.hop = 3
+}
+
+// --- negatives: none of the following may produce a diagnostic ---
+
+// Good releases on the only path out.
+func Good(p *InformPool) {
+	m := p.message()
+	m.n = 1
+	p.Release(m)
+}
+
+// Handoff transfers ownership to the caller through append.
+func Handoff(p *InformPool, q []*Msg) []*Msg {
+	m := p.message()
+	return append(q, m)
+}
+
+// Nested hands ownership off at the acquire site itself.
+func Nested(p *InformPool) {
+	p.Release(p.message())
+}
+
+// CrashPath may exit through panic still holding the object: a crash
+// path leaks nothing into steady state.
+func CrashPath(p *InformPool, cond bool) {
+	m := p.message()
+	if cond {
+		panic("boom")
+	}
+	p.Release(m)
+}

@@ -126,6 +126,8 @@ func (c *CacheChecker) Reset() {
 }
 
 // alloc grabs a free slab slot (zeroed) and returns its index.
+//
+//dvmc:hotpath
 func (c *CacheChecker) alloc() int32 {
 	if n := len(c.free); n > 0 {
 		i := c.free[n-1]
@@ -133,15 +135,19 @@ func (c *CacheChecker) alloc() int32 {
 		c.slab[i] = cetEntry{}
 		return i
 	}
+	//dvmc:alloc-ok slab grows only until the peak concurrent-epoch count; steady state reuses freed slots
 	c.slab = append(c.slab, cetEntry{})
 	return int32(len(c.slab) - 1)
 }
 
 // EpochBegin implements coherence.EpochListener.
+//
+//dvmc:hotpath
 func (c *CacheChecker) EpochBegin(b mem.BlockAddr, kind coherence.EpochKind, ltime uint64, dataKnown bool, data mem.Block) {
 	c.stats.EpochsBegun++
 	i, exists := c.cet[b]
 	if exists {
+		//dvmc:alloc-ok violation reporting is cold: it fires at most once per detected error, never in steady state
 		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v begins while another is open", kind))
 		// Recover conservatively: replace the entry in place.
 		c.slab[i] = cetEntry{}
@@ -161,9 +167,12 @@ func (c *CacheChecker) EpochBegin(b mem.BlockAddr, kind coherence.EpochKind, lti
 
 // EpochData implements coherence.EpochListener: the block's data arrived
 // after the epoch's ordering point (the CET's DataReadyBit case).
+//
+//dvmc:hotpath
 func (c *CacheChecker) EpochData(b mem.BlockAddr, data mem.Block) {
 	i, ok := c.cet[b]
 	if !ok {
+		//dvmc:alloc-ok violation reporting is cold: it fires at most once per detected error, never in steady state
 		c.violate(b, CETStateViolation, "data arrived for a block with no open epoch")
 		return
 	}
@@ -175,15 +184,19 @@ func (c *CacheChecker) EpochData(b mem.BlockAddr, data mem.Block) {
 }
 
 // EpochEnd implements coherence.EpochListener: ship the Inform-Epoch.
+//
+//dvmc:hotpath
 func (c *CacheChecker) EpochEnd(b mem.BlockAddr, kind coherence.EpochKind, ltime uint64, data mem.Block) {
 	c.stats.EpochsEnded++
 	i, ok := c.cet[b]
 	if !ok {
+		//dvmc:alloc-ok violation reporting is cold: it fires at most once per detected error, never in steady state
 		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v ends but none open", kind))
 		return
 	}
 	e := &c.slab[i]
 	if e.kind != kind {
+		//dvmc:alloc-ok violation reporting is cold: it fires at most once per detected error, never in steady state
 		c.violate(b, CETStateViolation, fmt.Sprintf("epoch %v ends but %v open", kind, e.kind))
 	}
 	endHash := BlockHash(data)
@@ -201,10 +214,13 @@ func (c *CacheChecker) EpochEnd(b mem.BlockAddr, kind coherence.EpochKind, ltime
 		c.send(home, InformEpochBytes, pl)
 	}
 	delete(c.cet, b)
+	//dvmc:alloc-ok free-list capacity tracks the slab, which is itself bounded; growth amortizes to zero
 	c.free = append(c.free, i)
 }
 
 // send ships one inform payload to the block's home MET.
+//
+//dvmc:hotpath
 func (c *CacheChecker) send(home network.NodeID, size int, payload any) {
 	m := c.pool.message()
 	m.Src = c.node
@@ -217,18 +233,23 @@ func (c *CacheChecker) send(home network.NodeID, size int, payload any) {
 
 // Access implements coherence.AccessListener: coherence rule 1 — reads
 // and writes are performed only during appropriate epochs.
+//
+//dvmc:hotpath
 func (c *CacheChecker) Access(b mem.BlockAddr, write bool) {
 	c.stats.Accesses++
 	i, ok := c.cet[b]
 	if !ok {
+		//dvmc:alloc-ok violation reporting is cold: it fires at most once per detected error, never in steady state
 		c.violate(b, EpochAccessViolation, accessName(write)+" performed with no open epoch")
 		return
 	}
 	if write && c.slab[i].kind != coherence.ReadWrite {
+		//dvmc:alloc-ok violation reporting is cold: it fires at most once per detected error, never in steady state
 		c.violate(b, EpochAccessViolation, "store performed during a Read-Only epoch")
 	}
 }
 
+//dvmc:hotpath
 func accessName(write bool) string {
 	if write {
 		return "store"
@@ -237,10 +258,14 @@ func accessName(write bool) string {
 }
 
 // scrubLen returns the number of queued scrub entries.
+//
+//dvmc:hotpath
 func (c *CacheChecker) scrubLen() int { return len(c.scrub) - c.scrubHead }
 
 // popScrub removes and returns the oldest scrub entry, compacting the
 // ring's dead prefix once it dominates the backing array.
+//
+//dvmc:hotpath
 func (c *CacheChecker) popScrub() scrubEntry {
 	head := c.scrub[c.scrubHead]
 	c.scrubHead++
@@ -253,6 +278,8 @@ func (c *CacheChecker) popScrub() scrubEntry {
 }
 
 // Tick implements sim.Clockable: the wraparound scrubbing walk.
+//
+//dvmc:hotpath
 func (c *CacheChecker) Tick(now sim.Cycle) {
 	lnow := c.clock.LogicalNow()
 	for c.scrubLen() > 0 {
@@ -264,15 +291,19 @@ func (c *CacheChecker) Tick(now sim.Cycle) {
 	}
 }
 
+//dvmc:hotpath
 func (c *CacheChecker) pushScrub(b mem.BlockAddr, begin uint64) {
 	if c.scrubLen() >= scrubFIFOSize {
 		c.scrubOne(c.popScrub())
 	}
+	//dvmc:alloc-ok scrub ring is compacted by popScrub; capacity amortizes to the FIFO bound
 	c.scrub = append(c.scrub, scrubEntry{block: b, begin: begin})
 }
 
 // scrubOne announces a still-open old epoch to the home MET so its begin
 // timestamp can be retired before wraparound.
+//
+//dvmc:hotpath
 func (c *CacheChecker) scrubOne(s scrubEntry) {
 	i, ok := c.cet[s.block]
 	if !ok {
@@ -284,6 +315,7 @@ func (c *CacheChecker) scrubOne(s scrubEntry) {
 	}
 	if !e.dataReady {
 		// Cannot announce without the begin signature; re-queue.
+		//dvmc:alloc-ok re-queue reuses ring capacity freed by popScrub; amortizes to zero
 		c.scrub = append(c.scrub, s)
 		return
 	}

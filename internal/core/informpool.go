@@ -29,8 +29,10 @@ type InformPool struct {
 	closeds []*InformClosedEpoch
 }
 
+//dvmc:hotpath
 func (p *InformPool) message() *network.Message {
 	if p == nil {
+		//dvmc:alloc-ok pool refill and nil-pool fallback are cold; steady state recycles released envelopes
 		return &network.Message{}
 	}
 	if n := len(p.msgs); n > 0 {
@@ -39,11 +41,14 @@ func (p *InformPool) message() *network.Message {
 		p.msgs = p.msgs[:n-1]
 		return m
 	}
+	//dvmc:alloc-ok pool refill and nil-pool fallback are cold; steady state recycles released envelopes
 	return &network.Message{}
 }
 
+//dvmc:hotpath
 func (p *InformPool) epoch() *InformEpoch {
 	if p == nil {
+		//dvmc:alloc-ok pool refill and nil-pool fallback are cold; steady state recycles released payloads
 		return &InformEpoch{}
 	}
 	if n := len(p.epochs); n > 0 {
@@ -52,11 +57,14 @@ func (p *InformPool) epoch() *InformEpoch {
 		p.epochs = p.epochs[:n-1]
 		return e
 	}
+	//dvmc:alloc-ok pool refill and nil-pool fallback are cold; steady state recycles released payloads
 	return &InformEpoch{}
 }
 
+//dvmc:hotpath
 func (p *InformPool) open() *InformOpenEpoch {
 	if p == nil {
+		//dvmc:alloc-ok pool refill and nil-pool fallback are cold; steady state recycles released payloads
 		return &InformOpenEpoch{}
 	}
 	if n := len(p.opens); n > 0 {
@@ -65,11 +73,14 @@ func (p *InformPool) open() *InformOpenEpoch {
 		p.opens = p.opens[:n-1]
 		return e
 	}
+	//dvmc:alloc-ok pool refill and nil-pool fallback are cold; steady state recycles released payloads
 	return &InformOpenEpoch{}
 }
 
+//dvmc:hotpath
 func (p *InformPool) closed() *InformClosedEpoch {
 	if p == nil {
+		//dvmc:alloc-ok pool refill and nil-pool fallback are cold; steady state recycles released payloads
 		return &InformClosedEpoch{}
 	}
 	if n := len(p.closeds); n > 0 {
@@ -78,6 +89,7 @@ func (p *InformPool) closed() *InformClosedEpoch {
 		p.closeds = p.closeds[:n-1]
 		return e
 	}
+	//dvmc:alloc-ok pool refill and nil-pool fallback are cold; steady state recycles released payloads
 	return &InformClosedEpoch{}
 }
 

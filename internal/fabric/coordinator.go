@@ -42,18 +42,24 @@ type workerInfo struct {
 // finalize code the serial drivers use — which is how a farm of any
 // shape reproduces a serial run's bytes.
 type Coordinator struct {
-	mu      sync.Mutex
-	spec    JobSpec
-	leases  *LeaseTable
+	mu   sync.Mutex
+	spec JobSpec // immutable after construction
+	//dvmc:guardedby mu
+	leases *LeaseTable
+	//dvmc:guardedby mu
 	results map[int]*ShardResult
+	//dvmc:guardedby mu
 	workers map[string]*workerInfo
-	ckpt    *os.File
-	clock   func() uint64
-	ttl     uint64
-	doneCh  chan struct{}
+	//dvmc:guardedby mu
+	ckpt   *os.File
+	clock  func() uint64
+	ttl    uint64
+	doneCh chan struct{}
 }
 
 // NewCoordinator starts a fresh job.
+//
+//dvmc:guardedby mu
 func NewCoordinator(spec JobSpec, opts CoordinatorOptions) (*Coordinator, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -82,6 +88,8 @@ func NewCoordinator(spec JobSpec, opts CoordinatorOptions) (*Coordinator, error)
 // shards are never re-run, and new results append to the same file. A
 // torn trailing line (coordinator crashed mid-append) is truncated
 // away; any other corruption refuses to resume.
+//
+//dvmc:guardedby mu
 func ResumeCoordinator(path string, opts CoordinatorOptions) (*Coordinator, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -147,6 +155,8 @@ func newCoordinator(spec JobSpec, shards []Shard, opts CoordinatorOptions) *Coor
 
 // journal appends one entry and flushes it to disk before the state
 // change is acknowledged — an accepted result is never lost to a crash.
+//
+//dvmc:guardedby mu
 func (c *Coordinator) journal(e CheckpointEntry) error {
 	if c.ckpt == nil {
 		return nil
@@ -172,6 +182,7 @@ func (c *Coordinator) Close() error {
 // Done is closed when every shard has completed.
 func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
 
+//dvmc:guardedby mu
 func (c *Coordinator) touch(worker string) {
 	if worker == "" {
 		return

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"testing"
 	"time"
 
@@ -15,6 +16,17 @@ import (
 	"dvmc/internal/fuzz"
 	"dvmc/internal/telemetry"
 )
+
+// testTTL is the lease lifetime the e2e tests hand the coordinator:
+// 60s by default, so leases never expire mid-test, overridable through
+// DVMC_FABRIC_TEST_TTL so CI's -race pass can shorten it and exercise
+// lease expiry and work-stealing under the race detector.
+func testTTL() uint64 {
+	if v, err := strconv.ParseUint(os.Getenv("DVMC_FABRIC_TEST_TTL"), 10, 64); err == nil && v > 0 {
+		return v
+	}
+	return 60
+}
 
 // --- protocol ---
 
@@ -235,7 +247,7 @@ func TestFarmMatchesSerial(t *testing.T) {
 	spec := farmSpec(farmCorpus)
 	wantRecords, wantSummary, wantSnap, serialCorpus := serialBaseline(t, spec)
 
-	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: 60})
+	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: testTTL()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +297,7 @@ func TestFarmCrashResumeMatchesSerial(t *testing.T) {
 	wantRecords, wantSummary, wantSnap, serialCorpus := serialBaseline(t, spec)
 
 	ckpt := filepath.Join(t.TempDir(), "farm.ckpt")
-	coord, err := NewCoordinator(spec, CoordinatorOptions{CheckpointPath: ckpt, TTLSeconds: 60})
+	coord, err := NewCoordinator(spec, CoordinatorOptions{CheckpointPath: ckpt, TTLSeconds: testTTL()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +340,7 @@ func TestFarmCrashResumeMatchesSerial(t *testing.T) {
 
 	// Resume. The completed shard must be journaled; the abandoned lease
 	// must be pending again (leases are not durable, results are).
-	coord2, err := ResumeCoordinator(ckpt, CoordinatorOptions{TTLSeconds: 60})
+	coord2, err := ResumeCoordinator(ckpt, CoordinatorOptions{TTLSeconds: testTTL()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +406,7 @@ func TestFarmExperimentMatchesSerial(t *testing.T) {
 		Experiment: &ExperimentSpec{Faults: faults, Budget: budget, Seed: seed},
 		ShardSize:  3, // 16 cases, shards straddle the 2-fault rows
 	}
-	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: 60})
+	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: testTTL()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,7 +468,7 @@ func TestMetricsSnapshotPartial(t *testing.T) {
 		t.Skip("farm test in -short mode")
 	}
 	spec := farmSpec("")
-	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: 60})
+	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: testTTL()})
 	if err != nil {
 		t.Fatal(err)
 	}

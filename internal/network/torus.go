@@ -157,11 +157,14 @@ func (t *Torus) node(x, y int) NodeID { return NodeID(y*t.dimX + x) }
 // route returns the dimension-order (X then Y) shortest path, computing
 // and caching it on first use. Returned paths are shared: callers must
 // not mutate them.
+//
+//dvmc:hotpath
 func (t *Torus) route(src, dst NodeID) []*link {
 	idx := int(src)*len(t.handlers) + int(dst)
 	if p := t.routes[idx]; p != nil {
 		return p
 	}
+	//dvmc:alloc-ok route cache miss happens once per (src,dst) pair; the cache covers all pairs after warmup
 	p := t.computeRoute(src, dst)
 	t.routes[idx] = p
 	return p
@@ -202,10 +205,13 @@ func (t *Torus) computeRoute(src, dst NodeID) []*link {
 
 // Send implements Network. Messages to self are delivered next cycle
 // without consuming link bandwidth.
+//
+//dvmc:hotpath
 func (t *Torus) Send(m *Message) {
 	t.sendAt(m, t.lastTick+1)
 }
 
+//dvmc:hotpath
 func (t *Torus) sendAt(m *Message, when sim.Cycle) {
 	t.sent++
 	if t.fault != nil {
@@ -219,6 +225,7 @@ func (t *Torus) sendAt(m *Message, when sim.Cycle) {
 		case FaultMisroute:
 			m.Dst = NodeID(t.rng.Intn(t.Nodes()))
 		case FaultDelay:
+			//dvmc:alloc-ok fault injection is cold: FaultDelay only fires under an installed fault hook
 			t.delayed = append(t.delayed, delayedSend{msg: m, at: when + 64})
 			return
 		case FaultCorrupt, FaultNone:
@@ -228,18 +235,23 @@ func (t *Torus) sendAt(m *Message, when sim.Cycle) {
 	t.enqueue(m, when)
 }
 
+//dvmc:hotpath
 func (t *Torus) enqueue(m *Message, when sim.Cycle) {
 	if m.Src == m.Dst {
+		//dvmc:alloc-ok loopback queue capacity amortizes; entries are compacted in place every Tick
 		t.local = append(t.local, localDelivery{msg: m, at: when})
 		return
 	}
 	path := t.route(m.Src, m.Dst)
 	tr := t.allocTransit(m, path, when)
+	//dvmc:alloc-ok link queue capacity amortizes to the steady-state occupancy; Tick pops in place
 	path[0].queue = append(path[0].queue, tr)
 }
 
 // allocTransit takes a transit envelope from the freelist (or allocates
 // one) and initialises it.
+//
+//dvmc:hotpath
 func (t *Torus) allocTransit(m *Message, path []*link, when sim.Cycle) *transit {
 	var tr *transit
 	if n := len(t.freeTransits); n > 0 {
@@ -247,6 +259,7 @@ func (t *Torus) allocTransit(m *Message, path []*link, when sim.Cycle) *transit 
 		t.freeTransits[n-1] = nil
 		t.freeTransits = t.freeTransits[:n-1]
 	} else {
+		//dvmc:alloc-ok freelist refill is cold; steady state recycles transits released by Tick
 		tr = &transit{}
 	}
 	tr.msg = m
@@ -257,13 +270,18 @@ func (t *Torus) allocTransit(m *Message, path []*link, when sim.Cycle) *transit 
 }
 
 // recycleTransit returns a finished transit envelope to the freelist.
+//
+//dvmc:hotpath
 func (t *Torus) recycleTransit(tr *transit) {
 	tr.msg = nil
 	tr.path = nil
+	//dvmc:alloc-ok freelist capacity tracks peak in-flight transits; growth amortizes to zero
 	t.freeTransits = append(t.freeTransits, tr)
 }
 
 // serialize returns the cycles a message occupies a link.
+//
+//dvmc:hotpath
 func (t *Torus) serialize(size int) sim.Cycle {
 	c := sim.Cycle(math.Ceil(float64(size) / t.bw))
 	if c < 1 {
@@ -276,6 +294,8 @@ var _ sim.Clockable = (*Torus)(nil)
 
 // Tick implements sim.Clockable: advances link pipelines, moves messages
 // hop to hop, and fires delivery handlers.
+//
+//dvmc:hotpath
 func (t *Torus) Tick(now sim.Cycle) {
 	t.lastTick = now
 	// Release FaultDelay victims whose holding period expired. The
@@ -327,6 +347,7 @@ func (t *Torus) Tick(now sim.Cycle) {
 					t.recycleTransit(tr)
 				} else {
 					tr.queuedAt = now
+					//dvmc:alloc-ok next-hop queue capacity amortizes to the steady-state occupancy
 					tr.path[tr.hop].queue = append(tr.path[tr.hop].queue, tr)
 				}
 			}
@@ -351,6 +372,7 @@ func (t *Torus) Tick(now sim.Cycle) {
 				}
 			}
 			tr := l.queue[idx]
+			//dvmc:alloc-ok in-place removal: the result never exceeds the existing capacity
 			l.queue = append(l.queue[:idx], l.queue[idx+1:]...)
 			l.head = tr
 			l.done = now + t.serialize(tr.msg.Size) + t.hopLatency
@@ -362,6 +384,7 @@ func (t *Torus) Tick(now sim.Cycle) {
 	}
 }
 
+//dvmc:hotpath
 func (t *Torus) deliver(m *Message) {
 	t.delivered++
 	h := t.handlers[m.Dst]

@@ -84,6 +84,8 @@ func NewSampler(reg *Registry, every sim.Cycle) *Sampler {
 }
 
 // Tick implements sim.Clockable. Allocation-free in steady state.
+//
+//dvmc:hotpath
 func (sp *Sampler) Tick(now sim.Cycle) {
 	if now%sp.every != 0 {
 		return

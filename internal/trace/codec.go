@@ -92,6 +92,8 @@ func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
 }
 
 // flush writes b to the underlying writer, teeing it into the digest.
+//
+//dvmc:hotpath
 func (w *Writer) flush(b []byte) error {
 	if w.err != nil {
 		return w.err
@@ -104,11 +106,14 @@ func (w *Writer) flush(b []byte) error {
 }
 
 // Write appends one event.
+//
+//dvmc:hotpath
 func (w *Writer) Write(ev Event) error {
 	if w.closed {
 		return errors.New("trace: Write after Close")
 	}
 	if ev.Kind < EvCommit || ev.Kind > EvRecover {
+		//dvmc:alloc-ok rejecting a malformed event is a cold error path, not steady-state encoding
 		return fmt.Errorf("trace: invalid event kind %d", ev.Kind)
 	}
 	tag := byte(ev.Kind) | byte(ev.Class)<<tagClassShift
@@ -118,14 +123,17 @@ func (w *Writer) Write(ev Event) error {
 	if ev.Fwd {
 		tag |= tagFwdBit
 	}
+	//dvmc:alloc-ok scratch growth is retained after the write (w.scratch = b[:0]); amortizes to zero
 	b := append(w.scratch[:0], tag, ev.Node)
 	switch {
 	case ev.Kind == EvRecover:
 		// node only
 	case ev.Class == consistency.Membar:
+		//dvmc:alloc-ok appends into the retained scratch buffer; capacity amortizes to zero
 		b = append(b, byte(ev.Model), byte(ev.Mask))
 		b = binary.AppendUvarint(b, ev.Seq)
 	default:
+		//dvmc:alloc-ok appends into the retained scratch buffer; capacity amortizes to zero
 		b = append(b, byte(ev.Model))
 		b = binary.AppendUvarint(b, ev.Seq)
 		b = binary.AppendUvarint(b, uint64(ev.Addr))
