@@ -20,15 +20,19 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dvmc"
 	"dvmc/internal/oracle"
+	"dvmc/internal/oracle/stream"
+	"dvmc/internal/telemetry"
 	"dvmc/internal/trace"
 )
 
@@ -59,10 +63,13 @@ func usage() {
 func printUsage() {
 	fmt.Fprintf(os.Stderr, `usage:
   dvmc-trace record [flags] <out.trc | ->   run a simulation, write its trace
-  dvmc-trace check  <in.trc | ->            verify a trace with the offline oracle
-  dvmc-trace info   <in.trc | ->            summarise a trace
+  dvmc-trace check [flags] <in.trc | ->     verify a trace with the offline oracle
+  dvmc-trace info [-json] <in.trc | ->      summarise a trace
 
-'-' reads from stdin / writes to stdout. 'record -h' lists its flags.
+'-' reads from stdin / writes to stdout. 'record -h' / 'check -h' list
+flags. 'check -stream' verifies incrementally with bounded memory (the
+streaming parallel oracle; report identical to the batch engine), so it
+can sit on the end of a pipe while 'record' is still running.
 
 exit codes: 0 clean, 1 usage or I/O error, 2 the oracle found
 violations.
@@ -152,12 +159,73 @@ func record(args []string) {
 	}
 }
 
+// streamSummary is the stream-engine section of check's JSON output.
+type streamSummary struct {
+	Shards      int    `json:"shards"`
+	Window      int    `json:"window"`
+	MaxFrontier int64  `json:"max_frontier"`
+	Events      uint64 `json:"events"`
+}
+
+// checkJSON is the machine-readable verdict of `check -json`.
+type checkJSON struct {
+	Meta       trace.Meta         `json:"meta"`
+	Violations []oracle.Violation `json:"violations"`
+	Stats      oracle.Stats       `json:"stats"`
+	Stream     *streamSummary     `json:"stream,omitempty"`
+}
+
 func check(args []string) {
-	data := readTrace(args, "check")
-	rep, err := oracle.CheckBytes(data)
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		streamOn   = fs.Bool("stream", false, "streaming engine: verify incrementally with bounded memory")
+		shards     = fs.Int("shards", 0, "stream: address shards for the value check (0 = default)")
+		window     = fs.Int("window", 0, "stream: events per pipeline window (0 = default)")
+		jsonOut    = fs.Bool("json", false, "emit the verdict as JSON on stdout")
+		metricsOut = fs.String("metrics-out", "", "stream: write a telemetry snapshot of checker progress to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(1)
+	}
+	if (*shards != 0 || *window != 0 || *metricsOut != "") && !*streamOn {
+		fatalf("check: -shards/-window/-metrics-out require -stream")
+	}
+
+	var (
+		rep *oracle.Report
+		sum *streamSummary
+		err error
+	)
+	if *streamOn {
+		rep, sum, err = checkStream(fs.Args(), *shards, *window, *metricsOut)
+	} else {
+		data := readTrace(fs.Args(), "check")
+		rep, err = oracle.CheckBytes(data)
+	}
 	if err != nil {
 		fatalf("check: %v", err)
 	}
+
+	if *jsonOut {
+		out := checkJSON{Meta: rep.Meta, Violations: rep.Violations, Stats: rep.Stats, Stream: sum}
+		if out.Violations == nil {
+			out.Violations = []oracle.Violation{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("check: encode: %v", err)
+		}
+		if !rep.Clean() {
+			os.Exit(2)
+		}
+		return
+	}
+
 	st := rep.Stats
 	fmt.Printf("trace:  v%d, %d nodes, %v, %s protocol, seed %d\n",
 		rep.Meta.Version, rep.Meta.Nodes, rep.Meta.Model, protoName(rep.Meta.Protocol), rep.Meta.Seed)
@@ -179,24 +247,160 @@ func check(args []string) {
 	os.Exit(2)
 }
 
+// checkStream runs the streaming engine over a file or stdin without
+// ever holding the trace: the decoder hands events straight to the
+// pipelined checker. Progress gauges (events fed, events/sec, frontier
+// depth and high-water, windows in flight, pending value queries) are
+// exposed on a telemetry registry; -metrics-out snapshots it after the
+// verdict for dvmc-stat.
+func checkStream(args []string, shards, window int, metricsOut string) (*oracle.Report, *streamSummary, error) {
+	if len(args) != 1 {
+		fatalf("check: need exactly one trace path (or '-' for stdin)")
+	}
+	src := io.Reader(os.Stdin)
+	if args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		src = f
+	}
+	r, err := trace.NewReader(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.Meta().Truncated {
+		return nil, nil, oracle.ErrTruncatedTrace
+	}
+	opts := stream.Options{Shards: shards, Window: window, Pipeline: true}
+	chk := stream.New(r.Meta(), opts)
+
+	reg := telemetry.NewRegistry(telemetry.Config{})
+	chk.RegisterMetrics(reg)
+	start := time.Now()
+	rate := reg.Gauge("stream_events_per_sec", "streaming-check throughput since start")
+	reg.AddProbe(func() {
+		if el := time.Since(start).Seconds(); el > 0 {
+			rate.Set(0, int64(float64(chk.EventsFed())/el))
+		}
+	})
+
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			chk.Abort()
+			return nil, nil, err
+		}
+		chk.Feed(ev)
+	}
+	rep := chk.Finish()
+	sum := &streamSummary{
+		Shards:      orDefault(shards, stream.DefaultShards),
+		Window:      orDefault(window, stream.DefaultWindow),
+		MaxFrontier: chk.MaxFrontier(),
+		Events:      chk.EventsFed(),
+	}
+	if metricsOut != "" {
+		if err := telemetry.WriteSnapshotFile(reg.Snapshot(0), metricsOut); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rep, sum, nil
+}
+
+func orDefault(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// infoJSON is the machine-readable summary of `info -json`.
+type infoJSON struct {
+	Meta     trace.Meta `json:"meta"`
+	Bytes    int64      `json:"bytes"`
+	Events   uint64     `json:"events"`
+	Commits  uint64     `json:"commits"`
+	Performs uint64     `json:"performs"`
+	Recovers uint64     `json:"recovers"`
+	SpanLo   uint64     `json:"span_lo"`
+	SpanHi   uint64     `json:"span_hi"`
+	PerNode  []uint64   `json:"per_node"`
+}
+
 func info(args []string) {
-	data := readTrace(args, "info")
-	meta, events, err := trace.Decode(data)
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON on stdout")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(1)
+	}
+	if fs.NArg() != 1 {
+		fatalf("info: need exactly one trace path (or '-' for stdin)")
+	}
+	src := io.Reader(os.Stdin)
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	// Incremental decode: info summarises arbitrarily large traces (and
+	// live pipes) without holding events or bytes.
+	r, err := trace.NewReader(src)
 	if err != nil {
 		fatalf("info: %v", err)
 	}
-	var commits, performs, recovers uint64
+	meta := r.Meta()
+	var sum infoJSON
+	sum.Meta = meta
 	byNode := map[uint8]uint64{}
-	for _, ev := range events {
+	first := true
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatalf("info: %v", err)
+		}
 		switch ev.Kind {
 		case trace.EvCommit:
-			commits++
+			sum.Commits++
 		case trace.EvPerform:
-			performs++
+			sum.Performs++
 		case trace.EvRecover:
-			recovers++
+			sum.Recovers++
 		}
 		byNode[ev.Node]++
+		sum.Events++
+		if first {
+			sum.SpanLo = uint64(ev.Time)
+			first = false
+		}
+		sum.SpanHi = uint64(ev.Time)
+	}
+	sum.Bytes = r.Offset()
+	for n := 0; n < meta.Nodes; n++ {
+		sum.PerNode = append(sum.PerNode, byNode[uint8(n)])
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatalf("info: encode: %v", err)
+		}
+		return
 	}
 	fmt.Printf("trace:  v%d, %d nodes, %v, %s protocol, seed %d\n",
 		meta.Version, meta.Nodes, meta.Model, protoName(meta.Protocol), meta.Seed)
@@ -204,10 +408,10 @@ func info(args []string) {
 		fmt.Println("note:   truncated flight-recorder window (oracle will refuse it)")
 	}
 	fmt.Printf("size:   %d bytes, %d events (%.2f bytes/event)\n",
-		len(data), len(events), float64(len(data))/float64(max(1, len(events))))
-	fmt.Printf("events: %d commits, %d performs, %d recovery markers\n", commits, performs, recovers)
-	if len(events) > 0 {
-		fmt.Printf("span:   cycles %d..%d\n", events[0].Time, events[len(events)-1].Time)
+		sum.Bytes, sum.Events, float64(sum.Bytes)/float64(max(1, sum.Events)))
+	fmt.Printf("events: %d commits, %d performs, %d recovery markers\n", sum.Commits, sum.Performs, sum.Recovers)
+	if sum.Events > 0 {
+		fmt.Printf("span:   cycles %d..%d\n", sum.SpanLo, sum.SpanHi)
 	}
 	for n := uint8(0); int(n) < int(meta.Nodes); n++ {
 		fmt.Printf("  node %d: %d events\n", n, byNode[n])

@@ -248,6 +248,20 @@ func (c Config) WithTrace(t TraceConfig) Config {
 	return c
 }
 
+// TraceMeta returns the trace header a system built from this
+// configuration stamps on its captured execution trace. External
+// consumers that check events live (a streaming oracle attached via
+// TraceConfig.Sink) need the same header to judge them against.
+func (c Config) TraceMeta() trace.Meta {
+	return trace.Meta{
+		Version:  trace.Version,
+		Nodes:    c.Nodes,
+		Model:    c.Model,
+		Protocol: uint8(c.Protocol - 1), // 0 directory, 1 snooping
+		Seed:     c.Seed,
+	}
+}
+
 // WithTelemetry returns a copy with telemetry sampling configured.
 func (c Config) WithTelemetry(t TelemetryConfig) Config {
 	c.Telemetry = t

@@ -139,6 +139,7 @@ func TestHotSetCoversAllocAsserted(t *testing.T) {
 		"internal/network.Torus.Send",
 		"internal/network.Torus.Tick",
 		"internal/trace.Writer.Write",
+		"internal/oracle/stream.Checker.Feed",
 		"internal/telemetry.Metric.Set",
 		"internal/telemetry.Metric.Add",
 		"internal/telemetry.Metric.Inc",

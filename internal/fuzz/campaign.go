@@ -217,10 +217,13 @@ func runOne(cfg CampaignConfig, i int) (Record, *telemetry.Snapshot) {
 		snap *telemetry.Snapshot
 		err  error
 	)
+	// Streamed: campaign workers never materialize a trace — the oracle
+	// rides the run as a sink and only failure reproduction (Finalize)
+	// re-runs with byte capture.
 	if cfg.Metrics {
-		res, _, snap, err = RunCaseInstrumented(c)
+		res, snap, err = RunCaseStreamed(c, true)
 	} else {
-		res, _, err = RunCase(c)
+		res, _, err = RunCaseStreamed(c, false)
 	}
 	if err != nil {
 		// Structural errors cannot occur for derived cases; record them

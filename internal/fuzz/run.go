@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dvmc"
+	"dvmc/internal/oracle/stream"
 	"dvmc/internal/telemetry"
 )
 
@@ -30,14 +31,30 @@ type RunResult struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// streamWindow is the event-batch size of the per-run streaming
+// checker. Small: fuzz cases are short, and the checker runs inline on
+// the case goroutine, so the window only amortizes dispatch overhead.
+const streamWindow = 1024
+
 // RunCase executes one case deterministically and classifies the
 // outcome. Panics anywhere inside the simulator are recovered into a
 // crash classification — the campaign driver relies on this to survive
 // hostile generated programs. The returned trace is the run's captured
 // execution trace (nil for crashes), written next to corpus reproducers.
 func RunCase(c *Case) (RunResult, []byte, error) {
-	res, trace, _, err := runCase(c, false)
+	res, trace, _, err := runCase(c, false, true)
 	return res, trace, err
+}
+
+// RunCaseStreamed is RunCase without byte capture: the oracle verdict
+// comes from a streaming checker attached as the trace sink, so the
+// run never materializes its trace — the bounded-memory mode campaign
+// workers use (a soak case's verdict costs the frontier, not the
+// trace). Classification is identical to RunCase's: the streaming
+// checker's report is byte-identical to the batch oracle's.
+func RunCaseStreamed(c *Case, instrument bool) (RunResult, *telemetry.Snapshot, error) {
+	res, _, snap, err := runCase(c, instrument, false)
+	return res, snap, err
 }
 
 // RunCaseInstrumented is RunCase with telemetry sampling enabled: the
@@ -47,12 +64,16 @@ func RunCase(c *Case) (RunResult, []byte, error) {
 // for crash runs — a recovered panic leaves no coherent registry to
 // read.
 func RunCaseInstrumented(c *Case) (RunResult, []byte, *telemetry.Snapshot, error) {
-	return runCase(c, true)
+	return runCase(c, true, true)
 }
 
-func runCase(c *Case, instrument bool) (res RunResult, traceBytes []byte, snap *telemetry.Snapshot, err error) {
+func runCase(c *Case, instrument, record bool) (res RunResult, traceBytes []byte, snap *telemetry.Snapshot, err error) {
+	var chk *stream.Checker
 	defer func() {
 		if r := recover(); r != nil {
+			if chk != nil {
+				chk.Abort()
+			}
 			res = RunResult{Class: ClassCrash, Panic: fmt.Sprint(r)}
 			traceBytes = nil
 			snap = nil
@@ -69,6 +90,13 @@ func runCase(c *Case, instrument bool) (res RunResult, traceBytes []byte, snap *
 	if instrument {
 		cfg = cfg.WithTelemetry(dvmc.TelemetryOn())
 	}
+	// The oracle checks the run live: a streaming checker rides along as
+	// the trace sink (inline — no goroutines inside a fuzz worker) and
+	// its Finish report is byte-identical to batch-replaying the trace.
+	// Byte capture stays on only when the caller wants reproducer bytes.
+	chk = stream.New(cfg.TraceMeta(), stream.Options{Shards: 1, Window: streamWindow})
+	cfg.Trace.Sink = chk
+	cfg.Trace.SinkOnly = !record
 	w := c.Program.Spec(caseName(c))
 
 	if c.Fault == nil {
@@ -77,10 +105,7 @@ func runCase(c *Case, instrument bool) (res RunResult, traceBytes []byte, snap *
 			return RunResult{}, nil, nil, err
 		}
 		r, finished := sys.RunToCompletion(c.Budget)
-		verdict, err := sys.Verdict()
-		if err != nil {
-			return RunResult{}, nil, nil, err
-		}
+		verdict := streamVerdict(sys, chk)
 		res := RunResult{
 			Online:   len(verdict.Online),
 			Oracle:   oracleCount(verdict),
@@ -90,6 +115,9 @@ func runCase(c *Case, instrument bool) (res RunResult, traceBytes []byte, snap *
 		res.Class, res.Detail = classifyClean(verdict, finished)
 		if instrument {
 			snap = sys.TelemetrySnapshot()
+		}
+		if !record {
+			return res, nil, snap, nil
 		}
 		data, err := sys.TraceBytes()
 		if err != nil {
@@ -104,12 +132,10 @@ func runCase(c *Case, instrument bool) (res RunResult, traceBytes []byte, snap *
 	}
 	ir, sys, err := dvmc.RunInjectionSystem(cfg, w, inj, c.Budget)
 	if err != nil {
+		chk.Abort()
 		return RunResult{}, nil, nil, err
 	}
-	verdict, err := sys.Verdict()
-	if err != nil {
-		return RunResult{}, nil, nil, err
-	}
+	verdict := streamVerdict(sys, chk)
 	res = RunResult{
 		Online:   len(verdict.Online),
 		Oracle:   oracleCount(verdict),
@@ -124,11 +150,27 @@ func runCase(c *Case, instrument bool) (res RunResult, traceBytes []byte, snap *
 	if instrument {
 		snap = sys.TelemetrySnapshot()
 	}
+	if !record {
+		return res, nil, snap, nil
+	}
 	data, err := sys.TraceBytes()
 	if err != nil {
 		return res, nil, snap, err
 	}
 	return res, data, snap, nil
+}
+
+// streamVerdict assembles both referees' conclusions from a finished
+// run whose oracle checked it live: drain the online checkers, then
+// close the streaming checker for its report. The system's own Verdict
+// would re-decode and batch-replay the recorded bytes; this path needs
+// neither the bytes nor the replay.
+func streamVerdict(sys *dvmc.System, chk *stream.Checker) dvmc.RunVerdict {
+	sys.DrainCheckers()
+	return dvmc.RunVerdict{
+		Online: append([]dvmc.Violation(nil), sys.Violations()...),
+		Oracle: chk.Finish(),
+	}
 }
 
 // classifyClean judges a fault-free run: ground truth says nothing went

@@ -327,7 +327,7 @@ func (c *checker) perform(ev trace.Event) {
 		}
 		old := ns.committed[seq]
 		c.stats.PairChecks++
-		if orderedPair(consistency.TableFor(old.model), old.op, old.isRMW, ev.Op(), ev.IsRMW) {
+		if OrderedPair(consistency.TableFor(old.model), old.op, old.isRMW, ev.Op(), ev.IsRMW) {
 			c.violate(RuleOvertaken, ev,
 				fmt.Sprintf("%v performed before older ordered %v seq %d (committed @%d, model %v)",
 					ev.Class, old.op.Class, seq, old.time, old.model))
@@ -344,7 +344,7 @@ func (c *checker) perform(ev trace.Event) {
 			continue
 		}
 		c.stats.PairChecks++
-		if orderedPair(table, ev.Op(), ev.IsRMW, p.op, p.isRMW) {
+		if OrderedPair(table, ev.Op(), ev.IsRMW, p.op, p.isRMW) {
 			c.violate(RuleReorder, ev,
 				fmt.Sprintf("%v overtaken by younger performed %v seq %d (model %v)",
 					ev.Class, p.op.Class, p.seq, ev.Model))
@@ -431,30 +431,42 @@ func (c *checker) checkValue(ev trace.Event, v mem.Word) {
 			what, uint64(v), uint64(ev.Addr)))
 }
 
-// orderedPair reports whether the table requires first (older in program
+// OrderedPair reports whether the table requires first (older in program
 // order) to perform before second, expanding RMWs to both Load and Store
 // constraints (paper Section 4). Membar-membar pairs mirror the online
 // checker's conservative total order: any mask bit on the younger membar
 // counts, regardless of the older one's mask.
-func orderedPair(t *consistency.Table, first consistency.Op, firstRMW bool, second consistency.Op, secondRMW bool) bool {
+//
+// Exported because the streaming engine (internal/oracle/stream) must
+// agree with the batch checker on the ordering relation itself — its
+// byte-identical-report contract is over everything downstream of this
+// function, so the two deliberately share it. Allocation-free: the RMW
+// expansion uses value arrays, keeping it callable from //dvmc:hotpath
+// per-event steps.
+func OrderedPair(t *consistency.Table, first consistency.Op, firstRMW bool, second consistency.Op, secondRMW bool) bool {
 	if first.Class == consistency.Membar && second.Class == consistency.Membar {
 		return second.Mask != 0
 	}
-	for _, f := range expand(first, firstRMW) {
-		for _, s := range expand(second, secondRMW) {
-			if t.Ordered(f, s) {
+	fs := [2]consistency.Op{first, {Class: consistency.Store}}
+	fn := 1
+	if firstRMW {
+		fs[0] = consistency.Op{Class: consistency.Load}
+		fn = 2
+	}
+	ss := [2]consistency.Op{second, {Class: consistency.Store}}
+	sn := 1
+	if secondRMW {
+		ss[0] = consistency.Op{Class: consistency.Load}
+		sn = 2
+	}
+	for i := 0; i < fn; i++ {
+		for j := 0; j < sn; j++ {
+			if t.Ordered(fs[i], ss[j]) {
 				return true
 			}
 		}
 	}
 	return false
-}
-
-func expand(op consistency.Op, isRMW bool) []consistency.Op {
-	if !isRMW {
-		return []consistency.Op{op}
-	}
-	return []consistency.Op{{Class: consistency.Load}, {Class: consistency.Store}}
 }
 
 // sortedKeys returns map keys ascending, for deterministic violation order.

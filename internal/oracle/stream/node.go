@@ -1,0 +1,267 @@
+package stream
+
+import (
+	"fmt"
+
+	"dvmc/internal/consistency"
+	"dvmc/internal/mem"
+	"dvmc/internal/oracle"
+	"dvmc/internal/sim"
+	"dvmc/internal/trace"
+)
+
+// commitEnt is one committed-but-unperformed operation, the streaming
+// twin of the batch checker's commitRec keyed by sequence number. Lanes
+// keep these in an ascending slice instead of a map: commits arrive in
+// near-monotonic sequence order, so insertion is an append, the R2 scan
+// is a slice walk in exactly the ascending order the batch checker gets
+// from sorting its map keys, and pruning on perform is a memmove.
+type commitEnt struct {
+	seq    uint64
+	op     consistency.Op
+	isRMW  bool
+	model  consistency.Model
+	addr   mem.Addr
+	val    mem.Word
+	hasVal bool
+	time   sim.Cycle
+}
+
+// perfRec is a performed operation still in the R1 pending window.
+type perfRec struct {
+	seq   uint64
+	op    consistency.Op
+	isRMW bool
+}
+
+// laneStats are the partition-independent partial counters a lane
+// accumulates; Finish sums them across lanes into oracle.Stats.
+type laneStats struct {
+	loads, stores, membars, rmws uint64
+	pairChecks                   uint64
+	valueChecks                  uint64
+	skippedForwarded             uint64
+	maxWindow                    int
+}
+
+// nodeLane owns one processor's ordering state: the R1/R2/R4/R5 checks
+// over exactly the per-node structures the batch checker keeps. Events
+// for out-of-range nodes are judged against lane 0, as the batch
+// checker judges them against node 0.
+type nodeLane struct {
+	id     int
+	nNodes int
+	chk    *Checker
+
+	committed []commitEnt // ascending by seq
+	performed seqSet
+	window    []perfRec
+	maxCommit uint64
+
+	stats laneStats
+	viol  []keyed
+	ord   uint64 // per-lane emission ordinal (merge tiebreak)
+
+	ch chan *batch // parallel mode input
+}
+
+// owns reports whether this lane judges events stamped with node n.
+func (l *nodeLane) owns(n int) bool {
+	if n >= l.nNodes {
+		return l.id == 0
+	}
+	return n == l.id
+}
+
+// process runs the lane over one window of events.
+func (l *nodeLane) process(b *batch) {
+	for i := range b.events {
+		ev := &b.events[i]
+		switch ev.Kind {
+		case trace.EvRecover:
+			l.recover(b, i)
+		case trace.EvCommit, trace.EvPerform:
+			n := int(ev.Node)
+			if !l.owns(n) {
+				continue
+			}
+			idx := b.base + uint64(i)
+			if n >= l.nNodes {
+				l.violate(idx, catNode, oracle.RuleStructural, ev,
+					fmt.Sprintf("event for node %d but trace header declares %d nodes", n, l.nNodes))
+			}
+			if ev.Kind == trace.EvCommit {
+				l.commit(idx, ev)
+			} else {
+				l.perform(idx, ev)
+			}
+		}
+	}
+}
+
+// violate records one finding under the deterministic merge key.
+func (l *nodeLane) violate(idx uint64, cat uint8, rule oracle.Rule, ev *trace.Event, detail string) {
+	l.viol = append(l.viol, keyed{
+		idx: idx, cat: cat, ord: l.ord,
+		v: oracle.Violation{Rule: rule, Node: int(ev.Node), Seq: ev.Seq, Time: ev.Time, Detail: detail},
+	})
+	l.ord++
+}
+
+// findCommitted binary-searches the ascending committed slice.
+func (l *nodeLane) findCommitted(seq uint64) (int, bool) {
+	lo, hi := 0, len(l.committed)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.committed[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l.committed) && l.committed[lo].seq == seq
+}
+
+func (l *nodeLane) commit(idx uint64, ev *trace.Event) {
+	switch ev.Class {
+	case consistency.Load:
+		l.stats.loads++
+	case consistency.Store:
+		if ev.IsRMW {
+			l.stats.rmws++
+		} else {
+			l.stats.stores++
+		}
+	case consistency.Membar:
+		l.stats.membars++
+	}
+	pos, dup := l.findCommitted(ev.Seq)
+	if dup || l.performed.contains(ev.Seq) {
+		l.violate(idx, catStructural, oracle.RuleStructural, ev, "double commit of sequence number")
+		return
+	}
+	//dvmc:alloc-ok frontier slice keeps its high-water capacity; grows only while the in-flight frontier does
+	l.committed = append(l.committed, commitEnt{})
+	copy(l.committed[pos+1:], l.committed[pos:])
+	l.committed[pos] = commitEnt{
+		seq: ev.Seq, op: ev.Op(), isRMW: ev.IsRMW, model: ev.Model,
+		addr: ev.Addr, val: ev.Val, time: ev.Time,
+		hasVal: ev.Class == consistency.Store && !ev.IsRMW,
+	}
+	if ev.Seq > l.maxCommit {
+		l.maxCommit = ev.Seq
+	}
+	l.chk.frontierAdd(1)
+}
+
+func (l *nodeLane) perform(idx uint64, ev *trace.Event) {
+	pos, wasCommitted := l.findCommitted(ev.Seq)
+	var rec commitEnt
+	switch {
+	case wasCommitted:
+		rec = l.committed[pos]
+		l.committed = append(l.committed[:pos], l.committed[pos+1:]...)
+		l.chk.frontierAdd(-1)
+	case l.performed.contains(ev.Seq):
+		l.violate(idx, catStructural, oracle.RuleStructural, ev, "double perform of sequence number")
+	default:
+		l.violate(idx, catStructural, oracle.RuleStructural, ev, "perform without prior commit")
+	}
+	l.performed.add(ev.Seq)
+
+	// R5: a plain store must perform with exactly the committed value.
+	if wasCommitted && rec.hasVal && ev.Class == consistency.Store && !ev.IsRMW && ev.Val != rec.val {
+		l.violate(idx, catStoreValue, oracle.RuleStoreValue, ev,
+			fmt.Sprintf("store committed %#x but performed %#x at %#x", uint64(rec.val), uint64(ev.Val), uint64(ev.Addr)))
+	}
+
+	// R2: must not overtake an older committed-but-unperformed ordered op.
+	// The slice is ascending, matching the batch checker's sorted-key scan.
+	for j := range l.committed {
+		old := &l.committed[j]
+		if old.seq >= ev.Seq {
+			continue
+		}
+		l.stats.pairChecks++
+		if oracle.OrderedPair(consistency.TableFor(old.model), old.op, old.isRMW, ev.Op(), ev.IsRMW) {
+			l.violate(idx, catOvertaken, oracle.RuleOvertaken, ev,
+				fmt.Sprintf("%v performed before older ordered %v seq %d (committed @%d, model %v)",
+					ev.Class, old.op.Class, old.seq, old.time, old.model))
+		}
+	}
+
+	// R1: must not have been overtaken by a younger performed ordered op.
+	table := consistency.TableFor(ev.Model)
+	for j := range l.window {
+		p := &l.window[j]
+		if p.seq <= ev.Seq {
+			continue
+		}
+		l.stats.pairChecks++
+		if oracle.OrderedPair(table, ev.Op(), ev.IsRMW, p.op, p.isRMW) {
+			l.violate(idx, catReorder, oracle.RuleReorder, ev,
+				fmt.Sprintf("%v overtaken by younger performed %v seq %d (model %v)",
+					ev.Class, p.op.Class, p.seq, ev.Model))
+		}
+	}
+
+	// R3 (loads and the RMW old value) belongs to the address shards.
+
+	// Window bookkeeping and frontier pruning, exactly the batch rule:
+	// entries at or below the oldest committed-but-unperformed seq (or the
+	// newest committed seq when nothing is pending) can never pair again.
+	//dvmc:alloc-ok reorder window keeps its pruned high-water capacity
+	l.window = append(l.window, perfRec{seq: ev.Seq, op: ev.Op(), isRMW: ev.IsRMW})
+	if len(l.window) > l.stats.maxWindow {
+		l.stats.maxWindow = len(l.window)
+	}
+	frontier := l.maxCommit
+	if len(l.committed) > 0 {
+		frontier = l.committed[0].seq
+	}
+	kept := l.window[:0]
+	for _, p := range l.window {
+		if p.seq > frontier {
+			kept = append(kept, p)
+		}
+	}
+	l.window = kept
+}
+
+// windowLen is a memory gauge for telemetry (racy read tolerated).
+func (l *nodeLane) windowLen() int { return len(l.window) }
+
+// recover handles a SafetyNet rollback marker: fold pending committed
+// store values onto the batch (the forwarder publishes them to the
+// address shards, which add them to their writer sets at this exact
+// stream position, mirroring the batch checker's recover), then clear
+// the R2 pending set and R1 window. performed and maxCommit survive,
+// as in the batch checker.
+func (l *nodeLane) recover(b *batch, i int) {
+	for j := range l.committed {
+		rec := &l.committed[j]
+		if rec.hasVal {
+			b.folds[l.id] = append(b.folds[l.id], foldEntry{idx: i, addr: rec.addr, val: rec.val})
+		}
+	}
+	l.chk.frontierAdd(-len(l.committed))
+	l.committed = l.committed[:0]
+	l.window = l.window[:0]
+}
+
+// frontierAdd tracks the global committed-but-unperformed population.
+func (c *Checker) frontierAdd(d int) {
+	v := c.frontier.Add(int64(d))
+	if d <= 0 {
+		return
+	}
+	for {
+		m := c.maxFrontier.Load()
+		if v <= m {
+			return
+		}
+		if c.maxFrontier.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}

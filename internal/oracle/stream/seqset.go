@@ -1,0 +1,78 @@
+package stream
+
+// seqSet is a coalescing interval set over sequence numbers: the
+// bounded-memory replacement for the batch checker's performed
+// map[uint64]bool, which grows one entry per performed operation for
+// the life of the trace. Per-node sequence numbers are monotonic and
+// dense except across faults, so on a legal trace the set collapses to
+// a single interval per recovery epoch; faulty traces add at most one
+// interval per anomaly. Membership answers are identical to the map's.
+type seqSet struct {
+	iv []seqIv // disjoint, ascending, coalesced
+}
+
+// seqIv is one inclusive run [lo, hi] of present sequence numbers.
+type seqIv struct {
+	lo, hi uint64
+}
+
+// contains reports whether v is in the set.
+func (s *seqSet) contains(v uint64) bool {
+	i := s.search(v)
+	return i < len(s.iv) && s.iv[i].lo <= v
+}
+
+// search returns the index of the first interval with hi >= v.
+func (s *seqSet) search(v uint64) int {
+	lo, hi := 0, len(s.iv)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.iv[mid].hi < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// add inserts v, merging with adjacent runs. Amortized O(1) for the
+// monotonic append case (v extends the last interval).
+func (s *seqSet) add(v uint64) {
+	n := len(s.iv)
+	// Fast path: extend or append at the tail.
+	if n > 0 {
+		last := &s.iv[n-1]
+		if v > last.hi {
+			if v == last.hi+1 {
+				last.hi = v
+			} else {
+				s.iv = append(s.iv, seqIv{lo: v, hi: v})
+			}
+			return
+		}
+	}
+	i := s.search(v)
+	if i < n && s.iv[i].lo <= v {
+		return // already present
+	}
+	// v lies strictly between iv[i-1].hi and iv[i].lo (when they exist).
+	touchPrev := i > 0 && s.iv[i-1].hi+1 == v
+	touchNext := i < n && v+1 == s.iv[i].lo
+	switch {
+	case touchPrev && touchNext:
+		s.iv[i-1].hi = s.iv[i].hi
+		s.iv = append(s.iv[:i], s.iv[i+1:]...)
+	case touchPrev:
+		s.iv[i-1].hi = v
+	case touchNext:
+		s.iv[i].lo = v
+	default:
+		s.iv = append(s.iv, seqIv{})
+		copy(s.iv[i+1:], s.iv[i:])
+		s.iv[i] = seqIv{lo: v, hi: v}
+	}
+}
+
+// len64 returns the number of intervals (a memory gauge, not cardinality).
+func (s *seqSet) len64() int { return len(s.iv) }

@@ -1,0 +1,164 @@
+package stream
+
+import (
+	"fmt"
+
+	"dvmc/internal/consistency"
+	"dvmc/internal/mem"
+	"dvmc/internal/oracle"
+	"dvmc/internal/trace"
+)
+
+// wkey is one (word, value) point of the global write history.
+type wkey struct {
+	addr mem.Addr
+	val  mem.Word
+}
+
+// pendQ is a deferred R3 membership query: a load (or RMW old value)
+// that bound a value nobody had written when it was checked. The batch
+// checker's writer sets span the whole trace, so the query stays open
+// until a later store performs that value to that word — in which case
+// it resolves silently — or the stream ends, in which case it is
+// exactly the violation the batch checker would have emitted.
+type pendQ struct {
+	idx uint64
+	ord uint64
+	v   oracle.Violation
+}
+
+// shardLane owns the R3 value check for a disjoint hash slice of the
+// address space: its share of the write history (performed-store
+// values plus recovery folds for its addresses) and the open queries
+// against it. Shards see batches only after every node lane released
+// them, so recovery folds land at the exact stream position the batch
+// checker applies them.
+type shardLane struct {
+	id, n int
+	chk   *Checker
+
+	writers   map[wkey]struct{} // performed-store history (resolves pending)
+	recovered map[wkey]struct{} // recovery folds (legitimizes later loads only)
+	pending   map[wkey][]pendQ
+
+	stats laneStats
+	viol  []keyed
+	ord   uint64
+
+	ch chan *batch
+}
+
+// owns reports whether addr hashes to this shard.
+func (s *shardLane) owns(a mem.Addr) bool {
+	return int((uint64(a)*0x9E3779B97F4A7C15)>>33)%s.n == s.id
+}
+
+// process runs the shard over one window of events.
+func (s *shardLane) process(b *batch) {
+	for i := range b.events {
+		ev := &b.events[i]
+		switch ev.Kind {
+		case trace.EvCommit:
+			// Commits have no value effect; shards judge performs and folds.
+		case trace.EvRecover:
+			s.applyFolds(b, i)
+		case trace.EvPerform:
+			switch {
+			case ev.Class == consistency.Store:
+				if !s.owns(ev.Addr) {
+					continue
+				}
+				s.addWriter(wkey{addr: ev.Addr, val: ev.Val})
+				if ev.IsRMW {
+					// The atomic's load half binds the current coherent
+					// value; its own new value joined the history first,
+					// as in the batch checker's whole-trace first pass.
+					s.checkValue(b.base+uint64(i), ev, ev.Val2)
+				}
+			case ev.Class == consistency.Load && !ev.IsRMW:
+				if !s.owns(ev.Addr) {
+					continue
+				}
+				if ev.Fwd {
+					s.stats.skippedForwarded++
+				} else {
+					s.checkValue(b.base+uint64(i), ev, ev.Val)
+				}
+			}
+		}
+	}
+}
+
+// addWriter extends the write history and resolves any queries waiting
+// on exactly this (word, value) point.
+func (s *shardLane) addWriter(k wkey) {
+	if _, ok := s.writers[k]; ok {
+		return
+	}
+	//dvmc:alloc-ok write-history set is bounded by distinct (addr, value) pairs, not trace length
+	s.writers[k] = struct{}{}
+	if qs, ok := s.pending[k]; ok {
+		delete(s.pending, k)
+		s.chk.pendingQ.Add(-int64(len(qs)))
+	}
+}
+
+// checkValue is R3 with membership deferred: pass if any processor has
+// written (addr, v) so far or a recovery fold legitimized it, pass the
+// zero init value, otherwise open a query that only a later performed
+// store can close.
+func (s *shardLane) checkValue(idx uint64, ev *trace.Event, v mem.Word) {
+	s.stats.valueChecks++
+	k := wkey{addr: ev.Addr, val: v}
+	if _, ok := s.writers[k]; ok {
+		return
+	}
+	if _, ok := s.recovered[k]; ok {
+		return
+	}
+	if v == 0 {
+		return
+	}
+	what := "load"
+	if ev.IsRMW {
+		what = "rmw old value"
+	}
+	//dvmc:alloc-ok pending queries exist only for anomalous bindings; zero on legal traces
+	s.pending[k] = append(s.pending[k], pendQ{
+		idx: idx, ord: s.ord,
+		v: oracle.Violation{
+			Rule: oracle.RuleLoadValue, Node: int(ev.Node), Seq: ev.Seq, Time: ev.Time,
+			Detail: fmt.Sprintf("%s bound %#x at %#x, which no processor wrote", what, uint64(v), uint64(ev.Addr)),
+		},
+	})
+	s.ord++
+	s.chk.pendingQ.Add(1)
+}
+
+// applyFolds consumes the node lanes' recovery folds for this marker
+// (batch index i) that fall in this shard's address slice.
+func (s *shardLane) applyFolds(b *batch, i int) {
+	for _, fs := range b.folds {
+		for _, f := range fs {
+			if f.idx != i || !s.owns(f.addr) {
+				continue
+			}
+			s.recovered[wkey{addr: f.addr, val: f.val}] = struct{}{}
+		}
+	}
+}
+
+// drainPending converts queries still open at end-of-stream into the
+// R3 violations the batch checker's whole-trace membership would have
+// produced.
+func (s *shardLane) drainPending() {
+	n := 0
+	for _, qs := range s.pending {
+		for _, q := range qs {
+			s.viol = append(s.viol, keyed{idx: q.idx, cat: catLoadValue, ord: q.ord, v: q.v})
+		}
+		n += len(qs)
+	}
+	s.chk.pendingQ.Add(-int64(n))
+	s.pending = make(map[wkey][]pendQ)
+}

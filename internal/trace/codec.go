@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -175,46 +176,96 @@ func (w *Writer) Close() error {
 	return w.err
 }
 
-// Reader decodes a trace held in memory. Create with NewReader (which
-// parses and validates the header) and iterate with Next until io.EOF; the
-// footer count and CRC are verified when the sentinel is reached.
-type Reader struct {
-	data     []byte
-	pos      int
-	meta     Meta
-	lastTime int64
-	count    uint64
-	done     bool
+// PosError locates a decode failure in the stream: the index of the event
+// being decoded when it struck (0-based; equal to the number of complete
+// events before it) and the byte offset of the failing position. It wraps
+// the underlying cause, so errors.Is(err, ErrChecksum) and
+// errors.Is(err, io.ErrUnexpectedEOF) keep working through it.
+//
+// Positioned errors exist for operational triage of soak-length traces: a
+// torn tail (a pipe or file truncated mid-event) and a mid-stream flipped
+// byte are different failures, and "checksum mismatch" alone says neither
+// where nor how far a multi-gigabyte check got.
+type PosError struct {
+	Event  uint64 // index of the event being decoded when the failure struck
+	Offset int64  // byte offset of the failing position in the stream
+	Err    error  // underlying cause
 }
 
-// NewReader parses the header of data and returns a Reader positioned at
-// the first event.
-func NewReader(data []byte) (*Reader, error) {
-	if len(data) < len(Magic)+2 || string(data[:len(Magic)]) != Magic {
+// Error implements error.
+func (e *PosError) Error() string {
+	return fmt.Sprintf("trace: event %d, offset %d: %v", e.Event, e.Offset, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PosError) Unwrap() error { return e.Err }
+
+// readerBufSize is the Reader's fill-buffer capacity: large enough that
+// syscall overhead vanishes on pipes, small enough to be irrelevant
+// against the bounded-memory contract.
+const readerBufSize = 64 << 10
+
+// Reader decodes a trace incrementally from an io.Reader — a file, a
+// pipe from a concurrently-running `dvmc-trace record`, or an in-memory
+// slice via bytes.NewReader — without materializing the stream. Create
+// with NewReader (which reads and validates the header) and iterate with
+// Next until io.EOF; the footer count and CRC are verified when the
+// sentinel is reached. Decode failures carry their position as a
+// *PosError.
+type Reader struct {
+	src        io.Reader
+	d          *hash.Digest
+	buf        []byte
+	start, end int   // unread window within buf
+	off        int64 // absolute offset of the next unread byte
+	srcErr     error // sticky error from src (io.EOF included)
+	meta       Meta
+	lastTime   int64
+	count      uint64
+	done       bool
+}
+
+// NewReader reads and parses the trace header from src and returns a
+// Reader positioned at the first event.
+func NewReader(src io.Reader) (*Reader, error) {
+	r := &Reader{src: src, d: hash.NewDigest(), buf: make([]byte, readerBufSize)}
+	var magic [len(Magic)]byte
+	for i := range magic {
+		b, err := r.byte()
+		if err != nil {
+			return nil, ErrBadMagic
+		}
+		magic[i] = b
+	}
+	if string(magic[:]) != Magic {
 		return nil, ErrBadMagic
 	}
-	r := &Reader{data: data, pos: len(Magic)}
-	ver := data[r.pos]
+	ver, err := r.byte()
+	if err != nil {
+		return nil, r.posErr(err)
+	}
 	if ver != Version {
 		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", ver, Version)
 	}
-	flags := data[r.pos+1]
-	r.pos += 2 // version, flags
+	flags, err := r.byte()
+	if err != nil {
+		return nil, r.posErr(err)
+	}
 	nodes, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, r.posErr(err)
 	}
 	model, err := r.byte()
 	if err != nil {
-		return nil, err
+		return nil, r.posErr(err)
 	}
 	proto, err := r.byte()
 	if err != nil {
-		return nil, err
+		return nil, r.posErr(err)
 	}
 	seed, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, r.posErr(err)
 	}
 	r.meta = Meta{
 		Version: ver, Nodes: int(nodes), Model: consistency.Model(model),
@@ -226,42 +277,112 @@ func NewReader(data []byte) (*Reader, error) {
 // Meta returns the decoded header.
 func (r *Reader) Meta() Meta { return r.meta }
 
-func (r *Reader) byte() (byte, error) {
-	if r.pos >= len(r.data) {
-		return 0, io.ErrUnexpectedEOF
+// Count returns the number of events decoded so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Offset returns the absolute byte offset of the next unread byte.
+func (r *Reader) Offset() int64 { return r.off }
+
+// posErr wraps a decode failure with the stream position. A bare io.EOF
+// mid-event means the source ended where more bytes were required — a
+// torn tail — so it is normalised to io.ErrUnexpectedEOF.
+func (r *Reader) posErr(err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
 	}
-	b := r.data[r.pos]
-	r.pos++
+	return &PosError{Event: r.count, Offset: r.off, Err: err}
+}
+
+// fill tops the buffer up from src. It returns nil if at least one unread
+// byte is available afterwards.
+func (r *Reader) fill() error {
+	if r.start < r.end {
+		return nil
+	}
+	if r.srcErr != nil {
+		return r.srcErr
+	}
+	r.start, r.end = 0, 0
+	for r.end == 0 {
+		n, err := r.src.Read(r.buf)
+		r.end = n
+		if err != nil {
+			r.srcErr = err
+			if n == 0 {
+				return err
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// byte consumes one byte, teeing it into the running digest.
+func (r *Reader) byte() (byte, error) {
+	if err := r.fill(); err != nil {
+		return 0, err
+	}
+	b := r.buf[r.start]
+	r.start++
+	r.off++
+	r.d.WriteByte(b)
+	return b, nil
+}
+
+// rawByte consumes one byte WITHOUT digesting it — only for the two CRC
+// footer bytes, which the checksum does not cover.
+func (r *Reader) rawByte() (byte, error) {
+	if err := r.fill(); err != nil {
+		return 0, err
+	}
+	b := r.buf[r.start]
+	r.start++
+	r.off++
 	return b, nil
 }
 
 func (r *Reader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(r.data[r.pos:])
-	if n <= 0 {
-		return 0, io.ErrUnexpectedEOF
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		b, err := r.byte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
 	}
-	r.pos += n
-	return v, nil
+	return 0, errors.New("varint overflows 64 bits")
 }
 
 func (r *Reader) varint() (int64, error) {
-	v, n := binary.Varint(r.data[r.pos:])
-	if n <= 0 {
-		return 0, io.ErrUnexpectedEOF
+	uv, err := r.uvarint()
+	if err != nil {
+		return 0, err
 	}
-	r.pos += n
+	v := int64(uv >> 1)
+	if uv&1 != 0 {
+		v = ^v
+	}
 	return v, nil
 }
 
 // Next returns the next event, or io.EOF after the footer has been reached
-// and verified.
+// and verified. Any other error is positioned (*PosError).
 func (r *Reader) Next() (Event, error) {
 	if r.done {
 		return Event{}, io.EOF
 	}
+	if err := r.fill(); err != nil {
+		// The stream ended cleanly between events but before the footer
+		// sentinel: a torn tail, reported with its position.
+		return Event{}, r.posErr(err)
+	}
+	tagOff := r.off
 	tag, err := r.byte()
 	if err != nil {
-		return Event{}, err
+		return Event{}, r.posErr(err)
 	}
 	if tag == 0x00 {
 		return Event{}, r.finishFooter()
@@ -272,7 +393,7 @@ func (r *Reader) Next() (Event, error) {
 	ev.IsRMW = tag&tagRMWBit != 0
 	ev.Fwd = tag&tagFwdBit != 0
 	if ev.Node, err = r.byte(); err != nil {
-		return Event{}, err
+		return Event{}, r.posErr(err)
 	}
 	switch {
 	case ev.Kind == EvRecover:
@@ -280,44 +401,45 @@ func (r *Reader) Next() (Event, error) {
 	case ev.Class == consistency.Membar:
 		var m, mask byte
 		if m, err = r.byte(); err != nil {
-			return Event{}, err
+			return Event{}, r.posErr(err)
 		}
 		if mask, err = r.byte(); err != nil {
-			return Event{}, err
+			return Event{}, r.posErr(err)
 		}
 		ev.Model, ev.Mask = consistency.Model(m), consistency.MembarMask(mask)
 		if ev.Seq, err = r.uvarint(); err != nil {
-			return Event{}, err
+			return Event{}, r.posErr(err)
 		}
 	case ev.Class == consistency.Load || ev.Class == consistency.Store:
 		var m byte
 		if m, err = r.byte(); err != nil {
-			return Event{}, err
+			return Event{}, r.posErr(err)
 		}
 		ev.Model = consistency.Model(m)
 		if ev.Seq, err = r.uvarint(); err != nil {
-			return Event{}, err
+			return Event{}, r.posErr(err)
 		}
 		var a, v uint64
 		if a, err = r.uvarint(); err != nil {
-			return Event{}, err
+			return Event{}, r.posErr(err)
 		}
 		if v, err = r.uvarint(); err != nil {
-			return Event{}, err
+			return Event{}, r.posErr(err)
 		}
 		ev.Addr, ev.Val = mem.Addr(a), mem.Word(v)
 		if ev.IsRMW && ev.Kind == EvPerform {
 			if v, err = r.uvarint(); err != nil {
-				return Event{}, err
+				return Event{}, r.posErr(err)
 			}
 			ev.Val2 = mem.Word(v)
 		}
 	default:
-		return Event{}, fmt.Errorf("trace: invalid tag %#02x at offset %d", tag, r.pos-2)
+		return Event{}, &PosError{Event: r.count, Offset: tagOff,
+			Err: fmt.Errorf("invalid tag %#02x (corrupt byte or mid-stream damage)", tag)}
 	}
 	dt, err := r.varint()
 	if err != nil {
-		return Event{}, err
+		return Event{}, r.posErr(err)
 	}
 	r.lastTime += dt
 	ev.Time = sim.Cycle(r.lastTime)
@@ -330,19 +452,26 @@ func (r *Reader) Next() (Event, error) {
 func (r *Reader) finishFooter() error {
 	n, err := r.uvarint()
 	if err != nil {
-		return err
+		return r.posErr(err)
 	}
 	if n != r.count {
-		return fmt.Errorf("trace: footer count %d != decoded events %d", n, r.count)
+		return r.posErr(fmt.Errorf("footer count %d != decoded events %d", n, r.count))
 	}
-	if r.pos+2 > len(r.data) {
-		return io.ErrUnexpectedEOF
+	want := r.d.Sum16()
+	lo, err := r.rawByte()
+	if err != nil {
+		return r.posErr(err)
 	}
-	want := hash.Signature(uint16(r.data[r.pos]) | uint16(r.data[r.pos+1])<<8)
-	got := hash.Sum(r.data[:r.pos])
-	r.pos += 2
-	if got != want {
-		return ErrChecksum
+	hi, err := r.rawByte()
+	if err != nil {
+		return r.posErr(err)
+	}
+	if got := hash.Signature(uint16(lo) | uint16(hi)<<8); want != got {
+		// The stream decoded structurally but its checksum does not match:
+		// some byte between header and footer was silently damaged in a
+		// way the per-event shape checks could not see. The position names
+		// the footer so the report still says how far the check got.
+		return &PosError{Event: r.count, Offset: r.off - 2, Err: ErrChecksum}
 	}
 	r.done = true
 	return io.EOF
@@ -366,9 +495,9 @@ func Encode(meta Meta, events []Event) ([]byte, error) {
 	return buf.b, nil
 }
 
-// Decode parses a complete trace byte stream.
+// Decode parses a complete trace byte stream held in memory.
 func Decode(data []byte) (Meta, []Event, error) {
-	r, err := NewReader(data)
+	r, err := NewReader(bytes.NewReader(data))
 	if err != nil {
 		return Meta{}, nil, err
 	}

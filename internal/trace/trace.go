@@ -145,6 +145,19 @@ type Config struct {
 	// a window), so flight traces are for debugging, not differential
 	// verification.
 	FlightRecorder bool
+	// Sink, when non-nil, receives every captured event as it is emitted,
+	// in addition to the byte recorder. This is how a streaming consistency
+	// checker (internal/oracle/stream) rides along with the simulation
+	// instead of replaying encoded bytes afterwards. The sink is called
+	// from the simulation goroutine in event order; implementations that
+	// hand events to other goroutines must not let anything flow back into
+	// the simulation.
+	Sink Sink
+	// SinkOnly disables byte capture entirely: events go to Sink and the
+	// run has no TraceBytes. This is the bounded-memory mode fuzz
+	// campaigns use — a verdict without ever materializing the trace.
+	// Requires Sink.
+	SinkOnly bool
 }
 
 // DefaultRingEvents is the ring capacity when Config.RingEvents is zero.
@@ -166,6 +179,12 @@ func (c Config) Validate() error {
 	if c.RingEvents < 0 {
 		return fmt.Errorf("trace: RingEvents must be >= 0, got %d", c.RingEvents)
 	}
+	if c.SinkOnly && c.Sink == nil {
+		return fmt.Errorf("trace: SinkOnly requires a Sink")
+	}
+	if c.SinkOnly && c.FlightRecorder {
+		return fmt.Errorf("trace: SinkOnly and FlightRecorder are mutually exclusive")
+	}
 	return nil
 }
 
@@ -173,4 +192,14 @@ func (c Config) Validate() error {
 // only per-event cost when tracing is off.
 type Sink interface {
 	Emit(Event)
+}
+
+// TeeSink fans one event stream out to two sinks in emission order — the
+// byte recorder and a live streaming checker, typically.
+type TeeSink struct{ A, B Sink }
+
+// Emit implements Sink.
+func (t TeeSink) Emit(ev Event) {
+	t.A.Emit(ev)
+	t.B.Emit(ev)
 }

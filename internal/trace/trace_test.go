@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"errors"
 	"reflect"
 	"testing"
@@ -96,7 +97,7 @@ func TestCodecDetectsCorruption(t *testing.T) {
 	if _, _, err := Decode(data[:len(data)-1]); err == nil {
 		t.Error("truncated trace decoded silently")
 	}
-	if _, err := NewReader([]byte("not a trace")); !errors.Is(err, ErrBadMagic) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrBadMagic) {
 		t.Error("bad magic not detected")
 	}
 }

@@ -75,7 +75,11 @@ type System struct {
 	// rec captures the execution trace when Config.Trace is enabled. One
 	// shared recorder preserves the global chronological order of events
 	// across processors, which the offline oracle's value checks rely on.
-	rec *trace.Recorder
+	// tracer is the sink the processors actually emit into: the recorder,
+	// an extra Config.Trace.Sink (a live streaming checker), or a tee of
+	// both. rec is nil in SinkOnly mode.
+	rec    *trace.Recorder
+	tracer trace.Sink
 
 	// reg is the telemetry registry (always built; see telemetry.go);
 	// sampler is scheduled on the kernel only when Config.Telemetry is
@@ -155,17 +159,21 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	now := s.kernel.Now
 
 	if cfg.Trace.Enabled {
-		rec, err := trace.NewRecorder(cfg.Trace, trace.Meta{
-			Version:  trace.Version,
-			Nodes:    cfg.Nodes,
-			Model:    cfg.Model,
-			Protocol: uint8(cfg.Protocol - 1), // 0 directory, 1 snooping
-			Seed:     cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
+		if !cfg.Trace.SinkOnly {
+			rec, err := trace.NewRecorder(cfg.Trace, cfg.TraceMeta())
+			if err != nil {
+				return nil, err
+			}
+			s.rec = rec
+			s.tracer = rec
 		}
-		s.rec = rec
+		if extra := cfg.Trace.Sink; extra != nil {
+			if s.tracer != nil {
+				s.tracer = trace.TeeSink{A: s.tracer, B: extra}
+			} else {
+				s.tracer = extra
+			}
+		}
 	}
 
 	s.torus = network.NewTorus(cfg.Nodes, cfg.bytesPerCycle(), cfg.HopLatency, rng.Fork(1000))
@@ -243,8 +251,8 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		// Core.
 		prog := w.NewProgram(n, cfg.Seed)
 		cpu := proc.NewCPU(nid, cfg.Proc, cfg.Model, ctrl, prog)
-		if s.rec != nil {
-			cpu.AttachTracer(s.rec)
+		if s.tracer != nil {
+			cpu.AttachTracer(s.tracer)
 		}
 		s.progs = append(s.progs, prog)
 		s.cpus = append(s.cpus, cpu)
@@ -471,13 +479,13 @@ func (s *System) capture(now sim.Cycle) any {
 // and program positions rewind, checkers reset.
 func (s *System) restore(state any) {
 	st := state.(*checkpointState)
-	if s.rec != nil {
+	if s.tracer != nil {
 		// Mark the rollback in the trace: committed-but-unperformed
 		// operations before this point were discarded, and previously
 		// exposed values may legally reappear. The offline oracle clears
 		// its pending state at this marker, mirroring the online
 		// checkers' Reset below.
-		s.rec.Emit(trace.Event{Kind: trace.EvRecover, Time: s.kernel.Now()})
+		s.tracer.Emit(trace.Event{Kind: trace.EvRecover, Time: s.kernel.Now()})
 	}
 	s.torus.Reset()
 	if s.bcast != nil {
