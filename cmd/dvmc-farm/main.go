@@ -35,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"dvmc/internal/fabric"
@@ -83,6 +84,20 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// parseKinds splits a comma-separated fault-kind list ("" = all kinds).
+func parseKinds(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 func newFlagSet(name string) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
@@ -114,15 +129,18 @@ func serve(args []string, resume bool) {
 		metricsOut = fs.String("metrics-out", "", "write the merged telemetry snapshot to this file ('-' for stdout; needs -metrics)")
 
 		// Job flags (serve only; resume reads the spec from the journal).
-		kind      = fs.String("job", "fuzz", "job kind: fuzz | experiment")
+		kind      = fs.String("job", "fuzz", "job kind: fuzz | coverage | experiment")
 		seed      = fs.Uint64("seed", 1, "campaign master seed")
-		n         = fs.Int("n", 200, "fuzz: number of runs")
-		faultFrac = fs.Float64("fault-frac", 0.5, "fuzz: fraction of runs that inject a fault")
+		n         = fs.Int("n", 200, "fuzz/coverage: number of runs")
+		faultFrac = fs.Float64("fault-frac", 0.5, "fuzz/coverage: fraction of runs that inject a fault")
 		budget    = fs.Uint64("budget", fuzz.DefaultBudget, "per-run cycle budget")
-		corpus    = fs.String("corpus", "", "fuzz: directory for minimized failure reproducers")
-		minimize  = fs.Bool("minimize", true, "fuzz: delta-debug failures before writing them")
-		minBudget = fs.Int("minimize-budget", fuzz.DefaultMinimizeBudget, "fuzz: max re-runs per minimized failure")
-		metrics   = fs.Bool("metrics", false, "fuzz: instrument every case and merge telemetry farm-wide")
+		corpus    = fs.String("corpus", "", "fuzz/coverage: directory for minimized failure reproducers")
+		minimize  = fs.Bool("minimize", true, "fuzz/coverage: delta-debug failures before writing them")
+		minBudget = fs.Int("minimize-budget", fuzz.DefaultMinimizeBudget, "fuzz/coverage: max re-runs per minimized failure")
+		metrics   = fs.Bool("metrics", false, "fuzz/coverage: instrument every case and merge telemetry farm-wide")
+		kinds     = fs.String("kinds", "", "fuzz/coverage: comma-separated fault kinds to inject (default all)")
+		gens      = fs.Int("gens", 4, "coverage: breeding generations after the random prefix")
+		genSize   = fs.Int("gen-size", 0, "coverage: mutants per generation (0 = n/8, min 1)")
 		faults    = fs.Int("faults", 100, "experiment: injections per protocol x model row")
 	)
 	parseFlags(fs, args)
@@ -140,12 +158,28 @@ func serve(args []string, resume bool) {
 		coord, err = fabric.ResumeCoordinator(*checkpoint, opts)
 	} else {
 		spec := fabric.JobSpec{Kind: fabric.JobKind(*kind), ShardSize: *shard}
+		base := fuzz.CampaignConfig{
+			Seed: *seed, Runs: *n, FaultFrac: *faultFrac, Budget: *budget,
+			CorpusDir: *corpus, Minimize: *minimize, MinimizeBudget: *minBudget,
+			Metrics: *metrics, Kinds: parseKinds(*kinds),
+		}
 		switch spec.Kind {
 		case fabric.JobFuzz:
-			spec.Fuzz = &fuzz.CampaignConfig{
-				Seed: *seed, Runs: *n, FaultFrac: *faultFrac, Budget: *budget,
-				CorpusDir: *corpus, Minimize: *minimize, MinimizeBudget: *minBudget,
-				Metrics: *metrics,
+			spec.Fuzz = &base
+		case fabric.JobCoverage:
+			size := *genSize
+			if size <= 0 {
+				size = *n / 8
+				if size < 1 {
+					size = 1
+				}
+			}
+			init := *n - *gens*size
+			if init < 1 {
+				fatalf("serve: -n %d leaves no random prefix for %d generations of %d", *n, *gens, size)
+			}
+			spec.Coverage = &fuzz.CoverageConfig{
+				Campaign: base, InitRuns: init, Generations: *gens, PerGen: size,
 			}
 		case fabric.JobExperiment:
 			spec.Experiment = &fabric.ExperimentSpec{Faults: *faults, Budget: *budget, Seed: *seed}
@@ -197,14 +231,20 @@ func serve(args []string, resume bool) {
 // baselines.
 func writeOutputs(coord *fabric.Coordinator, out *fabric.Output, jsonOut bool, recordsOut, metricsOut string) (failed bool, err error) {
 	if out.Records != nil {
+		// Coverage jobs render the extended summary (features, pool,
+		// per-generation novelty) the serial dvmc-fuzz -coverage prints.
+		var summary any = out.Summary
+		if out.Coverage != nil {
+			summary = *out.Coverage
+		}
 		if jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(out.Summary); err != nil {
+			if err := enc.Encode(summary); err != nil {
 				return false, err
 			}
 		} else {
-			fmt.Print(out.Summary)
+			fmt.Print(summary)
 		}
 		if recordsOut != "" {
 			data, err := json.MarshalIndent(out.Records, "", "  ")

@@ -152,8 +152,8 @@ func gen(args []string) {
 func parseFault(s string) (*fuzz.FaultSpec, error) {
 	var f fuzz.FaultSpec
 	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("fault %q: want kind:node:cycle", s)
+	if len(parts) < 3 || len(parts) > 5 {
+		return nil, fmt.Errorf("fault %q: want kind:node:cycle[:window[:magnitude]]", s)
 	}
 	f.Kind = parts[0]
 	if _, err := fmt.Sscanf(parts[1], "%d", &f.Node); err != nil {
@@ -162,10 +162,34 @@ func parseFault(s string) (*fuzz.FaultSpec, error) {
 	if _, err := fmt.Sscanf(parts[2], "%d", &f.Cycle); err != nil {
 		return nil, fmt.Errorf("fault cycle %q: %v", parts[2], err)
 	}
+	if len(parts) > 3 {
+		if _, err := fmt.Sscanf(parts[3], "%d", &f.Window); err != nil {
+			return nil, fmt.Errorf("fault window %q: %v", parts[3], err)
+		}
+	}
+	if len(parts) > 4 {
+		if _, err := fmt.Sscanf(parts[4], "%d", &f.Magnitude); err != nil {
+			return nil, fmt.Errorf("fault magnitude %q: %v", parts[4], err)
+		}
+	}
 	if _, err := f.Injection(); err != nil {
 		return nil, err
 	}
 	return &f, nil
+}
+
+// parseKinds splits a comma-separated fault-kind pool.
+func parseKinds(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 func run(args []string) {
@@ -182,31 +206,65 @@ func run(args []string) {
 		jsonOut    = fs.Bool("json", false, "print the summary as JSON")
 		verbose    = fs.Bool("v", false, "print one line per non-clean run")
 		metricsOut = fs.String("metrics-out", "", "re-run the first failing case (else the first case) with telemetry and write the snapshot to this file")
+		coverage   = fs.Bool("coverage", false, "coverage-guided mode: after a random prefix, breed mutants from runs that reached new coverage (-n stays the total case budget)")
+		gens       = fs.Int("gens", 4, "breeding generations (with -coverage)")
+		genSize    = fs.Int("gen-size", 0, "mutants per generation (with -coverage; 0 = n/8)")
+		kindsStr   = fs.String("kinds", "", "comma-separated fault-kind pool (empty = every kind); known: "+strings.Join(fuzz.FaultKindNames(), ", "))
 	)
 	parseFlags(fs, args)
 	if fs.NArg() != 0 {
 		fatalf("run: unexpected arguments %v", fs.Args())
 	}
-	cp, err := fuzz.NewCampaign(fuzz.CampaignConfig{
+	base := fuzz.CampaignConfig{
 		Seed: *seed, Runs: *n, Workers: *workers, FaultFrac: *faultFrac,
 		Budget: *budget, CorpusDir: *corpus,
 		Minimize: *minimize, MinimizeBudget: *minBudget,
-	})
-	if err != nil {
-		fatalf("run: %v", err)
+		Kinds: parseKinds(*kindsStr),
 	}
-	records, summary, _, err := cp.Run()
-	if err != nil {
-		fatalf("run: %v", err)
+	var (
+		records []fuzz.Record
+		summary fuzz.Summary
+		printed any
+	)
+	if *coverage {
+		per := *genSize
+		if per == 0 {
+			per = *n / 8
+			if per < 1 {
+				per = 1
+			}
+		}
+		init := *n - *gens*per
+		if init < 1 {
+			fatalf("run: -n %d leaves no random prefix for %d generations of %d mutants", *n, *gens, per)
+		}
+		cc := fuzz.CoverageConfig{Campaign: base, InitRuns: init, Generations: *gens, PerGen: per}
+		var covSum fuzz.CoverageSummary
+		var err error
+		records, covSum, _, err = fuzz.RunCoverage(cc)
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		summary, printed = covSum.Summary, covSum
+	} else {
+		cp, err := fuzz.NewCampaign(base)
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		records, summary, _, err = cp.Run()
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		printed = summary
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(summary); err != nil {
+		if err := enc.Encode(printed); err != nil {
 			fatalf("run: %v", err)
 		}
 	} else {
-		fmt.Print(summary)
+		fmt.Print(printed)
 	}
 	if *verbose {
 		for _, r := range fuzz.SortRecordsByClass(records) {

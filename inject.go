@@ -27,7 +27,9 @@ const (
 	FaultMsgDuplicate
 	FaultMsgMisroute
 	FaultMsgReorder
-	FaultMsgDataFlip // data bit flip in a block-bearing message
+	FaultMsgDataFlip     // data bit flip in a block-bearing message
+	FaultMsgStaleDup     // duplicate replayed a full fault window late
+	FaultMsgReorderBurst // burst of messages captured and released in reverse order
 	// Storage faults.
 	FaultCacheDataFlip
 	FaultMemoryDataFlip
@@ -41,6 +43,11 @@ const (
 	// Controller-logic faults.
 	FaultPermissionDrop
 	FaultSilentWrite
+	FaultCtrlStateCorrupt // MOSI state bits of a resident line flipped
+	// Logical-time fault.
+	FaultTimeSkew // per-node clock skew attacking the Time16 wraparound scrubber
+	// BER fault.
+	FaultNestedRecovery // a second rollback before any post-recovery checkpoint
 
 	numFaultKinds
 )
@@ -58,6 +65,10 @@ func (k FaultKind) String() string {
 		return "msg-reorder"
 	case FaultMsgDataFlip:
 		return "msg-data-flip"
+	case FaultMsgStaleDup:
+		return "msg-stale-dup"
+	case FaultMsgReorderBurst:
+		return "msg-reorder-burst"
 	case FaultCacheDataFlip:
 		return "cache-data-flip"
 	case FaultMemoryDataFlip:
@@ -76,6 +87,12 @@ func (k FaultKind) String() string {
 		return "ctrl-permission-drop"
 	case FaultSilentWrite:
 		return "ctrl-silent-write"
+	case FaultCtrlStateCorrupt:
+		return "ctrl-state-corrupt"
+	case FaultTimeSkew:
+		return "lt-skew"
+	case FaultNestedRecovery:
+		return "nested-recovery"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", uint8(k))
 	}
@@ -102,6 +119,47 @@ type Injection struct {
 	Kind  FaultKind
 	Node  int       // target node (cache/WB/LSQ faults)
 	Cycle sim.Cycle // injection time
+	// Window parameterises time-windowed faults (0 = kind default): the
+	// stale-dup replay delay, the reorder-burst release deadline, and the
+	// nested-recovery re-trigger delay.
+	Window sim.Cycle
+	// Magnitude parameterises sized faults (0 = kind default): the
+	// reorder-burst length, and the injected skew in logical-time ticks.
+	Magnitude uint64
+}
+
+// window returns the effective fault window for time-windowed kinds.
+func (inj Injection) window() sim.Cycle {
+	if inj.Window > 0 {
+		return inj.Window
+	}
+	switch inj.Kind {
+	case FaultMsgStaleDup:
+		return 1500 // long enough for the original transaction to retire
+	case FaultMsgReorderBurst:
+		return 400 // release deadline if the burst never fills
+	case FaultNestedRecovery:
+		return 2500 // well inside one checkpoint interval
+	default:
+		return 64
+	}
+}
+
+// magnitude returns the effective fault magnitude for sized kinds.
+func (inj Injection) magnitude() uint64 {
+	if inj.Magnitude > 0 {
+		return inj.Magnitude
+	}
+	switch inj.Kind {
+	case FaultMsgReorderBurst:
+		return 4
+	case FaultTimeSkew:
+		// Half the Time16 range: the compressed-timestamp scrubber's
+		// wraparound worst case.
+		return 1 << 15
+	default:
+		return 1
+	}
 }
 
 // InjectionResult records what happened.
@@ -194,8 +252,9 @@ func (s *System) eccCorrections() uint64 {
 func (s *System) apply(inj Injection, rng *sim.Rand) bool {
 	n := inj.Node % s.cfg.Nodes
 	switch inj.Kind {
-	case FaultMsgDrop, FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder, FaultMsgDataFlip:
-		return s.armMessageFault(inj.Kind, rng)
+	case FaultMsgDrop, FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder, FaultMsgDataFlip,
+		FaultMsgStaleDup, FaultMsgReorderBurst:
+		return s.armMessageFault(inj, rng)
 	case FaultCacheDataFlip:
 		blocks := s.ctrls[n].ResidentBlocks(64)
 		if len(blocks) == 0 {
@@ -262,6 +321,36 @@ func (s *System) apply(inj Injection, rng *sim.Rand) bool {
 		b := blocks[rng.Intn(len(blocks))]
 		return s.ctrls[n].WriteWithoutPermissionFault(b.WordAddr(rng.Intn(mem.WordsPerBlock)),
 			mem.Word(rng.Uint64()))
+	case FaultCtrlStateCorrupt:
+		// Demote direction first: silently downgrade a Modified line to
+		// Shared, forgetting its writeback obligation. Only lines whose
+		// data actually differs from the home memory image make the
+		// ground truth solid — any later exercise of the corruption is
+		// then a genuine lost update — so clean lines fall through to the
+		// promote direction (upgrade S/O to M without a data grant).
+		for _, b := range s.ctrls[n].ResidentBlocks(64) {
+			if s.blockDirty(n, b) && s.ctrls[n].CorruptLineStateFault(b, false) {
+				return true
+			}
+		}
+		blocks := s.ctrls[n].ResidentReadOnlyBlocks(64)
+		if len(blocks) == 0 {
+			return false
+		}
+		return s.ctrls[n].CorruptLineStateFault(blocks[rng.Intn(len(blocks))], true)
+	case FaultTimeSkew:
+		ck := s.clocks[n]
+		if ck == nil {
+			// Snooping's logical time is the broadcast sequence number —
+			// there is no physical clock to skew.
+			return false
+		}
+		ck.InjectSkew(inj.magnitude() * skewDiv)
+		return true
+	case FaultNestedRecovery:
+		// First rollback now; RunInjectionSystem issues the second one
+		// inside the recovery window, before any fresh checkpoint.
+		return s.Recover(inj.Cycle)
 	default:
 		panic(fmt.Sprintf("dvmc: unknown fault kind %v", inj.Kind))
 	}
@@ -288,10 +377,32 @@ func (s *System) homeMemory(n int) *mem.Memory {
 	return s.snpH[n].Memory()
 }
 
-// armMessageFault installs a one-shot network fault hook targeting the
-// next eligible message.
-func (s *System) armMessageFault(kind FaultKind, rng *sim.Rand) bool {
+// blockDirty reports whether node n's cached copy of b differs from the
+// block's home memory image. Fault-targeting cold path only.
+func (s *System) blockDirty(n int, b mem.BlockAddr) bool {
+	img := s.homeMemory(int(s.cfg.Memory.HomeOf(b))).ReadBlock(b)
+	for w := 0; w < mem.WordsPerBlock; w++ {
+		v, ok := s.ctrls[n].PeekWord(b.WordAddr(w))
+		if !ok {
+			return false
+		}
+		if v != img[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// armMessageFault installs a network fault hook: one-shot for the
+// single-message kinds, multi-capture for the reorder burst (it stays
+// armed until Magnitude coherence messages are held, or the window
+// closes).
+func (s *System) armMessageFault(inj Injection, rng *sim.Rand) bool {
+	kind := inj.Kind
+	s.torus.SetFaultWindow(inj.window())
 	armed := true
+	burst := 0
+	var burstAt sim.Cycle
 	hook := func(m *network.Message) network.FaultAction {
 		if !armed {
 			return network.FaultNone
@@ -339,6 +450,34 @@ func (s *System) armMessageFault(kind FaultKind, rng *sim.Rand) bool {
 			s.msgFaultActivated = s.Now()
 			s.torus.SetFaultHook(nil)
 			return network.FaultDelay
+		case FaultMsgStaleDup:
+			if m.Class != network.ClassCoherence {
+				return network.FaultNone
+			}
+			armed = false
+			s.msgFaultActivated = s.Now()
+			s.torus.SetFaultHook(nil)
+			return network.FaultDupStale
+		case FaultMsgReorderBurst:
+			if m.Class != network.ClassCoherence {
+				return network.FaultNone
+			}
+			if burst == 0 {
+				burstAt = s.Now()
+				s.msgFaultActivated = s.Now()
+			} else if s.Now() >= burstAt+inj.window() {
+				// The window closed before the burst filled; the torus
+				// already released the partial burst at the deadline.
+				armed = false
+				s.torus.SetFaultHook(nil)
+				return network.FaultNone
+			}
+			burst++
+			if burst >= int(inj.magnitude()) {
+				armed = false
+				s.torus.SetFaultHook(nil)
+			}
+			return network.FaultHold
 		default:
 			panic(fmt.Sprintf("dvmc: armMessageFault with non-message fault %v", kind))
 		}
@@ -409,8 +548,21 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 	if !res.Applied {
 		return res, s, nil
 	}
-	res.ActivatedAt = inj.Cycle
+	// Stamp activation with the time the fault actually applied, not the
+	// requested injection cycle: the warm-up stops early when every
+	// thread drains before inj.Cycle, and a violation observed between
+	// that point and inj.Cycle would otherwise drive the unsigned
+	// latency subtraction below zero. (Found by the coverage campaign:
+	// lt-skew runs reported ~2^64-cycle detection latencies.)
+	res.ActivatedAt = s.Now()
 	detected := func() bool {
+		if inj.Kind == FaultNestedRecovery {
+			// A legal double rollback injects no architectural error, so
+			// there is nothing to "detect": post-recovery checker noise is
+			// a false alarm (the differential verdict classifies it), never
+			// a detection.
+			return false
+		}
 		if inj.Kind == FaultLSQValue || inj.Kind == FaultLSQForward {
 			// Attribute precisely: the corrupted load itself must fail
 			// verification (benign mis-speculation mismatches on other
@@ -429,7 +581,15 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 	// violation), or the budget expires. Statistical workloads never
 	// finish, so their observation window is the full budget as before.
 	grace := uint64(0)
+	nestedDone := false
 	s.kernel.RunUntil(func() bool {
+		if inj.Kind == FaultNestedRecovery && !nestedDone && s.Now() >= inj.Cycle+inj.window() {
+			// The second rollback, issued before any post-recovery
+			// checkpoint: it re-restores the checkpoint the first recovery
+			// used (recovery-during-recovery).
+			nestedDone = true
+			s.Recover(s.Now())
+		}
 		if detected() {
 			return true
 		}
@@ -449,10 +609,18 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 		if at, ok := s.cpus[inj.Node%s.cfg.Nodes].FaultActivatedAt(); ok {
 			res.ActivatedAt = at
 		}
+	case FaultCtrlStateCorrupt:
+		// The corrupted state bits can sit unexercised for a long time;
+		// the architectural error begins when a store performs under (or
+		// a dirty copy is lost in) the corrupted state.
+		if at, ok := s.ctrls[inj.Node%s.cfg.Nodes].StateFaultFired(); ok {
+			res.ActivatedAt = at
+		}
 	default:
 		// Other fault kinds activate at injection; ActivatedAt is set
 		// where they are armed.
-	case FaultMsgDrop, FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder, FaultMsgDataFlip:
+	case FaultMsgDrop, FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder, FaultMsgDataFlip,
+		FaultMsgStaleDup, FaultMsgReorderBurst:
 		if s.msgFaultActivated > 0 {
 			res.ActivatedAt = s.msgFaultActivated
 		}
@@ -502,9 +670,10 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 	}
 	// Undetected: classify maskable outcomes.
 	switch inj.Kind {
-	case FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder:
+	case FaultMsgDuplicate, FaultMsgMisroute, FaultMsgReorder, FaultMsgStaleDup, FaultMsgReorderBurst:
 		// Control messages are absorbed idempotently when no matching
-		// transaction exists; the fault left no architectural trace.
+		// transaction exists (a stale replay or a reversed burst included);
+		// the fault left no architectural trace.
 		res.Masked = true
 	case FaultLSQValue, FaultLSQForward:
 		cpu := s.cpus[inj.Node%s.cfg.Nodes]
@@ -528,10 +697,78 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 		// every undetected WB fault masked and was contradicted by the
 		// offline oracle whenever the corrupt value actually performed.)
 		res.Masked = !s.wbFaultFired(inj.Node % s.cfg.Nodes)
+	case FaultCtrlStateCorrupt:
+		// Masked while the corrupted state was never exercised (the line
+		// was invalidated or re-granted before a store performed on a
+		// promoted line, or before a demoted line's dirty copy was lost)
+		// — and also when it fired without any later observation: every
+		// post-corruption reuse of the block runs through the MET's epoch
+		// checks (the detected runs fire data-propagation-mismatch or
+		// epoch-overlap there), and an observed stale value reaches the
+		// offline oracle, which the differential verdict turns into an
+		// escape. A fired-but-undetected, oracle-silent run therefore had
+		// no architecturally visible effect within the budget — latent
+		// corruption, the same semantics as the data-flip classes.
+		// (Found by the coverage campaign: a demotion firing during the
+		// post-drain writeback flush, with no block reuse left to check,
+		// was misclassified as an escape.)
+		res.Masked = true
+	case FaultTimeSkew, FaultNestedRecovery:
+		// Skew perturbs only the verification metadata's time base, and a
+		// correct double rollback leaves no architectural error: both are
+		// probes of the checking machinery itself. Undetected is the
+		// expected clean outcome; a bug surfaces as an offline-oracle
+		// contradiction (escape) or online noise (false alarm) in the
+		// differential verdict.
+		res.Masked = true
+	case FaultMsgDrop:
+		// A fired drop is never maskable — it destroyed a real coherence
+		// message. But the hook arms and then waits for eligible traffic;
+		// if none passes within the budget — a quiet node, or an
+		// injection cycle past the program's drain — nothing was dropped
+		// and the fault is masked, the same armed-but-dormant semantics
+		// the LSQ and write-buffer classes use. (Found by the coverage
+		// campaign: empty-traffic cases were misclassified as escapes.)
+		res.Masked = s.msgFaultActivated == 0
+	case FaultMsgDataFlip:
+		// Same armed-but-dormant rule; and a fired flip whose word is
+		// never architecturally consumed within the budget is latent —
+		// the in-flight corruption entered a cache line but no load
+		// observed it, the same semantics as the cache/memory flip
+		// classes. A consumed corrupted value is caught online by the
+		// data-propagation check or offline by the oracle's value check,
+		// which the differential verdict turns into an escape.
+		res.Masked = true
+	case FaultPermissionDrop:
+		// Dropping a clean copy is architecturally an eviction — the next
+		// access misses and refetches the same value, so nothing ever
+		// differs. Dropping a dirty copy loses an update, but the loss is
+		// observable only when a later access reads the stale home value:
+		// the MET's data-propagation check catches that online, and the
+		// oracle's value check catches it offline, so the differential
+		// verdict turns any observed loss into an escape. Undetected and
+		// oracle-silent means the drop was never architecturally consumed
+		// within the budget — latent, the same doctrine as the ctrl-state
+		// class. (Found by the coverage campaign: clean-copy drops were
+		// misclassified as escapes.)
+		res.Masked = true
+	case FaultSilentWrite:
+		// The faulty controller wrote a random word into a resident copy
+		// without permission. Only a local load of that exact word can
+		// consume the corruption — a remote writer invalidates the rogue
+		// copy harmlessly, and a read-only copy is discarded unwritten on
+		// eviction. The injector picks a uniform word in the block, so
+		// most rogue writes land on words the program never loads; those
+		// are latent. A consumed rogue value is caught online by the VC's
+		// value comparison or offline by the oracle, which the masked
+		// branch of the differential verdict reports as an escape. (Found
+		// by the coverage campaign: unconsumed rogue writes were
+		// misclassified as escapes.)
+		res.Masked = true
 	default:
-		// FaultMsgDrop, FaultMsgDataFlip, FaultWBReorder,
-		// FaultPermissionDrop, FaultSilentWrite: an undetected run is an
-		// escape, never maskable.
+		// FaultWBReorder: an undetected run is an escape, never maskable
+		// — a fired reorder swapped two real writebacks on their way to
+		// memory.
 	}
 	return res, s, nil
 }

@@ -1,0 +1,46 @@
+package coherence
+
+// FaultKind mirrors the repo's injection enum: iota+1 variants with a
+// trailing sentinel, later extended by hostile-fault-model classes. The
+// seeded-bad switch below covers only the original classes — exactly
+// the hygiene failure a new fault kind invites — and the analyzer must
+// name every omitted newcomer.
+type FaultKind uint8
+
+// FaultKind variants; numFaultKinds is a sentinel and not a variant.
+const (
+	FaultMsgDrop FaultKind = iota + 1
+	FaultMsgDataFlip
+	FaultMsgStaleDup
+	FaultMsgReorderBurst
+	FaultCtrlStateCorrupt
+	FaultTimeSkew
+	FaultNestedRecovery
+	numFaultKinds
+)
+
+var _ = int(numFaultKinds)
+
+// StaleFaultSwitch predates the hostile fault models: it handles the
+// original kinds and silently ignores every newcomer. Flagged, naming
+// each omitted new class (and not the sentinel).
+func StaleFaultSwitch(k FaultKind) string {
+	switch k { // want "missing FaultMsgStaleDup, FaultMsgReorderBurst, FaultCtrlStateCorrupt, FaultTimeSkew, FaultNestedRecovery"
+	case FaultMsgDrop:
+		return "drop"
+	case FaultMsgDataFlip:
+		return "flip"
+	}
+	return ""
+}
+
+// FreshFaultSwitch covers the newcomers too: allowed.
+func FreshFaultSwitch(k FaultKind) string {
+	switch k {
+	case FaultMsgDrop, FaultMsgDataFlip:
+		return "classic"
+	case FaultMsgStaleDup, FaultMsgReorderBurst, FaultCtrlStateCorrupt, FaultTimeSkew, FaultNestedRecovery:
+		return "hostile"
+	}
+	return ""
+}

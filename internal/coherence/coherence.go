@@ -146,6 +146,12 @@ func NewSkewedClock(now func() sim.Cycle, skew, div uint64) *SkewedClock {
 // LogicalNow implements LogicalClock.
 func (c *SkewedClock) LogicalNow() uint64 { return (uint64(c.now()) + c.skew) / c.div }
 
+// InjectSkew adds delta raw cycles of extra skew, modelling a fault in
+// the loose clock-synchronisation hardware. Injected skew above the
+// minimum network latency breaks the causality premise of Section 4.3,
+// and skew near the Time16 half-range attacks the wraparound scrubber.
+func (c *SkewedClock) InjectSkew(delta uint64) { c.skew += delta }
+
 // Config sizes the memory system. Zero values are invalid; use
 // DefaultConfig from the public package or fill every field.
 type Config struct {
@@ -241,6 +247,25 @@ type Controller interface {
 	// controller only holds in S/O (or even I), modelling a controller
 	// logic fault that skips the upgrade. Returns false if impossible.
 	WriteWithoutPermissionFault(addr mem.Addr, val mem.Word) bool
+
+	// CorruptLineStateFault corrupts the MOSI state bits of a resident
+	// line, modelling a protocol-state flip in the cache controller:
+	// promote silently upgrades an S/O line to M (write permission the
+	// system never granted), !promote silently demotes an M line to S
+	// (the writeback obligation is forgotten). No epoch event or
+	// protocol message is emitted — the verification metadata is left
+	// deliberately stale. Returns false if no line can sustain the
+	// requested corruption.
+	CorruptLineStateFault(b mem.BlockAddr, promote bool) bool
+
+	// StateFaultFired reports whether an injected CorruptLineStateFault
+	// was architecturally exercised — a store performed under, or an
+	// eviction/writeback happened in, the corrupted state — and at which
+	// cycle: the corruption can lie dormant long after arming, and
+	// detection latency is measured from the exercise, not the arming. A
+	// corruption erased by an invalidation before being exercised is
+	// masked.
+	StateFaultFired() (sim.Cycle, bool)
 
 	// ForEachDirty visits every resident dirty (M or O) block, for
 	// SafetyNet checkpoint capture.

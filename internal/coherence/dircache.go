@@ -44,9 +44,27 @@ type DirCache struct {
 
 	stats  ControllerStats
 	strict bool
+
+	// Armed CorruptLineStateFault record: which block's MOSI state was
+	// corrupted, in which direction, and whether the corruption was
+	// architecturally exercised before being erased.
+	stateFaultBlock   mem.BlockAddr
+	stateFaultPromote bool
+	stateFaultArmed   bool
+	stateFaultFired   bool
+	stateFaultFiredAt sim.Cycle
 }
 
 var _ Controller = (*DirCache)(nil)
+
+// fireStateFault records that the armed state corruption took
+// architectural effect this cycle.
+func (c *DirCache) fireStateFault() {
+	if !c.stateFaultFired {
+		c.stateFaultFired = true
+		c.stateFaultFiredAt = c.now
+	}
+}
 
 type waiterKind uint8
 
@@ -253,6 +271,11 @@ func (c *DirCache) PeekWord(addr mem.Addr) (mem.Word, bool) {
 
 // performStore writes into a Modified line and notifies listeners.
 func (c *DirCache) performStore(l *line, addr mem.Addr, val mem.Word) {
+	if c.stateFaultArmed && c.stateFaultPromote && l.block == c.stateFaultBlock {
+		// The store is performing under write permission the system never
+		// granted: other sharers still hold — and may read — the old value.
+		c.fireStateFault()
+	}
 	c.l2.writeWord(l, addr, val)
 	c.l1.insert(l.block)
 	c.access(l.block, true)
@@ -348,6 +371,14 @@ func (c *DirCache) allocate(b mem.BlockAddr) *line {
 // data.
 func (c *DirCache) evict(l *line) {
 	b := l.block
+	if c.stateFaultArmed && b == c.stateFaultBlock {
+		if !c.stateFaultPromote {
+			// The demoted line's dirty data leaves through the clean
+			// (Shared) eviction path: the only up-to-date copy is dropped.
+			c.fireStateFault()
+		}
+		c.stateFaultArmed = false
+	}
 	home := c.cfg.HomeOf(b)
 	data := c.l2.readBlock(l)
 	switch l.state {
@@ -394,6 +425,14 @@ func (c *DirCache) onData(p MsgData) {
 			return
 		}
 	} else if l.valid && l.state != Invalid {
+		if c.stateFaultArmed && p.Block == c.stateFaultBlock {
+			if !c.stateFaultPromote {
+				// Home's grant data (stale memory) is about to overwrite
+				// the demoted line's dirty copy: the stores are lost.
+				c.fireStateFault()
+			}
+			c.stateFaultArmed = false
+		}
 		// Upgrading an existing Shared copy: its Read-Only epoch ends at
 		// the instant the new (Read-Write) grant takes effect.
 		c.epochEnd(p.Block, epochKindOf(l.state), c.l2.readBlock(l))
@@ -474,6 +513,12 @@ func (c *DirCache) serve(ms *mshr, l *line, exclusive bool) {
 func (c *DirCache) onInv(p MsgInv) {
 	l := c.l2.peek(p.Block)
 	if l != nil && l.valid {
+		if c.stateFaultArmed && p.Block == c.stateFaultBlock {
+			if !c.stateFaultPromote {
+				c.fireStateFault() // the dirty copy is dropped
+			}
+			c.stateFaultArmed = false
+		}
 		if l.state == Modified || l.state == Owned {
 			if c.strict {
 				panic(fmt.Sprintf("DirCache %d: Inv for owned block %#x", c.node, p.Block))
@@ -492,6 +537,15 @@ func (c *DirCache) onInv(p MsgInv) {
 // onRecall surrenders an owned block to the home controller.
 func (c *DirCache) onRecall(p MsgRecall) {
 	home := c.cfg.HomeOf(p.Block)
+	if c.stateFaultArmed && p.Block == c.stateFaultBlock {
+		if !c.stateFaultPromote {
+			// Home recalls what it believes is this node's owned copy; the
+			// demoted line fails the ownership check below, so the response
+			// carries no data and the dirty copy is lost.
+			c.fireStateFault()
+		}
+		c.stateFaultArmed = false
+	}
 	l := c.l2.peek(p.Block)
 	if l != nil && l.valid && (l.state == Modified || l.state == Owned) {
 		data := c.l2.readBlock(l)
@@ -631,8 +685,37 @@ func (c *DirCache) ForEachDirty(fn func(b mem.BlockAddr, data mem.Block)) {
 	}
 }
 
+// CorruptLineStateFault implements Controller.
+func (c *DirCache) CorruptLineStateFault(b mem.BlockAddr, promote bool) bool {
+	l := c.l2.peek(b)
+	if l == nil || !l.valid || !l.dataValid {
+		return false
+	}
+	if promote {
+		if l.state != Shared && l.state != Owned {
+			return false
+		}
+		l.state = Modified
+	} else {
+		if l.state != Modified {
+			return false
+		}
+		l.state = Shared
+	}
+	c.stateFaultBlock = b
+	c.stateFaultPromote = promote
+	c.stateFaultArmed = true
+	return true
+}
+
+// StateFaultFired implements Controller.
+func (c *DirCache) StateFaultFired() (sim.Cycle, bool) {
+	return c.stateFaultFiredAt, c.stateFaultFired
+}
+
 // Reset implements Controller.
 func (c *DirCache) Reset() {
+	c.stateFaultArmed = false // recovery wipes the cache; fired persists
 	for i := range c.l2.lines {
 		if c.l2.lines[i].valid {
 			c.l2.invalidate(&c.l2.lines[i])

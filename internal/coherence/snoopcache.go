@@ -43,9 +43,25 @@ type SnoopCache struct {
 
 	stats  ControllerStats
 	strict bool
+
+	// Armed CorruptLineStateFault record (see DirCache).
+	stateFaultBlock   mem.BlockAddr
+	stateFaultPromote bool
+	stateFaultArmed   bool
+	stateFaultFired   bool
+	stateFaultFiredAt sim.Cycle
 }
 
 var _ Controller = (*SnoopCache)(nil)
+
+// fireStateFault records that the armed state corruption took
+// architectural effect this cycle.
+func (c *SnoopCache) fireStateFault() {
+	if !c.stateFaultFired {
+		c.stateFaultFired = true
+		c.stateFaultFiredAt = c.now
+	}
+}
 
 // snoopTransition is a deferred epoch transition ordered while the
 // block's data was still in flight.
@@ -255,6 +271,11 @@ func (c *SnoopCache) PeekWord(addr mem.Addr) (mem.Word, bool) {
 }
 
 func (c *SnoopCache) performStore(l *line, addr mem.Addr, val mem.Word) {
+	if c.stateFaultArmed && c.stateFaultPromote && l.block == c.stateFaultBlock {
+		// The store performs without a globally ordered GetM: other
+		// sharers still hold — and may read — the old value.
+		c.fireStateFault()
+	}
 	c.l2.writeWord(l, addr, val)
 	c.l1.insert(l.block)
 	c.access(l.block, true)
@@ -351,6 +372,13 @@ func (c *SnoopCache) onOwnRequest(p MsgSnoop, seq uint64) {
 				c.complete(ms, l)
 				return
 			}
+			if c.stateFaultArmed && !c.stateFaultPromote && p.Block == c.stateFaultBlock {
+				// Upgrading the demoted line abandons its dirty copy: the
+				// data now expected over the torus comes from stale memory
+				// (or never comes — the system believes we are the owner).
+				c.fireStateFault()
+				c.stateFaultArmed = false
+			}
 			// We held S: permission granted now, data still in flight.
 			l.state = Modified
 			l.dataValid = false
@@ -439,6 +467,14 @@ func (c *SnoopCache) allocateSnoop(b mem.BlockAddr) *line {
 // bookkeeping for sharers).
 func (c *SnoopCache) evictSnoop(l *line) {
 	b := l.block
+	if c.stateFaultArmed && b == c.stateFaultBlock {
+		if !c.stateFaultPromote {
+			// The demoted line takes the silent Shared drop below: the
+			// only up-to-date copy leaves without a PutM.
+			c.fireStateFault()
+		}
+		c.stateFaultArmed = false
+	}
 	data := c.l2.readBlock(l)
 	switch l.state {
 	case Modified, Owned:
@@ -466,6 +502,18 @@ func (c *SnoopCache) onForeignRequest(p MsgSnoop, seq uint64) {
 	}
 	l := c.l2.peek(b)
 	if l != nil && l.valid {
+		if c.stateFaultArmed && b == c.stateFaultBlock {
+			if !c.stateFaultPromote {
+				// A foreign request is ordered against the demoted line:
+				// the supply obligation the real owner carries is missed
+				// (the Shared cases below supply nothing), so the
+				// requestor sees stale memory or hangs.
+				c.fireStateFault()
+			}
+			if p.Kind == SnoopGetM {
+				c.stateFaultArmed = false // the corrupted line is invalidated
+			}
+		}
 		data := c.l2.readBlock(l)
 		switch {
 		case p.Kind == SnoopGetS && l.state == Modified:
@@ -762,8 +810,37 @@ func (c *SnoopCache) ForEachDirty(fn func(b mem.BlockAddr, data mem.Block)) {
 	}
 }
 
+// CorruptLineStateFault implements Controller.
+func (c *SnoopCache) CorruptLineStateFault(b mem.BlockAddr, promote bool) bool {
+	l := c.l2.peek(b)
+	if l == nil || !l.valid || !l.dataValid {
+		return false
+	}
+	if promote {
+		if l.state != Shared && l.state != Owned {
+			return false
+		}
+		l.state = Modified
+	} else {
+		if l.state != Modified {
+			return false
+		}
+		l.state = Shared
+	}
+	c.stateFaultBlock = b
+	c.stateFaultPromote = promote
+	c.stateFaultArmed = true
+	return true
+}
+
+// StateFaultFired implements Controller.
+func (c *SnoopCache) StateFaultFired() (sim.Cycle, bool) {
+	return c.stateFaultFiredAt, c.stateFaultFired
+}
+
 // Reset implements Controller.
 func (c *SnoopCache) Reset() {
+	c.stateFaultArmed = false // recovery wipes the cache; fired persists
 	for i := range c.l2.lines {
 		if c.l2.lines[i].valid {
 			c.l2.invalidate(&c.l2.lines[i])

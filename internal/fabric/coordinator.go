@@ -42,12 +42,17 @@ type workerInfo struct {
 // finalize code the serial drivers use — which is how a farm of any
 // shape reproduces a serial run's bytes.
 type Coordinator struct {
-	mu   sync.Mutex
-	spec JobSpec // immutable after construction
+	mu     sync.Mutex
+	spec   JobSpec // immutable after construction
+	shards []Shard // immutable after construction
 	//dvmc:guardedby mu
 	leases *LeaseTable
 	//dvmc:guardedby mu
 	results map[int]*ShardResult
+	// pools caches coverage jobs' per-generation mutation seed pools
+	// (serialized), computed once when the generation unlocks.
+	//dvmc:guardedby mu
+	pools map[int]json.RawMessage
 	//dvmc:guardedby mu
 	workers map[string]*workerInfo
 	//dvmc:guardedby mu
@@ -144,8 +149,10 @@ func newCoordinator(spec JobSpec, shards []Shard, opts CoordinatorOptions) *Coor
 	}
 	return &Coordinator{
 		spec:    spec,
+		shards:  append([]Shard(nil), shards...),
 		leases:  NewLeaseTable(shards, ttl),
 		results: make(map[int]*ShardResult),
+		pools:   make(map[int]json.RawMessage),
 		workers: make(map[string]*workerInfo),
 		clock:   clock,
 		ttl:     ttl,
@@ -211,8 +218,16 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 	if c.leases.Done() {
 		return LeaseResponse{Done: true}
 	}
-	if sh, ok := c.leases.Acquire(req.Worker, c.clock()); ok {
-		return LeaseResponse{Shard: &sh}
+	if sh, ok := c.leases.AcquireBelow(req.Worker, c.clock(), c.unlockedLimit()); ok {
+		input, err := c.shardInput(sh)
+		if err != nil {
+			// Pool assembly failed (it should not: the generation gate
+			// guarantees the inputs exist). Surface as "poll again" rather
+			// than handing out a shard that would breed from nothing.
+			c.leases.Release(sh.ID)
+			return LeaseResponse{WaitSeconds: 1}
+		}
+		return LeaseResponse{Shard: &sh, Input: input}
 	}
 	// Everything is either done or actively leased; poll back soon —
 	// both to steal expired leases promptly and to observe Done before
@@ -222,6 +237,74 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 		wait = 2
 	}
 	return LeaseResponse{WaitSeconds: wait}
+}
+
+// unlockedLimit is the lease gate: the end index of the lowest
+// incomplete generation for coverage jobs (shards past it stay locked
+// until every earlier case has completed, because their mutants breed
+// from those cases), and the whole case space otherwise.
+//
+//dvmc:guardedby mu
+func (c *Coordinator) unlockedLimit() int {
+	if c.spec.Kind != JobCoverage {
+		return c.spec.TotalCases()
+	}
+	cc := c.spec.Coverage
+	for g := 0; g <= cc.Generations; g++ {
+		from, to := cc.GenBounds(g)
+		if !c.rangeDone(from, to) {
+			return to
+		}
+	}
+	return cc.TotalRuns()
+}
+
+// rangeDone reports whether every shard inside [from, to) completed.
+//
+//dvmc:guardedby mu
+func (c *Coordinator) rangeDone(from, to int) bool {
+	for i, sh := range c.shards {
+		if sh.From >= from && sh.To <= to && c.leases.State(i) != LeaseDone {
+			return false
+		}
+	}
+	return true
+}
+
+// shardInput assembles the per-shard lease input: for a coverage shard
+// in generation g >= 1, the generation's serialized mutation seed pool,
+// distilled (and cached) from the completed earlier generations with
+// the same fuzz.CoveragePool walk the serial driver performs.
+//
+//dvmc:guardedby mu
+func (c *Coordinator) shardInput(sh Shard) (json.RawMessage, error) {
+	if c.spec.Kind != JobCoverage {
+		return nil, nil
+	}
+	cc := c.spec.Coverage
+	g := cc.GenOf(sh.From)
+	if g == 0 {
+		return nil, nil
+	}
+	if cached, ok := c.pools[g]; ok {
+		return cached, nil
+	}
+	from, _ := cc.GenBounds(g)
+	records := make([]fuzz.Record, from)
+	for _, r := range c.results {
+		for _, rec := range r.Records {
+			if rec.Index >= 0 && rec.Index < from {
+				records[rec.Index] = rec
+			}
+		}
+	}
+	pool := fuzz.CoveragePool(*cc, records, g)
+	data, err := json.Marshal(pool)
+	if err != nil {
+		return nil, err
+	}
+	c.pools[g] = data
+	return data, nil
 }
 
 // Renew extends a worker's lease.
@@ -314,11 +397,13 @@ func (c *Coordinator) MetricsSnapshot() (*telemetry.Snapshot, error) {
 // Output is a finished job's merged artifacts — the same values the
 // serial drivers produce, byte for byte.
 type Output struct {
-	// Fuzz jobs: the complete record table (index order), its summary,
-	// and — with Metrics on — the merged telemetry snapshot.
+	// Fuzz and coverage jobs: the complete record table (index order),
+	// its summary, and — with Metrics on — the merged telemetry snapshot.
 	Records  []fuzz.Record
 	Summary  fuzz.Summary
 	Snapshot *telemetry.Snapshot
+	// Coverage jobs: the summary extended with the coverage map's shape.
+	Coverage *fuzz.CoverageSummary
 	// Experiment jobs: one merged campaign per Section 6.1 row, and the
 	// assembled table.
 	Campaigns []dvmc.CampaignResult
@@ -352,29 +437,9 @@ func finalize(spec JobSpec, results []ShardResult) (*Output, error) {
 	out := &Output{}
 	switch spec.Kind {
 	case JobFuzz:
-		records := make([]fuzz.Record, spec.Fuzz.Runs)
-		filled := make([]bool, spec.Fuzz.Runs)
-		var snaps []*telemetry.Snapshot
-		for _, r := range results {
-			for _, rec := range r.Records {
-				if rec.Index < 0 || rec.Index >= len(records) || filled[rec.Index] {
-					return nil, fmt.Errorf("fabric: shard %d delivered record index %d out of place", r.Shard.ID, rec.Index)
-				}
-				records[rec.Index] = rec
-				filled[rec.Index] = true
-			}
-			if len(r.Snapshot) > 0 {
-				s, err := telemetry.DecodeSnapshot(bytes.NewReader(r.Snapshot))
-				if err != nil {
-					return nil, err
-				}
-				snaps = append(snaps, s)
-			}
-		}
-		for i, ok := range filled {
-			if !ok {
-				return nil, fmt.Errorf("fabric: record %d missing after all shards completed", i)
-			}
+		records, snaps, err := assembleRecords(results, spec.Fuzz.Runs)
+		if err != nil {
+			return nil, err
 		}
 		if err := fuzz.FinalizeRecords(records, spec.Fuzz.CorpusDir); err != nil {
 			return nil, err
@@ -382,6 +447,25 @@ func finalize(spec JobSpec, results []ShardResult) (*Output, error) {
 		out.Records = records
 		out.Summary = fuzz.Summarize(spec.Fuzz.Seed, records)
 		if spec.Fuzz.Metrics {
+			merged, err := telemetry.MergeSnapshots(snaps...)
+			if err != nil {
+				return nil, err
+			}
+			out.Snapshot = merged
+		}
+	case JobCoverage:
+		records, snaps, err := assembleRecords(results, spec.Coverage.TotalRuns())
+		if err != nil {
+			return nil, err
+		}
+		sum, err := fuzz.FinalizeCoverage(*spec.Coverage, records)
+		if err != nil {
+			return nil, err
+		}
+		out.Records = records
+		out.Summary = sum.Summary
+		out.Coverage = &sum
+		if spec.Coverage.Campaign.Metrics {
 			merged, err := telemetry.MergeSnapshots(snaps...)
 			if err != nil {
 				return nil, err
@@ -420,6 +504,36 @@ func finalize(spec JobSpec, results []ShardResult) (*Output, error) {
 		return nil, fmt.Errorf("fabric: unknown job kind %q", spec.Kind)
 	}
 	return out, nil
+}
+
+// assembleRecords rebuilds the dense record table (and collects shard
+// snapshots) from ordered shard results, refusing gaps and duplicates.
+func assembleRecords(results []ShardResult, total int) ([]fuzz.Record, []*telemetry.Snapshot, error) {
+	records := make([]fuzz.Record, total)
+	filled := make([]bool, total)
+	var snaps []*telemetry.Snapshot
+	for _, r := range results {
+		for _, rec := range r.Records {
+			if rec.Index < 0 || rec.Index >= total || filled[rec.Index] {
+				return nil, nil, fmt.Errorf("fabric: shard %d delivered record index %d out of place", r.Shard.ID, rec.Index)
+			}
+			records[rec.Index] = rec
+			filled[rec.Index] = true
+		}
+		if len(r.Snapshot) > 0 {
+			s, err := telemetry.DecodeSnapshot(bytes.NewReader(r.Snapshot))
+			if err != nil {
+				return nil, nil, err
+			}
+			snaps = append(snaps, s)
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			return nil, nil, fmt.Errorf("fabric: record %d missing after all shards completed", i)
+		}
+	}
+	return records, snaps, nil
 }
 
 // ServeHTTP implements the coordinator side of the wire protocol.

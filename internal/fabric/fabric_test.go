@@ -122,10 +122,19 @@ func TestJobSpecValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	goodCov := JobSpec{Kind: JobCoverage, Coverage: &fuzz.CoverageConfig{
+		Campaign: fuzz.CampaignConfig{Seed: 1}, InitRuns: 4, Generations: 1, PerGen: 2,
+	}}
+	if err := goodCov.Validate(); err != nil {
+		t.Fatal(err)
+	}
 	bad := []JobSpec{
 		{},
 		{Kind: JobFuzz},
 		{Kind: JobFuzz, Fuzz: &fuzz.CampaignConfig{Runs: 0}},
+		{Kind: JobCoverage},
+		{Kind: JobCoverage, Coverage: &fuzz.CoverageConfig{Campaign: fuzz.CampaignConfig{Seed: 1}, InitRuns: 0}},
+		{Kind: JobCoverage, Coverage: &fuzz.CoverageConfig{Campaign: fuzz.CampaignConfig{Seed: 1}, InitRuns: 4, Generations: 2, PerGen: 0}},
 		{Kind: JobExperiment},
 		{Kind: JobExperiment, Experiment: &ExperimentSpec{Faults: 0, Budget: 1}},
 		{Kind: JobExperiment, Experiment: &ExperimentSpec{Faults: 1, Budget: 0}},
@@ -438,6 +447,139 @@ func TestFarmExperimentMatchesSerial(t *testing.T) {
 	}
 }
 
+// coverageSpec is the coverage farm fixture: three generations with
+// shard boundaries ragged inside each generation.
+func coverageSpec(corpusDir string) JobSpec {
+	return JobSpec{
+		Kind: JobCoverage,
+		Coverage: &fuzz.CoverageConfig{
+			Campaign: fuzz.CampaignConfig{
+				Seed: 77, FaultFrac: 0.5,
+				Minimize: true, MinimizeBudget: 100, Metrics: true,
+				CorpusDir: corpusDir,
+			},
+			InitRuns: 8, Generations: 2, PerGen: 4,
+		},
+		ShardSize: 3,
+	}
+}
+
+// TestCoverageShardsGenerationAligned: the coverage partition never
+// crosses a generation boundary, at any shard size.
+func TestCoverageShardsGenerationAligned(t *testing.T) {
+	spec := coverageSpec("")
+	cc := spec.Coverage
+	for _, size := range []int{1, 3, 5, 8, 100} {
+		spec.ShardSize = size
+		covered := 0
+		for _, sh := range spec.Shards() {
+			if g, h := cc.GenOf(sh.From), cc.GenOf(sh.To-1); g != h {
+				t.Fatalf("size %d: shard %+v spans generations %d..%d", size, sh, g, h)
+			}
+			covered += sh.To - sh.From
+		}
+		if covered != cc.TotalRuns() {
+			t.Fatalf("size %d: shards cover %d of %d cases", size, covered, cc.TotalRuns())
+		}
+	}
+}
+
+// TestFarmCoverageMatchesSerial is the coverage fabric's headline
+// property: a coordinator gating leases by generation and shipping each
+// generation's distilled seed pool with the lease reproduces the serial
+// fuzz.RunCoverage byte-for-byte — records, coverage summary, merged
+// telemetry, and corpus tree (failure reproducers and distilled seeds).
+func TestFarmCoverageMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm test in -short mode")
+	}
+	farmCorpus := t.TempDir()
+	spec := coverageSpec(farmCorpus)
+
+	serialCorpus := t.TempDir()
+	cc := *spec.Coverage
+	cc.Campaign.Workers = 1
+	cc.Campaign.CorpusDir = serialCorpus
+	wantRecs, wantSum, wantSnap, err := fuzz.RunCoverage(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSnapJSON bytes.Buffer
+	if err := wantSnap.EncodeJSON(&wantSnapJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := NewCoordinator(spec, CoordinatorOptions{TTLSeconds: testTTL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord)
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	errs := make(chan error, 2)
+	for _, name := range []string{"w1", "w2"} {
+		go func(name string) {
+			_, err := RunWorker(ctx, WorkerOptions{Name: name, Coordinator: srv.URL})
+			errs <- err
+		}(name)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := coord.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recordsJSON(t, out.Records), recordsJSON(t, wantRecs)) {
+		t.Error("farm coverage records differ from serial run")
+	}
+	if out.Coverage == nil {
+		t.Fatal("coverage job finalized without a coverage summary")
+	}
+	if !reflect.DeepEqual(*out.Coverage, wantSum) {
+		t.Errorf("farm coverage summary = %+v, want %+v", *out.Coverage, wantSum)
+	}
+	var snapJSON bytes.Buffer
+	if err := out.Snapshot.EncodeJSON(&snapJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapJSON.Bytes(), wantSnapJSON.Bytes()) {
+		t.Error("farm coverage telemetry differs from serial run")
+	}
+	if !reflect.DeepEqual(corpusTree(t, farmCorpus), corpusTree(t, serialCorpus)) {
+		t.Error("farm coverage corpus artifacts differ from serial run")
+	}
+}
+
+// corpusTree snapshots a corpus directory recursively (coverage runs
+// write a distilled/ subdirectory) as relative path -> bytes.
+func corpusTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // TestExecuteShardDeterministic: the same shard executed twice (a
 // steal/retry) yields identical bytes.
 func TestExecuteShardDeterministic(t *testing.T) {
@@ -446,11 +588,11 @@ func TestExecuteShardDeterministic(t *testing.T) {
 	}
 	spec := farmSpec("")
 	sh := spec.Shards()[1]
-	a, err := ExecuteShard(spec, sh)
+	a, err := ExecuteShard(spec, sh, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ExecuteShard(spec, sh)
+	b, err := ExecuteShard(spec, sh, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,7 +616,7 @@ func TestMetricsSnapshotPartial(t *testing.T) {
 	}
 	// Complete shard 0 by hand.
 	sh := spec.Shards()[0]
-	res, err := ExecuteShard(spec, sh)
+	res, err := ExecuteShard(spec, sh, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,11 @@ type LeaseResponse struct {
 	Shard       *Shard `json:"shard,omitempty"`
 	Done        bool   `json:"done,omitempty"`
 	WaitSeconds uint64 `json:"wait_seconds,omitempty"`
+	// Input is per-shard input state the worker cannot derive from the
+	// spec alone: for a coverage shard in generation g >= 1, the
+	// generation's mutation seed pool (a JSON []*fuzz.Case), distilled
+	// coordinator-side from the completed earlier generations.
+	Input json.RawMessage `json:"input,omitempty"`
 }
 
 // RenewRequest extends a lease mid-shard (the worker's heartbeat).

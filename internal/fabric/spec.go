@@ -19,6 +19,13 @@ const (
 	// dvmc.ErrorDetectionRows and each row's injections are
 	// dvmc.DeriveCampaignInjections.
 	JobExperiment JobKind = "experiment"
+	// JobCoverage shards a coverage-guided campaign (fuzz.RunCoverage):
+	// shards are generation-aligned, and a shard in generation g >= 1
+	// receives the generation's mutation seed pool with its lease. The
+	// coordinator only leases a generation once every earlier one has
+	// completed, which is what keeps the farm byte-identical to the
+	// serial driver.
+	JobCoverage JobKind = "coverage"
 )
 
 // ExperimentSpec parameterises a JobExperiment: the Section 6.1
@@ -49,6 +56,9 @@ type JobSpec struct {
 	// workers ignore them (shards run serially, corpus writes happen at
 	// finalize).
 	Fuzz *fuzz.CampaignConfig `json:"fuzz,omitempty"`
+	// Coverage is the campaign configuration when Kind == JobCoverage.
+	// As with Fuzz, CorpusDir and Workers are coordinator-side concerns.
+	Coverage *fuzz.CoverageConfig `json:"coverage,omitempty"`
 	// Experiment parameterises the matrix when Kind == JobExperiment.
 	Experiment *ExperimentSpec `json:"experiment,omitempty"`
 	// ShardSize is the number of cases per lease; 0 picks
@@ -64,6 +74,13 @@ func (s JobSpec) Validate() error {
 			return fmt.Errorf("fabric: %s job without a fuzz config", s.Kind)
 		}
 		if err := s.Fuzz.Validate(); err != nil {
+			return err
+		}
+	case JobCoverage:
+		if s.Coverage == nil {
+			return fmt.Errorf("fabric: %s job without a coverage config", s.Kind)
+		}
+		if err := s.Coverage.Validate(); err != nil {
 			return err
 		}
 	case JobExperiment:
@@ -93,6 +110,11 @@ func (s JobSpec) TotalCases() int {
 			return 0
 		}
 		return s.Fuzz.Runs
+	case JobCoverage:
+		if s.Coverage == nil {
+			return 0
+		}
+		return s.Coverage.TotalRuns()
 	case JobExperiment:
 		if s.Experiment == nil {
 			return 0
@@ -104,21 +126,33 @@ func (s JobSpec) TotalCases() int {
 }
 
 // Shards partitions the case space into contiguous leases of ShardSize
-// cases (the last one ragged). Shard IDs are their position, so the
-// partition is a pure function of the spec.
+// cases (the last of each segment ragged). Shard IDs are their
+// position, so the partition is a pure function of the spec. Coverage
+// jobs partition each generation separately — a shard never straddles a
+// generation boundary, because the mutation seed pool a shard runs
+// against is per-generation state.
 func (s JobSpec) Shards() []Shard {
 	size := s.ShardSize
 	if size <= 0 {
 		size = DefaultShardSize
 	}
-	total := s.TotalCases()
 	var out []Shard
-	for from := 0; from < total; from += size {
-		to := from + size
-		if to > total {
-			to = total
+	chunk := func(from, to int) {
+		for f := from; f < to; f += size {
+			t := f + size
+			if t > to {
+				t = to
+			}
+			out = append(out, Shard{ID: len(out), From: f, To: t})
 		}
-		out = append(out, Shard{ID: len(out), From: from, To: to})
 	}
+	if s.Kind == JobCoverage && s.Coverage != nil {
+		for g := 0; g <= s.Coverage.Generations; g++ {
+			from, to := s.Coverage.GenBounds(g)
+			chunk(from, to)
+		}
+		return out
+	}
+	chunk(0, s.TotalCases())
 	return out
 }

@@ -12,14 +12,16 @@ import (
 
 	"dvmc"
 	"dvmc/internal/fuzz"
+	"dvmc/internal/telemetry"
 )
 
 // ExecuteShard runs one shard of a job — the worker's entire
-// computational duty. It is a pure function of (spec, shard): no
+// computational duty. It is a pure function of (spec, shard, input): no
 // coordinator state, clock, or worker identity reaches the simulation,
 // which is what makes shard results interchangeable across workers,
-// retries, and steals.
-func ExecuteShard(spec JobSpec, sh Shard) (ShardResult, error) {
+// retries, and steals. input is the lease's Input payload — the
+// generation seed pool for coverage shards, nil otherwise.
+func ExecuteShard(spec JobSpec, sh Shard, input json.RawMessage) (ShardResult, error) {
 	out := ShardResult{Shard: sh}
 	switch spec.Kind {
 	case JobFuzz:
@@ -32,12 +34,25 @@ func ExecuteShard(spec JobSpec, sh Shard) (ShardResult, error) {
 			return out, err
 		}
 		out.Records = records
-		if snap != nil {
-			var buf bytes.Buffer
-			if err := snap.EncodeJSON(&buf); err != nil {
-				return out, err
+		if err := out.encodeSnapshot(snap); err != nil {
+			return out, err
+		}
+	case JobCoverage:
+		cc := *spec.Coverage
+		cc.Campaign.CorpusDir = ""
+		var pool []*fuzz.Case
+		if len(input) > 0 {
+			if err := json.Unmarshal(input, &pool); err != nil {
+				return out, fmt.Errorf("fabric: coverage shard %d pool: %w", sh.ID, err)
 			}
-			out.Snapshot = json.RawMessage(buf.Bytes())
+		}
+		records, snap, err := fuzz.RunCoverageRange(cc, pool, sh.From, sh.To)
+		if err != nil {
+			return out, err
+		}
+		out.Records = records
+		if err := out.encodeSnapshot(snap); err != nil {
+			return out, err
 		}
 	case JobExperiment:
 		faults := spec.Experiment.Faults
@@ -64,6 +79,20 @@ func ExecuteShard(spec JobSpec, sh Shard) (ShardResult, error) {
 		return out, fmt.Errorf("fabric: unknown job kind %q", spec.Kind)
 	}
 	return out, nil
+}
+
+// encodeSnapshot stores a shard's merged telemetry snapshot (nil is a
+// no-op: the campaign ran without Metrics).
+func (r *ShardResult) encodeSnapshot(snap *telemetry.Snapshot) error {
+	if snap == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := snap.EncodeJSON(&buf); err != nil {
+		return err
+	}
+	r.Snapshot = json.RawMessage(buf.Bytes())
+	return nil
 }
 
 // WorkerOptions configure one worker process.
@@ -150,7 +179,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (int, error) {
 
 		sh := *lease.Shard
 		logf("leased shard %d: cases [%d, %d)", sh.ID, sh.From, sh.To)
-		result, err := executeWithHeartbeat(ctx, client, opts, reg, sh)
+		result, err := executeWithHeartbeat(ctx, client, opts, reg, sh, lease.Input)
 		if err != nil {
 			return completed, fmt.Errorf("fabric: shard %d: %w", sh.ID, err)
 		}
@@ -178,7 +207,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (int, error) {
 // background so long shards survive the TTL. A failed renewal (lease
 // stolen) does not abort the computation — the result is still correct,
 // and Complete resolves the race.
-func executeWithHeartbeat(ctx context.Context, client *http.Client, opts WorkerOptions, reg RegisterResponse, sh Shard) (ShardResult, error) {
+func executeWithHeartbeat(ctx context.Context, client *http.Client, opts WorkerOptions, reg RegisterResponse, sh Shard, input json.RawMessage) (ShardResult, error) {
 	hbCtx, stop := context.WithCancel(ctx)
 	defer stop()
 	interval := time.Duration(reg.TTLSeconds) * time.Second / 3
@@ -198,7 +227,7 @@ func executeWithHeartbeat(ctx context.Context, client *http.Client, opts WorkerO
 			}
 		}
 	}()
-	return ExecuteShard(reg.Spec, sh)
+	return ExecuteShard(reg.Spec, sh, input)
 }
 
 // postJSONRetry rides out transient transport failures (a coordinator

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"dvmc"
 	"dvmc/internal/sim"
 	"dvmc/internal/stats"
 	"dvmc/internal/telemetry"
@@ -50,6 +51,10 @@ type CampaignConfig struct {
 	// merged snapshot is byte-identical at any worker count, shard
 	// split, or merge order.
 	Metrics bool `json:"metrics,omitempty"`
+	// Kinds restricts derived faults to the named dvmc.FaultKind pool
+	// (targeted campaigns over e.g. only the hostile message classes).
+	// Empty means every kind.
+	Kinds []string `json:"kinds,omitempty"`
 }
 
 // DefaultBudget is the per-run cycle budget when none is given: enough
@@ -65,6 +70,12 @@ func (cc CampaignConfig) Validate() error {
 	case cc.FaultFrac < 0 || cc.FaultFrac > 1:
 		return fmt.Errorf("fuzz: FaultFrac = %v, need 0..1", cc.FaultFrac)
 	}
+	for _, k := range cc.Kinds {
+		if _, ok := faultKindsByName[k]; !ok {
+			return fmt.Errorf("fuzz: unknown fault kind %q in Kinds (known: %s)",
+				k, strings.Join(FaultKindNames(), ", "))
+		}
+	}
 	return nil
 }
 
@@ -78,6 +89,12 @@ type Record struct {
 	Minimized *Case `json:"minimized,omitempty"`
 	// CorpusFile is the corpus path the reproducer was written to.
 	CorpusFile string `json:"corpus_file,omitempty"`
+	// Features is the run's distilled coverage signature (sorted,
+	// deduplicated), present only in coverage-guided campaigns. It is
+	// what the coordinator-side distillation consumes, so a shard result
+	// carries everything the seed scheduler needs without shipping
+	// telemetry snapshots.
+	Features []string `json:"features,omitempty"`
 }
 
 // Summary aggregates a campaign.
@@ -145,7 +162,7 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 // DeriveCase builds run index i's case: a pure function of the campaign
 // seed and the index, independent of every other run.
 func DeriveCase(seed uint64, index int, faultFrac float64, budget uint64) *Case {
-	return deriveCase(seed, index, faultFrac, budget)
+	return deriveCase(seed, index, faultFrac, budget, nil)
 }
 
 // models and protocols the deriver cycles through.
@@ -154,7 +171,7 @@ var (
 	caseProtocols = []string{"directory", "snooping"}
 )
 
-func deriveCase(seed uint64, index int, faultFrac float64, budget uint64) *Case {
+func deriveCase(seed uint64, index int, faultFrac float64, budget uint64, kinds []string) *Case {
 	// One forked stream per run index: run i's case never changes when
 	// the campaign grows or shrinks around it.
 	rng := newCaseRand(seed, index)
@@ -188,7 +205,10 @@ func deriveCase(seed uint64, index int, faultFrac float64, budget uint64) *Case 
 		Program:  *prog,
 	}
 	if rng.Bool(faultFrac) {
-		names := FaultKindNames()
+		names := kinds
+		if len(names) == 0 {
+			names = FaultKindNames()
+		}
 		// Aim the injection at the window where the program is still
 		// running: short random programs retire a handful of ops per
 		// hundred cycles, so scale the target cycle to program size.
@@ -201,8 +221,30 @@ func deriveCase(seed uint64, index int, faultFrac float64, budget uint64) *Case 
 			Node:  rng.Intn(gp.Threads),
 			Cycle: 50 + rng.Uint64n(window),
 		}
+		deriveFaultExtras(rng, c)
 	}
 	return c
+}
+
+// deriveFaultExtras draws the per-kind fault parameters, after every
+// base draw so existing kinds keep their streams. Nested-recovery is
+// only meaningful with SafetyNet on (System.Recover without a manager
+// reports not-applied), so the case gains checkpointing too.
+func deriveFaultExtras(rng *sim.Rand, c *Case) {
+	switch c.Fault.Kind {
+	case dvmc.FaultMsgStaleDup.String():
+		c.Fault.Window = 200 + rng.Uint64n(2000)
+	case dvmc.FaultMsgReorderBurst.String():
+		c.Fault.Window = 100 + rng.Uint64n(600)
+		c.Fault.Magnitude = 2 + rng.Uint64n(6)
+	case dvmc.FaultTimeSkew.String():
+		// Bias toward the Time16 half-range, where skew attacks the
+		// wraparound scrubber's ordering premise hardest.
+		c.Fault.Magnitude = 1 + rng.Uint64n(1<<16)
+	case dvmc.FaultNestedRecovery.String():
+		c.Fault.Window = 100 + rng.Uint64n(4000)
+		c.SafetyNet = true
+	}
 }
 
 // runOne executes run index i of the campaign: derive the case, run it
@@ -211,24 +253,24 @@ func deriveCase(seed uint64, index int, faultFrac float64, budget uint64) *Case 
 // the record (and snapshot) are identical wherever the run executes:
 // a local goroutine pool or a fabric worker on another machine.
 func runOne(cfg CampaignConfig, i int) (Record, *telemetry.Snapshot) {
-	c := deriveCase(cfg.Seed, i, cfg.FaultFrac, cfg.Budget)
-	var (
-		res  RunResult
-		snap *telemetry.Snapshot
-		err  error
-	)
+	c := deriveCase(cfg.Seed, i, cfg.FaultFrac, cfg.Budget, cfg.Kinds)
+	return execRecord(cfg, i, c, cfg.Metrics)
+}
+
+// execRecord runs a prepared case and assembles its record — the step
+// the random and coverage-guided drivers share. instrument controls
+// telemetry capture (the coverage driver always needs the snapshot for
+// feature extraction, even when the campaign does not merge metrics).
+func execRecord(cfg CampaignConfig, i int, c *Case, instrument bool) (Record, *telemetry.Snapshot) {
 	// Streamed: campaign workers never materialize a trace — the oracle
 	// rides the run as a sink and only failure reproduction (Finalize)
 	// re-runs with byte capture.
-	if cfg.Metrics {
-		res, snap, err = RunCaseStreamed(c, true)
-	} else {
-		res, _, err = RunCaseStreamed(c, false)
-	}
+	res, snap, err := RunCaseStreamed(c, instrument)
 	if err != nil {
 		// Structural errors cannot occur for derived cases; record them
 		// as crashes so the campaign survives.
 		res = RunResult{Class: ClassCrash, Panic: err.Error()}
+		snap = nil
 	}
 	rec := Record{Index: i, Case: c, Result: res}
 	if rec.Result.Class.Failure() {

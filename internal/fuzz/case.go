@@ -60,6 +60,13 @@ type FaultSpec struct {
 	Kind  string `json:"kind"` // dvmc.FaultKind string name, e.g. "wb-reorder"
 	Node  int    `json:"node"`
 	Cycle uint64 `json:"cycle"`
+	// Window parameterizes time-windowed kinds (stale-dup replay delay,
+	// reorder-burst hold, nested-recovery spacing), in cycles. Zero
+	// picks the kind's default.
+	Window uint64 `json:"window,omitempty"`
+	// Magnitude parameterizes sized kinds (reorder-burst length, lt-skew
+	// in logical ticks). Zero picks the kind's default.
+	Magnitude uint64 `json:"magnitude,omitempty"`
 }
 
 // faultKindsByName maps the String() names back to kinds.
@@ -88,7 +95,13 @@ func (f FaultSpec) Injection() (dvmc.Injection, error) {
 		return dvmc.Injection{}, fmt.Errorf("fuzz: unknown fault kind %q (known: %s)",
 			f.Kind, strings.Join(FaultKindNames(), ", "))
 	}
-	return dvmc.Injection{Kind: k, Node: f.Node, Cycle: dvmc.Cycle(f.Cycle)}, nil
+	return dvmc.Injection{
+		Kind:      k,
+		Node:      f.Node,
+		Cycle:     dvmc.Cycle(f.Cycle),
+		Window:    dvmc.Cycle(f.Window),
+		Magnitude: f.Magnitude,
+	}, nil
 }
 
 // Case is one complete, self-contained, replayable experiment: the

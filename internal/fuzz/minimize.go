@@ -51,6 +51,7 @@ func Minimize(c *Case, budget int) (*Case, error) {
 		best = m.ddminOps(best)
 		best = m.simplifyOps(best)
 		best = m.canonicalizeAddrs(best)
+		best = m.shrinkFault(best)
 		if sizeOf(best) == before && !m.progress {
 			break
 		}
@@ -226,6 +227,34 @@ func simplifications(o Op) []Op {
 		}
 	}
 	return out
+}
+
+// shrinkFault simplifies the injected fault's parameter fields while
+// preserving the classification: drop the Window/Magnitude overrides
+// back to the kind defaults (a reproducer that needs no override is
+// simpler to reason about), or failing that halve them toward zero.
+// sizeOf does not see these fields, so successes set m.progress.
+func (m *minimizer) shrinkFault(c *Case) *Case {
+	if c.Fault == nil {
+		return c
+	}
+	for _, mut := range []func(*FaultSpec){
+		func(f *FaultSpec) { f.Window = 0 },
+		func(f *FaultSpec) { f.Window /= 2 },
+		func(f *FaultSpec) { f.Magnitude = 0 },
+		func(f *FaultSpec) { f.Magnitude /= 2 },
+	} {
+		cand := c.Clone()
+		mut(cand.Fault)
+		if *cand.Fault == *c.Fault {
+			continue
+		}
+		if m.reproduces(cand) {
+			c = cand
+			m.progress = true
+		}
+	}
+	return c
 }
 
 // canonicalizeAddrs renames the program's address set onto the densest

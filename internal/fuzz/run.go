@@ -198,6 +198,10 @@ func classifyClean(v dvmc.RunVerdict, finished bool) (Class, string) {
 //   - masked, oracle flags      -> escape (the masking heuristic was
 //     wrong: the oracle proved an architectural effect the online
 //     checkers missed)
+//   - masked, online flags      -> false-alarm (the checkers cried
+//     about a fault with no architectural effect — the nested-recovery
+//     and lt-skew classes exist to probe exactly this: faults in the
+//     checking machinery itself must not fabricate violations)
 //   - unmasked, undetected      -> escape (the classic false negative,
 //     whether or not the oracle also caught it)
 func classifyFault(ir dvmc.InjectionResult, v dvmc.RunVerdict) (Class, string) {
@@ -209,6 +213,9 @@ func classifyFault(ir dvmc.InjectionResult, v dvmc.RunVerdict) (Class, string) {
 	case ir.Masked:
 		if !v.CleanOracle() {
 			return ClassEscape, "masked per ground truth, but oracle: " + v.Oracle.Violations[0].String()
+		}
+		if !v.CleanOnline() {
+			return ClassFalseAlarm, "masked per ground truth, but online: " + v.Online[0].String()
 		}
 		return ClassAgreeClean, "fault masked without architectural effect"
 	case !v.CleanOracle():

@@ -81,6 +81,16 @@ func (b *BroadcastTree) Send(m *Message) {
 			// network that is supposed to be totally ordered.
 			b.delayed = append(b.delayed, &delayedSend{msg: m, at: b.lastTick + 64})
 			return
+		case FaultDupStale:
+			// A faulty arbiter replays an already-arbitrated request much
+			// later; the original proceeds normally.
+			dup := *m
+			b.delayed = append(b.delayed, &delayedSend{msg: &dup, at: b.lastTick + 64})
+		case FaultHold:
+			// On a totally ordered network a held burst degenerates to a
+			// single held request (FaultDelay semantics).
+			b.delayed = append(b.delayed, &delayedSend{msg: m, at: b.lastTick + 64})
+			return
 		case FaultMisroute, FaultCorrupt, FaultNone:
 			// Misroute is meaningless on a broadcast; corrupt already
 			// mutated the payload.

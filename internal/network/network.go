@@ -127,6 +127,8 @@ const (
 	FaultMisroute                     // deliver to the wrong node
 	FaultCorrupt                      // payload bit flip (hook mutates payload)
 	FaultDelay                        // hold back so later traffic overtakes it (reorder)
+	FaultDupStale                     // deliver normally plus a stale replay after the fault window
+	FaultHold                         // capture into a burst released in reverse order (bounded reorder)
 )
 
 // FaultHook inspects an outgoing message and picks a fault. The hook may

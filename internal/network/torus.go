@@ -31,8 +31,15 @@ type Torus struct {
 	freeTransits []*transit
 
 	local   []localDelivery // loopback messages in flight
-	delayed []delayedSend   // FaultDelay victims
+	delayed []delayedSend   // FaultDelay / FaultDupStale victims
 	rng     *sim.Rand
+
+	// faultWindow parameterises the stateful fault actions: the delay
+	// before a FaultDupStale replay re-enters the network and the
+	// deadline for releasing a FaultHold burst. Zero means the default.
+	faultWindow sim.Cycle
+	held        []*Message // FaultHold burst awaiting reversed release
+	heldAt      sim.Cycle  // release deadline for the held burst
 
 	// lastTick is the cycle of the most recent Tick; Send schedules
 	// injections relative to it.
@@ -228,6 +235,23 @@ func (t *Torus) sendAt(m *Message, when sim.Cycle) {
 			//dvmc:alloc-ok fault injection is cold: FaultDelay only fires under an installed fault hook
 			t.delayed = append(t.delayed, delayedSend{msg: m, at: when + 64})
 			return
+		case FaultDupStale:
+			// The original is delivered normally; a byte-identical replay
+			// re-enters the network a full fault window later, typically
+			// after the transaction it belonged to has completed.
+			dup := *m
+			//dvmc:alloc-ok fault injection is cold: FaultDupStale only fires under an installed fault hook
+			t.delayed = append(t.delayed, delayedSend{msg: &dup, at: when + t.window()})
+		case FaultHold:
+			// Capture into the held burst; Tick releases the burst in
+			// reverse order once the hook disarms or the window expires,
+			// so later traffic on the same links overtakes it.
+			//dvmc:alloc-ok fault injection is cold: FaultHold only fires under an installed fault hook
+			t.held = append(t.held, m)
+			if len(t.held) == 1 {
+				t.heldAt = when + t.window()
+			}
+			return
 		case FaultCorrupt, FaultNone:
 			// payload already mutated by the hook (corrupt) or untouched
 		}
@@ -279,6 +303,19 @@ func (t *Torus) recycleTransit(tr *transit) {
 	t.freeTransits = append(t.freeTransits, tr)
 }
 
+// SetFaultWindow configures the stateful fault actions: how long a
+// FaultDupStale replay is held back, and the release deadline of a
+// FaultHold burst. Zero restores the default (64 cycles, matching
+// FaultDelay).
+func (t *Torus) SetFaultWindow(w sim.Cycle) { t.faultWindow = w }
+
+func (t *Torus) window() sim.Cycle {
+	if t.faultWindow > 0 {
+		return t.faultWindow
+	}
+	return 64
+}
+
 // serialize returns the cycles a message occupies a link.
 //
 //dvmc:hotpath
@@ -298,6 +335,17 @@ var _ sim.Clockable = (*Torus)(nil)
 //dvmc:hotpath
 func (t *Torus) Tick(now sim.Cycle) {
 	t.lastTick = now
+	// Release a FaultHold burst in reverse order once the fault hook has
+	// disarmed (the burst is complete) or the window expired: the
+	// captured messages re-enter the network newest-first, violating the
+	// per-link FIFO ordering the protocol otherwise enjoys.
+	if len(t.held) > 0 && (t.fault == nil || now >= t.heldAt) {
+		for i := len(t.held) - 1; i >= 0; i-- {
+			t.enqueue(t.held[i], now)
+			t.held[i] = nil
+		}
+		t.held = t.held[:0]
+	}
 	// Release FaultDelay victims whose holding period expired. The
 	// filters below compact in place (no per-Tick allocation) by index,
 	// which also preserves any entries appended while a delivery handler
@@ -412,6 +460,9 @@ func (t *Torus) DebugQueues() string {
 	if len(t.delayed) > 0 {
 		out += fmt.Sprintf("delayed=%d\n", len(t.delayed))
 	}
+	if len(t.held) > 0 {
+		out += fmt.Sprintf("held=%d\n", len(t.held))
+	}
 	return out
 }
 
@@ -465,6 +516,10 @@ func (t *Torus) SetPrioritize(p bool) { t.prioritize = p }
 func (t *Torus) Reset() {
 	t.local = t.local[:0]
 	t.delayed = t.delayed[:0]
+	for i := range t.held {
+		t.held[i] = nil
+	}
+	t.held = t.held[:0]
 	for _, l := range t.links {
 		for _, tr := range l.queue {
 			t.recycleTransit(tr)

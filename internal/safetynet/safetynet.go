@@ -74,6 +74,11 @@ type Manager struct {
 	live []Checkpoint
 	seq  uint64
 
+	// cpAfterRecovery is false between a recovery and the next
+	// checkpoint: a second recovery in that window is "nested" — it
+	// re-restores the same checkpoint the first recovery used.
+	cpAfterRecovery bool
+
 	stats Stats
 }
 
@@ -83,6 +88,11 @@ var _ sim.Clockable = (*Manager)(nil)
 type Stats struct {
 	CheckpointsTaken uint64
 	Recoveries       uint64
+	// NestedRecoveries counts recoveries issued before any
+	// post-recovery checkpoint was taken: the rollback re-restores the
+	// same checkpoint the previous recovery used (recovery-during-
+	// recovery, the BER substrate's own fault-tolerance corner).
+	NestedRecoveries uint64
 	LogMessages      uint64
 	LogBytes         uint64
 }
@@ -92,7 +102,7 @@ func NewManager(cfg Config, capture CaptureFunc, restore RestoreFunc) *Manager {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Manager{cfg: cfg, capture: capture, restore: restore}
+	return &Manager{cfg: cfg, capture: capture, restore: restore, cpAfterRecovery: true}
 }
 
 // Stats returns BER counters (log traffic is accounted by the loggers).
@@ -105,6 +115,7 @@ func (m *Manager) Tick(now sim.Cycle) {
 	}
 	m.seq++
 	m.stats.CheckpointsTaken++
+	m.cpAfterRecovery = true
 	cp := Checkpoint{Seq: m.seq, Cycle: now, State: m.capture(now)}
 	m.live = append(m.live, cp)
 	if len(m.live) > m.cfg.Keep {
@@ -140,6 +151,10 @@ func (m *Manager) Recover(errorCycle sim.Cycle) (Checkpoint, bool) {
 		return Checkpoint{}, false
 	}
 	m.stats.Recoveries++
+	if !m.cpAfterRecovery {
+		m.stats.NestedRecoveries++
+	}
+	m.cpAfterRecovery = false
 	m.restore(cp.State)
 	// Checkpoints after the recovery point describe squashed futures.
 	keep := m.live[:0]

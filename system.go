@@ -55,6 +55,11 @@ type System struct {
 	snpC  []*coherence.SnoopCache
 	snpH  []*coherence.SnoopHome
 
+	// clocks retains the directory system's per-node skewed clocks so
+	// fault injection can skew them; nil entries under snooping (whose
+	// logical time is the broadcast sequence, not a physical clock).
+	clocks []*coherence.SkewedClock
+
 	cpus  []*proc.CPU
 	progs []proc.Program
 
@@ -143,6 +148,12 @@ func (f fanAccess) Access(b mem.BlockAddr, write bool) {
 	}
 }
 
+// skewDiv divides the raw cycle count into the directory system's
+// logical time: one logical tick per skewDiv cycles, with a per-node
+// skew of node%skewDiv raw cycles — below the minimum network latency,
+// as DVMC's logical-time base requires.
+const skewDiv = uint64(8)
+
 // NewSystem assembles a multiprocessor running the given workload: one
 // thread per node.
 func NewSystem(cfg Config, w Workload) (*System, error) {
@@ -184,13 +195,15 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	}
 
 	// The directory system's logical time: a slow physical clock with
-	// per-node skew below the minimum network latency.
-	skewDiv := uint64(8)
+	// per-node skew below the minimum network latency (see skewDiv).
 	nodeClock := func(n int) coherence.LogicalClock {
 		if cfg.Protocol == Snooping {
+			s.clocks = append(s.clocks, nil)
 			return snoopClock{bt: s.bcast}
 		}
-		return coherence.NewSkewedClock(now, uint64(n)%skewDiv, skewDiv)
+		ck := coherence.NewSkewedClock(now, uint64(n)%skewDiv, skewDiv)
+		s.clocks = append(s.clocks, ck)
+		return ck
 	}
 
 	// SafetyNet manager must tick first so checkpoints capture
