@@ -127,6 +127,7 @@ func serve(args []string, resume bool) {
 		jsonOut    = fs.Bool("json", false, "print the fuzz summary as JSON")
 		recordsOut = fs.String("records-out", "", "write the full fuzz record table (JSON) to this file")
 		metricsOut = fs.String("metrics-out", "", "write the merged telemetry snapshot to this file ('-' for stdout; needs -metrics)")
+		spansOut   = fs.String("spans-out", "", "fuzz/coverage: re-run the first failing case (else the first case) with span recording and write its dump to this file")
 
 		// Job flags (serve only; resume reads the spec from the journal).
 		kind      = fs.String("job", "fuzz", "job kind: fuzz | coverage | experiment")
@@ -215,6 +216,17 @@ func serve(args []string, resume bool) {
 	failed, err := writeOutputs(coord, out, *jsonOut, *recordsOut, *metricsOut)
 	if err != nil {
 		fatalf("%s: %v", name, err)
+	}
+	if *spansOut != "" {
+		if out.Records == nil {
+			fatalf("%s: -spans-out needs a fuzz or coverage job", name)
+		}
+		rec, err := fuzz.WriteSpans(out.Records, *spansOut)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "dvmc-farm: span dump for run %d (%s) written to %s\n",
+			rec.Index, rec.Result.Class, *spansOut)
 	}
 	// Linger past the workers' poll interval so they observe the job's
 	// Done state instead of a vanished coordinator.
@@ -349,6 +361,14 @@ func status(args []string) {
 	}
 	fmt.Println()
 	for _, w := range st.Workers {
-		fmt.Printf("  worker %-20s %3d shards, seen %ds ago\n", w.Name, w.Shards, w.LastSeenSeconds)
+		shard := "idle"
+		if w.ActiveShard >= 0 {
+			shard = fmt.Sprintf("shard %d", w.ActiveShard)
+			if w.Generation >= 0 {
+				shard += fmt.Sprintf(" (gen %d)", w.Generation)
+			}
+		}
+		fmt.Printf("  worker %-20s %3d shards (%.2f/s), %-16s seen %ds ago, renewed %ds ago\n",
+			w.Name, w.Shards, w.ShardsPerSec, shard+",", w.LastSeenSeconds, w.LastRenewSeconds)
 	}
 }

@@ -206,6 +206,7 @@ func run(args []string) {
 		jsonOut    = fs.Bool("json", false, "print the summary as JSON")
 		verbose    = fs.Bool("v", false, "print one line per non-clean run")
 		metricsOut = fs.String("metrics-out", "", "re-run the first failing case (else the first case) with telemetry and write the snapshot to this file")
+		spansOut   = fs.String("spans-out", "", "re-run the first failing case (else the first case) with span recording and write the binary dump to this file (render with dvmc-stat timeline)")
 		coverage   = fs.Bool("coverage", false, "coverage-guided mode: after a random prefix, breed mutants from runs that reached new coverage (-n stays the total case budget)")
 		gens       = fs.Int("gens", 4, "breeding generations (with -coverage)")
 		genSize    = fs.Int("gen-size", 0, "mutants per generation (with -coverage; 0 = n/8)")
@@ -291,6 +292,15 @@ func run(args []string) {
 		if *metricsOut != "-" {
 			fmt.Printf("telemetry snapshot written to %s\n", *metricsOut)
 		}
+	}
+	if *spansOut != "" && len(records) > 0 {
+		rec, err := fuzz.WriteSpans(records, *spansOut)
+		if err != nil {
+			fatalf("run: spans: %v", err)
+		}
+		// stderr, so -json stdout stays machine-readable (and cmp-equal
+		// to a farm run's summary).
+		fmt.Fprintf(os.Stderr, "span dump for run %d (%s) written to %s\n", rec.Index, rec.Result.Class, *spansOut)
 	}
 	if summary.Failed() {
 		fmt.Fprintf(os.Stderr, "dvmc-fuzz: %d failing runs\n", summary.Failures)

@@ -6,7 +6,9 @@
 // Telemetry: -metrics-out records a cycle-sampled telemetry snapshot
 // (inspect it with dvmc-stat); -http serves live /metrics (Prometheus
 // text), /metrics.json, and /debug/pprof/ while the simulation runs.
-// Both enable the deterministic cycle sampler.
+// Both enable the deterministic cycle sampler. -spans-out records the
+// causal span dump (coherence transactions, phase profile) — render it
+// with dvmc-stat timeline and open in Perfetto.
 //
 // Exit codes: 0 clean, 1 usage or I/O error, 2 violations detected.
 //
@@ -44,6 +46,7 @@ func main() {
 		metricsOut   = flag.String("metrics-out", "", "write the telemetry snapshot to this file (.json|.prom|.csv|.series.csv; '-' for stdout JSON)")
 		sampleEvery  = flag.Uint64("sample-every", 0, "telemetry sampling period in cycles (0 = default)")
 		httpAddr     = flag.String("http", "", "serve live /metrics, /metrics.json, and /debug/pprof/ on this address while running")
+		spansOut     = flag.String("spans-out", "", "record causal spans and write the binary dump to this file (render with dvmc-stat timeline)")
 	)
 	flag.Parse()
 
@@ -75,6 +78,9 @@ func main() {
 		t := dvmc.TelemetryOn()
 		t.Every = dvmc.Cycle(*sampleEvery)
 		cfg = cfg.WithTelemetry(t)
+	}
+	if *spansOut != "" {
+		cfg = cfg.WithSpans(dvmc.SpansOn())
 	}
 
 	w, err := dvmc.WorkloadByName(*workloadName)
@@ -146,6 +152,18 @@ func main() {
 		if *metricsOut != "-" {
 			fmt.Printf("telemetry snapshot written to %s\n", *metricsOut)
 		}
+	}
+	if *spansOut != "" {
+		dump, err := sys.SpanBytes()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*spansOut, dump, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		st := sys.SpanStats()
+		fmt.Printf("span dump written to %s (%d spans recorded, %d evicted, %d hops)\n",
+			*spansOut, st.Spans, st.SpansDropped, st.Events)
 	}
 	if res.Violations > 0 {
 		os.Exit(2)

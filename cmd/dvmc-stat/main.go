@@ -8,13 +8,16 @@
 //
 // Subcommands:
 //
-//	dump    re-encode a snapshot (text, json, prom, csv, series-csv)
-//	series  print tracked time series as CSV, optionally filtered
-//	top     rank metrics by value
+//	dump      re-encode a snapshot (text, json, prom, csv, series-csv)
+//	series    print tracked time series as CSV, optionally filtered
+//	top       rank metrics by value
+//	timeline  render a binary span dump (-spans-out) as Chrome
+//	          trace-event JSON, loadable in Perfetto / chrome://tracing
 //
 // Exit codes (all subcommands): 0 clean, 1 usage or I/O error, 2 the
-// snapshot records checker violations — the same convention as
-// dvmc-trace and dvmc-fuzz.
+// snapshot records checker violations or the artifact is malformed —
+// the same convention as dvmc-trace and dvmc-fuzz (a corrupt artifact
+// is a failed verification of the artifact, not a tool usage error).
 //
 // Examples:
 //
@@ -34,6 +37,8 @@ import (
 	"sort"
 	"strings"
 
+	"dvmc"
+	"dvmc/internal/span"
 	"dvmc/internal/telemetry"
 )
 
@@ -48,18 +53,21 @@ func main() {
 		series(os.Args[2:])
 	case "top":
 		top(os.Args[2:])
+	case "timeline":
+		timeline(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		fatalf("unknown subcommand %q (want dump, series, or top)", os.Args[1])
+		fatalf("unknown subcommand %q (want dump, series, top, or timeline)", os.Args[1])
 	}
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  dvmc-stat dump   [-format text|json|prom|csv|series-csv] <snapshot>
-  dvmc-stat series [-metric NAME] <snapshot>
-  dvmc-stat top    [-n N] [-kind counter|gauge] <snapshot>
+  dvmc-stat dump     [-format text|json|prom|csv|series-csv] <snapshot>
+  dvmc-stat series   [-metric NAME] <snapshot>
+  dvmc-stat top      [-n N] [-kind counter|gauge] <snapshot>
+  dvmc-stat timeline [-o FILE] <spans>
 
 <snapshot> is a JSON snapshot file written by the -metrics-out flags of
 dvmc-sim, dvmc-bench, dvmc-fuzz, or dvmc-farm; '-' for stdin; or an
@@ -67,8 +75,12 @@ http(s):// URL — dvmc-sim -http's /metrics or a dvmc-farm coordinator's
 /metrics.json for a live farm-wide view. All renderings are derived
 from the JSON, so text, Prometheus, and CSV views always agree.
 
+<spans> is a binary span dump written by the -spans-out flags of
+dvmc-sim, dvmc-fuzz, or dvmc-farm ('-' for stdin); timeline renders it
+as Chrome trace-event JSON for Perfetto / chrome://tracing.
+
 exit codes: 0 clean, 1 usage or I/O error, 2 the snapshot records
-checker violations.
+checker violations or the artifact failed to decode.
 `)
 	os.Exit(1)
 }
@@ -119,7 +131,11 @@ func load(fs *flag.FlagSet) *telemetry.Snapshot {
 	}
 	snap, err := telemetry.DecodeSnapshot(r)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		// A snapshot that exists but does not decode is a failed artifact,
+		// not a usage error: exit 2, with the source named so a farm-wide
+		// sweep over many files points at the bad one.
+		fmt.Fprintf(os.Stderr, "dvmc-stat: %s: decoding snapshot: %v\n", path, err)
+		os.Exit(2)
 	}
 	return snap
 }
@@ -213,6 +229,57 @@ func top(args []string) {
 		fmt.Printf("  %-36s %-8s %14d\n", m.Name, m.Kind, m.Total())
 	}
 	exitOn(snap)
+}
+
+// timeline renders a binary span dump as Chrome trace-event JSON: one
+// "X" slice per span (transaction, fault flight, or phase sample) and
+// one "i" instant per child event, ready for Perfetto or
+// chrome://tracing. Timestamps are simulated cycles, shown as µs.
+func timeline(args []string) {
+	fs := newFlagSet("timeline")
+	out := fs.String("o", "", "write the JSON here instead of stdout")
+	parseFlags(fs, args)
+	if fs.NArg() != 1 {
+		fatalf("timeline: need exactly one span dump source (file or '-' for stdin)")
+	}
+	path := fs.Arg(0)
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	meta, spans, err := span.Decode(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvmc-stat: %s: decoding span dump: %v\n", path, err)
+		os.Exit(2)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := span.WriteChrome(w, meta, spans, spanName); err != nil {
+		fatalf("timeline: %v", err)
+	}
+}
+
+// spanName renders span display names with the fault-kind vocabulary
+// the injection campaigns use, so a flight recording reads
+// "fault msg-drop", not "fault kind=1".
+func spanName(s *span.Span) string {
+	if s.Family == span.FamilyFault {
+		return "fault " + dvmc.FaultKind(s.Kind).String()
+	}
+	return s.Name()
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvmc"
+)
+
+// TestMain lets tests re-exec this binary as dvmc-stat itself: with the
+// dispatch variable set, the process runs main() on its argv instead of
+// the test suite, so exit codes and stderr are observed exactly as a
+// shell would see them.
+func TestMain(m *testing.M) {
+	if os.Getenv("DVMC_STAT_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runStat re-executes the test binary as dvmc-stat with the given
+// arguments, returning exit code, stdout, and stderr.
+func runStat(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "DVMC_STAT_RUN_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec: %v", err)
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// TestDumpMalformedSnapshotExitsTwo is the regression test for the
+// malformed-snapshot contract: a snapshot that exists but does not
+// decode must exit 2 (failed artifact, not usage error) and the error
+// must name the offending source, so a sweep over many files points at
+// the bad one.
+func TestDumpMalformedSnapshotExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.json":   "{not json at all",
+		"truncated.json": `{"cycle": 12, "metrics": [{"name": "x"`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, _, stderr := runStat(t, "dump", path)
+		if code != 2 {
+			t.Errorf("dump %s: exit %d, want 2; stderr: %s", name, code, stderr)
+		}
+		if !strings.Contains(stderr, path) {
+			t.Errorf("dump %s: stderr does not name the source %q: %s", name, path, stderr)
+		}
+		if !strings.Contains(stderr, "decoding snapshot") {
+			t.Errorf("dump %s: stderr lacks decode context: %s", name, stderr)
+		}
+	}
+}
+
+// TestDumpMissingFileExitsOne pins the other side of the contract: an
+// I/O error (the file does not exist) stays exit 1.
+func TestDumpMissingFileExitsOne(t *testing.T) {
+	code, _, stderr := runStat(t, "dump", filepath.Join(t.TempDir(), "absent.json"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+}
+
+// TestTimelineRendersStrictChromeJSON runs a small system end-to-end:
+// record spans, render the dump through the timeline subcommand, and
+// strict-decode the Chrome trace JSON it emits.
+func TestTimelineRendersStrictChromeJSON(t *testing.T) {
+	cfg := dvmc.ScaledConfig().WithNodes(4).WithSpans(dvmc.SpansOn())
+	w, err := dvmc.WorkloadByName("oltp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dvmc.NewSystem(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunCycles(8192)
+	dump, err := sys.SpanBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.spans")
+	if err := os.WriteFile(path, dump, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runStat(t, "timeline", path)
+	if code != 0 {
+		t.Fatalf("timeline: exit %d; stderr: %s", code, stderr)
+	}
+	dec := json.NewDecoder(strings.NewReader(stdout))
+	dec.DisallowUnknownFields()
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := dec.Decode(&out); err != nil {
+		t.Fatalf("timeline output is not strict Chrome JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("timeline produced no events")
+	}
+}
+
+// TestTimelineCorruptDumpExitsTwo: a span dump with a flipped byte
+// fails its CRC and must exit 2 naming the source.
+func TestTimelineCorruptDumpExitsTwo(t *testing.T) {
+	cfg := dvmc.ScaledConfig().WithNodes(4).WithSpans(dvmc.SpansOn())
+	w, err := dvmc.WorkloadByName("oltp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dvmc.NewSystem(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunCycles(4096)
+	dump, err := sys.SpanBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump[len(dump)/2] ^= 0x40
+	path := filepath.Join(t.TempDir(), "corrupt.spans")
+	if err := os.WriteFile(path, dump, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runStat(t, "timeline", path)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, path) {
+		t.Fatalf("stderr does not name the source: %s", stderr)
+	}
+}

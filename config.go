@@ -126,6 +126,11 @@ type Config struct {
 	// the cycle-driven sampler that captures occupancy time series.
 	Telemetry TelemetryConfig
 
+	// Spans enables the causal span recorder: ring-buffered coherence-
+	// transaction, fault-flight, and phase-profiling spans exportable as
+	// a deterministic binary dump (see spans.go and internal/span).
+	Spans SpanConfig
+
 	// Seed drives every pseudo-random choice; perturbing it provides the
 	// paper's "small pseudo-random perturbations" across repeated runs.
 	Seed uint64
@@ -206,6 +211,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Telemetry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Spans.Validate(); err != nil {
 		return err
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"dvmc/internal/network"
 	"dvmc/internal/proc"
 	"dvmc/internal/sim"
+	"dvmc/internal/span"
 	"dvmc/internal/stats"
 )
 
@@ -544,9 +545,35 @@ func RunInjectionSystem(cfg Config, w Workload, inj Injection, budget uint64) (I
 	baseECC := s.eccCorrections()
 	baseViolations := len(s.Violations())
 
+	// Open the fault flight recording: checkpoint, recovery, and
+	// violation transitions annotate it while the run observes, and the
+	// verdict below closes it. The fire transition is back-filled at
+	// close, once dormant-fault activation times are known.
+	if s.spanRec != nil {
+		s.spanRec.FaultOpen(uint8(inj.Kind), int32(inj.Node%s.cfg.Nodes), s.Now())
+		defer func() {
+			out := span.OutcomeEscape
+			switch {
+			case !res.Applied:
+				out = span.OutcomeNotApplied
+			case res.Detected:
+				out = span.OutcomeDetected
+			case res.Masked:
+				out = span.OutcomeMasked
+			}
+			if res.Applied && res.ActivatedAt > 0 {
+				s.spanRec.FaultEvent(span.LabelFired, res.ActivatedAt, uint64(inj.Kind), 0)
+			}
+			s.spanRec.FaultClose(out, s.Now())
+		}()
+	}
+
 	res.Applied = s.apply(inj, rng)
 	if !res.Applied {
 		return res, s, nil
+	}
+	if s.spanRec != nil {
+		s.spanRec.FaultEvent(span.LabelArmed, s.Now(), uint64(inj.Kind), 0)
 	}
 	// Stamp activation with the time the fault actually applied, not the
 	// requested injection cycle: the warm-up stops early when every

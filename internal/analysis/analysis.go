@@ -107,6 +107,7 @@ var DeterministicPkgs = map[string]bool{
 	"internal/trace":     true,
 	"internal/safetynet": true,
 	"internal/telemetry": true,
+	"internal/span":      true,
 }
 
 // Deterministic reports whether the pass's package is on the

@@ -29,6 +29,7 @@
 //	internal/trace      execution-trace recorder and codec
 //	internal/safetynet  checkpoint/recovery
 //	internal/telemetry  metrics registry and cycle-driven sampler
+//	internal/span       causal span recorder and timeline codec
 //
 // Code outside the allowlist is exempt from maprange and detsource:
 // cmd/dvmc-bench legitimately calls time.Now to measure host throughput,

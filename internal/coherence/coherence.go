@@ -113,6 +113,17 @@ type AccessListener interface {
 	Access(b mem.BlockAddr, write bool)
 }
 
+// TxnListener observes the lifetime of coherence transactions at a
+// cache controller, for the causal span recorder: TxnBegin fires when a
+// request leaves the controller (an MSHR issues), TxnEnd when the MSHR
+// retires. An S→M upgrade race fires TxnEnd(upgraded=true) for the read
+// transaction followed by TxnBegin(wantM=true) for the write that
+// continues in its place.
+type TxnListener interface {
+	TxnBegin(b mem.BlockAddr, wantM bool)
+	TxnEnd(b mem.BlockAddr, upgraded bool)
+}
+
 // LogicalClock provides the causality-respecting time base of Section 4.3.
 // Snooping systems use the broadcast sequence number; directory systems a
 // loosely synchronised physical clock whose skew is below the minimum
@@ -229,6 +240,9 @@ type Controller interface {
 	SetEpochListener(l EpochListener)
 	// SetAccessListener installs the DVMC access observer (may be nil).
 	SetAccessListener(l AccessListener)
+	// SetTxnListener installs the span recorder's transaction observer
+	// (may be nil).
+	SetTxnListener(l TxnListener)
 
 	// Stats returns controller counters.
 	Stats() ControllerStats

@@ -41,6 +41,7 @@ type DirCache struct {
 
 	epochL  EpochListener
 	accessL AccessListener
+	txnL    TxnListener
 
 	stats  ControllerStats
 	strict bool
@@ -124,6 +125,9 @@ func (c *DirCache) SetEpochListener(l EpochListener) { c.epochL = l }
 
 // SetAccessListener implements Controller.
 func (c *DirCache) SetAccessListener(l AccessListener) { c.accessL = l }
+
+// SetTxnListener implements Controller.
+func (c *DirCache) SetTxnListener(l TxnListener) { c.txnL = l }
 
 // Stats implements Controller.
 func (c *DirCache) Stats() ControllerStats { return c.stats }
@@ -311,6 +315,9 @@ func (c *DirCache) issue(ms *mshr) {
 	ms.issued = true
 	ms.pending = false
 	c.stats.TransactionsIssued++
+	if c.txnL != nil {
+		c.txnL.TxnBegin(ms.block, ms.wantM)
+	}
 	home := c.cfg.HomeOf(ms.block)
 	var payload any
 	if ms.wantM {
@@ -502,9 +509,16 @@ func (c *DirCache) serve(ms *mshr, l *line, exclusive bool) {
 		ms.waiters = remaining
 		ms.wantM = true
 		c.stats.TransactionsIssued++
+		if c.txnL != nil {
+			c.txnL.TxnEnd(ms.block, true)
+			c.txnL.TxnBegin(ms.block, true)
+		}
 		c.net.Send(&network.Message{Src: c.node, Dst: home, Size: CtrlBytes, Class: network.ClassCoherence,
 			Payload: MsgGetM{Block: ms.block, Requestor: c.node}})
 		return
+	}
+	if c.txnL != nil {
+		c.txnL.TxnEnd(ms.block, false)
 	}
 	delete(c.mshrs, ms.block)
 }

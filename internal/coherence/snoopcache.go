@@ -40,6 +40,7 @@ type SnoopCache struct {
 
 	epochL  EpochListener
 	accessL AccessListener
+	txnL    TxnListener
 
 	stats  ControllerStats
 	strict bool
@@ -117,6 +118,9 @@ func (c *SnoopCache) SetEpochListener(l EpochListener) { c.epochL = l }
 
 // SetAccessListener implements Controller.
 func (c *SnoopCache) SetAccessListener(l AccessListener) { c.accessL = l }
+
+// SetTxnListener implements Controller.
+func (c *SnoopCache) SetTxnListener(l TxnListener) { c.txnL = l }
 
 // Stats implements Controller.
 func (c *SnoopCache) Stats() ControllerStats { return c.stats }
@@ -307,6 +311,9 @@ func (c *SnoopCache) issue(ms *snoopMSHR) {
 	ms.issued = true
 	ms.pending = false
 	c.stats.TransactionsIssued++
+	if c.txnL != nil {
+		c.txnL.TxnBegin(ms.block, ms.wantM)
+	}
 	kind := SnoopGetS
 	if ms.wantM {
 		kind = SnoopGetM
@@ -712,8 +719,14 @@ func (c *SnoopCache) complete(ms *snoopMSHR, l *line) {
 		ms.dataArrived = false
 		ms.grantKind = 0
 		ms.curState = Invalid
+		if c.txnL != nil {
+			c.txnL.TxnEnd(ms.block, true)
+		}
 		c.issue(ms)
 		return
+	}
+	if c.txnL != nil {
+		c.txnL.TxnEnd(ms.block, false)
 	}
 	delete(c.mshrs, ms.block)
 }

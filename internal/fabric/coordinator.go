@@ -32,8 +32,12 @@ type CoordinatorOptions struct {
 }
 
 type workerInfo struct {
-	shards   int
-	lastSeen uint64
+	shards      int
+	firstSeen   uint64
+	lastSeen    uint64
+	lastRenew   uint64 // last renewal/completion — the mid-shard heartbeat
+	activeShard int    // currently leased shard, -1 when idle
+	activeGen   int    // coverage generation of the active shard, -1 otherwise
 }
 
 // Coordinator owns a job's lease table and accumulates shard results.
@@ -190,16 +194,20 @@ func (c *Coordinator) Close() error {
 func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
 
 //dvmc:guardedby mu
-func (c *Coordinator) touch(worker string) {
+func (c *Coordinator) touch(worker string) *workerInfo {
 	if worker == "" {
-		return
+		return nil
 	}
+	now := c.clock()
 	info := c.workers[worker]
 	if info == nil {
-		info = &workerInfo{}
+		// Admission counts as the first heartbeat so renew age is always
+		// well-defined.
+		info = &workerInfo{firstSeen: now, lastRenew: now, activeShard: -1, activeGen: -1}
 		c.workers[worker] = info
 	}
-	info.lastSeen = c.clock()
+	info.lastSeen = now
+	return info
 }
 
 // Register admits a worker and hands it the job spec.
@@ -226,6 +234,13 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 			// than handing out a shard that would breed from nothing.
 			c.leases.Release(sh.ID)
 			return LeaseResponse{WaitSeconds: 1}
+		}
+		if info := c.workers[req.Worker]; info != nil {
+			info.activeShard = sh.ID
+			info.activeGen = -1
+			if c.spec.Kind == JobCoverage {
+				info.activeGen = c.spec.Coverage.GenOf(sh.From)
+			}
 		}
 		return LeaseResponse{Shard: &sh, Input: input}
 	}
@@ -311,8 +326,12 @@ func (c *Coordinator) shardInput(sh Shard) (json.RawMessage, error) {
 func (c *Coordinator) Renew(req RenewRequest) RenewResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.touch(req.Worker)
-	return RenewResponse{OK: c.leases.Renew(req.Worker, req.Shard, c.clock())}
+	info := c.touch(req.Worker)
+	ok := c.leases.Renew(req.Worker, req.Shard, c.clock())
+	if info != nil && ok {
+		info.lastRenew = c.clock()
+	}
+	return RenewResponse{OK: ok}
 }
 
 // Complete accepts a shard result. The first completion wins; a
@@ -322,7 +341,14 @@ func (c *Coordinator) Renew(req RenewRequest) RenewResponse {
 func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.touch(req.Worker)
+	info := c.touch(req.Worker)
+	if info != nil {
+		info.lastRenew = c.clock()
+		if info.activeShard == req.Result.Shard.ID {
+			info.activeShard = -1
+			info.activeGen = -1
+		}
+	}
 	id := req.Result.Shard.ID
 	if !c.leases.Complete(id) {
 		return CompleteResponse{Accepted: false, Done: c.leases.Done()}, nil
@@ -332,7 +358,7 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	if err := c.journal(CheckpointEntry{Result: &r}); err != nil {
 		return CompleteResponse{}, err
 	}
-	if info := c.workers[req.Worker]; info != nil {
+	if info != nil {
 		info.shards++
 	}
 	done := c.leases.Done()
@@ -365,8 +391,18 @@ func (c *Coordinator) Status() StatusResponse {
 	sort.Strings(names)
 	for _, name := range names {
 		info := c.workers[name]
+		elapsed := now - info.firstSeen
+		if elapsed == 0 {
+			elapsed = 1
+		}
 		resp.Workers = append(resp.Workers, WorkerStatus{
-			Name: name, Shards: info.shards, LastSeenSeconds: now - info.lastSeen,
+			Name:             name,
+			Shards:           info.shards,
+			LastSeenSeconds:  now - info.lastSeen,
+			LastRenewSeconds: now - info.lastRenew,
+			ActiveShard:      info.activeShard,
+			Generation:       info.activeGen,
+			ShardsPerSec:     float64(info.shards) / float64(elapsed),
 		})
 	}
 	return resp

@@ -84,8 +84,22 @@ type WorkerStatus struct {
 	// Shards is the number of shard results this worker delivered.
 	Shards int `json:"shards"`
 	// LastSeenSeconds is seconds (coordinator clock) since the worker's
-	// last request.
+	// last request of any kind.
 	LastSeenSeconds uint64 `json:"last_seen_seconds"`
+	// LastRenewSeconds is seconds since the worker last proved shard
+	// progress (a lease renewal or a completion; admission counts as the
+	// first heartbeat). A worker whose LastSeenSeconds stays fresh while
+	// LastRenewSeconds grows is polling but stuck mid-shard.
+	LastRenewSeconds uint64 `json:"last_renew_seconds"`
+	// ActiveShard is the shard the worker currently holds a lease on,
+	// -1 when idle. A stolen lease leaves the victim's row pointing at
+	// the stale shard until its next request — itself a staleness tell.
+	ActiveShard int `json:"active_shard"`
+	// Generation is the coverage generation of the active shard
+	// (coverage jobs only; -1 otherwise or when idle).
+	Generation int `json:"generation"`
+	// ShardsPerSec is the worker's delivery rate since admission.
+	ShardsPerSec float64 `json:"shards_per_sec"`
 }
 
 // StatusResponse summarises coordinator progress for dvmc-farm status.

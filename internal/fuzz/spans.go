@@ -1,0 +1,70 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+
+	"dvmc"
+)
+
+// WriteSpans re-executes one campaign case — the first failing run if
+// any, else the first run — with span recording enabled and writes its
+// binary span dump to path (render with dvmc-stat timeline). The
+// campaign itself stays uninstrumented, mirroring the -metrics-out
+// snapshot discipline: recording cost never skews classification
+// timing, and the re-run reproduces the same deterministic execution.
+// Record selection orders by class exactly as the summary table does,
+// so the dump is a pure function of the campaign seed regardless of
+// worker count. Returns the record whose case was recorded.
+func WriteSpans(records []Record, path string) (Record, error) {
+	if len(records) == 0 {
+		return Record{}, fmt.Errorf("fuzz: WriteSpans: no records")
+	}
+	rec := records[0]
+	for _, r := range SortRecordsByClass(records) {
+		if r.Result.Class.Failure() {
+			rec = r
+			break
+		}
+	}
+	dump, err := CaseSpans(rec.Case)
+	if err != nil {
+		return rec, err
+	}
+	return rec, os.WriteFile(path, dump, 0o644)
+}
+
+// CaseSpans re-runs one case with span recording enabled and returns
+// its deterministic binary span dump — the timeline evidence for a
+// corpus reproducer's verdict.
+func CaseSpans(c *Case) ([]byte, error) {
+	cfg, err := c.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithSpans(dvmc.SpansOn())
+	name := c.Name
+	if name == "" {
+		name = "fuzz"
+	}
+	w := c.Program.Spec(name)
+
+	var sys *dvmc.System
+	if c.Fault == nil {
+		sys, err = dvmc.NewSystem(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		sys.RunToCompletion(c.Budget)
+	} else {
+		inj, err := c.Fault.Injection()
+		if err != nil {
+			return nil, err
+		}
+		_, sys, err = dvmc.RunInjectionSystem(cfg, w, inj, c.Budget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sys.SpanBytes()
+}

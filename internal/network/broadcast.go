@@ -24,6 +24,7 @@ type BroadcastTree struct {
 	deliverAt sim.Cycle
 	seq       uint64
 	fault     FaultHook
+	observer  Observer
 	rng       *sim.Rand
 	stat      LinkStat
 	delayed   []*delayedSend
@@ -57,6 +58,10 @@ func (b *BroadcastTree) SetHandler(n NodeID, h Handler) { b.handlers[n] = h }
 
 // SetFaultHook installs a message-fault injector; nil clears it.
 func (b *BroadcastTree) SetFaultHook(h FaultHook) { b.fault = h }
+
+// SetObserver installs a delivery observer; nil clears it. The observer
+// fires once per delivered broadcast, before the snoop handlers run.
+func (b *BroadcastTree) SetObserver(o Observer) { b.observer = o }
 
 // Nodes returns the endpoint count.
 func (b *BroadcastTree) Nodes() int { return b.nodes }
@@ -121,6 +126,9 @@ func (b *BroadcastTree) Tick(now sim.Cycle) {
 			m := b.inFlight
 			b.inFlight = nil
 			b.seq++
+			if b.observer != nil {
+				b.observer(m, now)
+			}
 			for _, h := range b.handlers {
 				if h != nil {
 					h(m)

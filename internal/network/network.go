@@ -62,6 +62,12 @@ type Message struct {
 // Handler consumes messages delivered at a node.
 type Handler func(*Message)
 
+// Observer watches message deliveries without consuming them: it fires
+// immediately before the destination handler, stamped with the delivery
+// cycle. The span recorder uses it to attach protocol hops to their
+// transaction spans. Observers must not mutate the message.
+type Observer func(m *Message, at sim.Cycle)
+
 // Network is the point-to-point interconnect interface used by the
 // coherence protocols and DVMC checkers.
 type Network interface {

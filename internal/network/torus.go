@@ -49,7 +49,8 @@ type Torus struct {
 	// at link arbitration (default on).
 	prioritize bool
 
-	fault FaultHook
+	fault    FaultHook
+	observer Observer
 
 	sent, delivered, dropped uint64
 }
@@ -154,6 +155,10 @@ func (t *Torus) SetHandler(n NodeID, h Handler) { t.handlers[n] = h }
 
 // SetFaultHook implements Network.
 func (t *Torus) SetFaultHook(h FaultHook) { t.fault = h }
+
+// SetObserver installs a delivery observer (nil clears it); it fires
+// for every message immediately before the destination handler runs.
+func (t *Torus) SetObserver(o Observer) { t.observer = o }
 
 // coord maps a node to its torus coordinates.
 func (t *Torus) coord(n NodeID) (int, int) { return int(n) % t.dimX, int(n) / t.dimX }
@@ -435,6 +440,9 @@ func (t *Torus) Tick(now sim.Cycle) {
 //dvmc:hotpath
 func (t *Torus) deliver(m *Message) {
 	t.delivered++
+	if t.observer != nil {
+		t.observer(m, t.lastTick)
+	}
 	h := t.handlers[m.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("network: no handler at node %d", m.Dst))

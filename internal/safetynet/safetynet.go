@@ -79,6 +79,9 @@ type Manager struct {
 	// re-restores the same checkpoint the first recovery used.
 	cpAfterRecovery bool
 
+	onCheckpoint func(seq uint64, at sim.Cycle)
+	onRecovery   func(seq uint64, cpCycle, errorCycle sim.Cycle)
+
 	stats Stats
 }
 
@@ -108,6 +111,18 @@ func NewManager(cfg Config, capture CaptureFunc, restore RestoreFunc) *Manager {
 // Stats returns BER counters (log traffic is accounted by the loggers).
 func (m *Manager) Stats() Stats { return m.stats }
 
+// SetCheckpointListener installs a callback fired after every coordinated
+// checkpoint is captured; nil clears it. The span recorder uses it to
+// annotate fault flight recordings with the BER schedule.
+func (m *Manager) SetCheckpointListener(f func(seq uint64, at sim.Cycle)) { m.onCheckpoint = f }
+
+// SetRecoveryListener installs a callback fired after a successful
+// rollback, with the checkpoint used and the error cycle that triggered
+// it; nil clears it.
+func (m *Manager) SetRecoveryListener(f func(seq uint64, cpCycle, errorCycle sim.Cycle)) {
+	m.onRecovery = f
+}
+
 // Tick implements sim.Clockable: takes coordinated checkpoints.
 func (m *Manager) Tick(now sim.Cycle) {
 	if now%m.cfg.Interval != 0 {
@@ -120,6 +135,9 @@ func (m *Manager) Tick(now sim.Cycle) {
 	m.live = append(m.live, cp)
 	if len(m.live) > m.cfg.Keep {
 		m.live = m.live[1:] // oldest checkpoint expires
+	}
+	if m.onCheckpoint != nil {
+		m.onCheckpoint(cp.Seq, now)
 	}
 }
 
@@ -164,6 +182,9 @@ func (m *Manager) Recover(errorCycle sim.Cycle) (Checkpoint, bool) {
 		}
 	}
 	m.live = keep
+	if m.onRecovery != nil {
+		m.onRecovery(cp.Seq, cp.Cycle, errorCycle)
+	}
 	return cp, true
 }
 

@@ -1,0 +1,220 @@
+package span
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dvmc/internal/hash"
+	"dvmc/internal/sim"
+)
+
+// Binary span-dump format, mirroring internal/trace's codec discipline:
+// a magic+version header, varint-packed delta-encoded records, a 0x00
+// sentinel (no span family is zero), a span count, and a streaming
+// CRC-16 footer over everything before the two raw CRC bytes. The
+// encoding is a pure function of (Meta, sorted span list), which is
+// what makes dumps byte-comparable across runs, worker counts, and
+// serial-vs-farm execution.
+
+// Magic identifies a span dump file.
+var Magic = [6]byte{'D', 'V', 'M', 'C', 'S', 'P'}
+
+// Version is the current format version.
+const Version = 1
+
+// Meta is the run identity stamped into a dump's header, matching the
+// fields trace.Meta carries.
+type Meta struct {
+	Nodes    int
+	Model    uint8
+	Protocol uint8
+	Seed     uint64
+}
+
+// appendZigzag appends v in zigzag-varint form.
+func appendZigzag(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v<<1)^uint64(v>>63))
+}
+
+// Encode renders a span dump. The input is re-sorted into canonical
+// (Start, ID) order, so encoding is insensitive to caller ordering.
+func Encode(meta Meta, spans []Span) ([]byte, error) {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sortSpans(sorted)
+
+	out := make([]byte, 0, 32+24*len(sorted))
+	out = append(out, Magic[:]...)
+	out = append(out, Version, 0) // version, flags
+	out = binary.AppendUvarint(out, uint64(meta.Nodes))
+	out = append(out, meta.Model, meta.Protocol)
+	out = binary.AppendUvarint(out, meta.Seed)
+
+	var prevStart sim.Cycle
+	var prevID uint64
+	for i := range sorted {
+		s := &sorted[i]
+		if s.Family == 0 {
+			return nil, fmt.Errorf("span: encode: span %d has zero family", i)
+		}
+		if s.End < s.Start {
+			return nil, fmt.Errorf("span: encode: span %d ends (%d) before it starts (%d)", i, s.End, s.Start)
+		}
+		out = append(out, byte(s.Family), s.Kind)
+		out = appendZigzag(out, int64(s.Node))
+		out = binary.AppendUvarint(out, s.Addr)
+		out = appendZigzag(out, int64(s.ID)-int64(prevID))
+		out = binary.AppendUvarint(out, uint64(s.Start-prevStart))
+		out = binary.AppendUvarint(out, uint64(s.End-s.Start))
+		out = append(out, byte(s.Outcome))
+		out = binary.AppendUvarint(out, uint64(s.Dropped))
+		out = binary.AppendUvarint(out, uint64(len(s.Events)))
+		// Event times are zigzag deltas against the span start, then the
+		// previous event: backfilled events (the fault span's "fired"
+		// annotation) may sit earlier than their neighbours.
+		prevT := int64(s.Start)
+		for _, e := range s.Events {
+			out = append(out, byte(e.Label))
+			out = appendZigzag(out, int64(e.Time)-prevT)
+			prevT = int64(e.Time)
+			out = binary.AppendUvarint(out, e.A)
+			out = binary.AppendUvarint(out, e.B)
+		}
+		prevStart = s.Start
+		prevID = s.ID
+	}
+	out = append(out, 0x00)
+	out = binary.AppendUvarint(out, uint64(len(sorted)))
+	d := hash.NewDigest()
+	d.Write(out)
+	crc := uint16(d.Sum16())
+	out = append(out, byte(crc), byte(crc>>8))
+	return out, nil
+}
+
+// decoder is a cursor over an encoded dump that reports positioned
+// errors.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("span: decode at offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.fail("truncated")
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) zigzag() int64 {
+	u := d.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Decode parses a span dump, verifying the CRC footer first.
+func Decode(data []byte) (Meta, []Span, error) {
+	if len(data) < len(Magic)+2+2 {
+		return Meta{}, nil, fmt.Errorf("span: decode: %d bytes is too short for a span dump", len(data))
+	}
+	if string(data[:len(Magic)]) != string(Magic[:]) {
+		return Meta{}, nil, fmt.Errorf("span: decode: bad magic %q", data[:len(Magic)])
+	}
+	hd := hash.NewDigest()
+	hd.Write(data[:len(data)-2])
+	want := uint16(data[len(data)-2]) | uint16(data[len(data)-1])<<8
+	if got := uint16(hd.Sum16()); got != want {
+		return Meta{}, nil, fmt.Errorf("span: decode: CRC mismatch (file %#04x, computed %#04x)", want, got)
+	}
+
+	d := &decoder{data: data[:len(data)-2], off: len(Magic)}
+	if v := d.u8(); v != Version {
+		return Meta{}, nil, fmt.Errorf("span: decode: unsupported version %d (want %d)", v, Version)
+	}
+	d.u8() // flags, reserved
+	var meta Meta
+	meta.Nodes = int(d.uvarint())
+	meta.Model = d.u8()
+	meta.Protocol = d.u8()
+	meta.Seed = d.uvarint()
+
+	var spans []Span
+	var prevStart sim.Cycle
+	var prevID uint64
+	for d.err == nil {
+		fam := d.u8()
+		if d.err != nil {
+			break
+		}
+		if fam == 0 { // footer sentinel
+			count := d.uvarint()
+			if d.err == nil && count != uint64(len(spans)) {
+				d.fail("footer count %d, decoded %d spans", count, len(spans))
+			}
+			if d.err == nil && d.off != len(d.data) {
+				d.fail("%d trailing bytes after footer", len(d.data)-d.off)
+			}
+			break
+		}
+		var s Span
+		s.Family = Family(fam)
+		s.Kind = d.u8()
+		s.Node = int32(d.zigzag())
+		s.Addr = d.uvarint()
+		s.ID = uint64(int64(prevID) + d.zigzag())
+		s.Start = prevStart + sim.Cycle(d.uvarint())
+		s.End = s.Start + sim.Cycle(d.uvarint())
+		s.Outcome = Outcome(d.u8())
+		s.Dropped = uint16(d.uvarint())
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.data)-d.off) {
+			d.fail("event count %d exceeds remaining input", n)
+		}
+		if d.err != nil {
+			break
+		}
+		s.Events = make([]Event, 0, n)
+		prevT := int64(s.Start)
+		for j := uint64(0); j < n && d.err == nil; j++ {
+			var e Event
+			e.Label = Label(d.u8())
+			prevT += d.zigzag()
+			e.Time = sim.Cycle(prevT)
+			e.A = d.uvarint()
+			e.B = d.uvarint()
+			s.Events = append(s.Events, e)
+		}
+		prevStart = s.Start
+		prevID = s.ID
+		spans = append(spans, s)
+	}
+	if d.err != nil {
+		return Meta{}, nil, d.err
+	}
+	return meta, spans, nil
+}

@@ -1,0 +1,330 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dvmc/internal/sim"
+)
+
+func testMeta() Meta {
+	return Meta{Nodes: 4, Model: 1, Protocol: 0, Seed: 42}
+}
+
+// fillRecorder records a representative mix: transactions with hops,
+// a fault flight, and phase slices.
+func fillRecorder(r *Recorder) {
+	r.TxnBegin(0, 0x40, TxnRead, 10)
+	r.TxnEvent(0, 0x40, LabelGetS, 11, 0, 2)
+	r.TxnEvent(0, 0x40, LabelData, 15, 2, 0)
+	r.TxnEnd(0, 0x40, OutcomeDone, 16)
+
+	r.TxnBegin(1, 0x80, TxnWrite, 12)
+	r.TxnEvent(1, 0x80, LabelGetM, 13, 1, 2)
+	r.TxnEvent(1, 0x80, LabelInv, 14, 2, 3)
+	r.TxnEvent(1, 0x80, LabelInvAck, 18, 3, 2)
+	r.TxnEnd(1, 0x80, OutcomeDone, 20)
+
+	r.FaultOpen(7, 2, 25)
+	r.FaultEvent(LabelArmed, 25, 0, 0)
+	r.FaultEvent(LabelFired, 30, 1, 0)
+	r.FaultEvent(LabelViolation, 40, 2, 0)
+	r.FaultClose(OutcomeDetected, 41)
+
+	r.Phase(CompProc, 0, 1024, 900)
+	r.Phase(CompNetwork, 0, 1024, 1300)
+}
+
+func sameSpans(t *testing.T, got, want []Span) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("span count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := &got[i], &want[i]
+		if g.ID != w.ID || g.Family != w.Family || g.Kind != w.Kind ||
+			g.Node != w.Node || g.Addr != w.Addr || g.Start != w.Start ||
+			g.End != w.End || g.Outcome != w.Outcome || g.Dropped != w.Dropped {
+			t.Fatalf("span %d = %+v, want %+v", i, *g, *w)
+		}
+		if len(g.Events) != len(w.Events) {
+			t.Fatalf("span %d events = %d, want %d", i, len(g.Events), len(w.Events))
+		}
+		for j := range w.Events {
+			if g.Events[j] != w.Events[j] {
+				t.Fatalf("span %d event %d = %+v, want %+v", i, j, g.Events[j], w.Events[j])
+			}
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true})
+	fillRecorder(r)
+	spans := r.Drain(2000)
+
+	data, err := Encode(testMeta(), spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != testMeta() {
+		t.Fatalf("meta = %+v, want %+v", meta, testMeta())
+	}
+	sameSpans(t, got, spans)
+
+	// Same content re-encoded (from the decoded form) is byte-identical.
+	again, err := Encode(meta, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Fatal("re-encoding a decoded dump changed bytes")
+	}
+}
+
+func TestEncodeOrderInsensitive(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true})
+	fillRecorder(r)
+	spans := r.Drain(2000)
+	rev := make([]Span, len(spans))
+	for i := range spans {
+		rev[len(spans)-1-i] = spans[i]
+	}
+	a, err := Encode(testMeta(), spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(testMeta(), rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding depends on caller span order")
+	}
+}
+
+func TestCRCDetectsCorruption(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true})
+	fillRecorder(r)
+	data, err := Encode(testMeta(), r.Drain(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{8, len(data) / 2, len(data) - 3} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x20
+		if _, _, err := Decode(bad); err == nil {
+			t.Fatalf("corruption at offset %d went undetected", off)
+		}
+	}
+	if _, _, err := Decode(data[:len(data)-5]); err == nil {
+		t.Fatal("truncation went undetected")
+	}
+}
+
+func TestRingEvictsOldestClosed(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true, Cap: 4})
+	for i := 0; i < 6; i++ {
+		r.TxnBegin(int32(i%2), uint64(0x40*(i+1)), TxnRead, sim.Cycle(10*i))
+		r.TxnEnd(int32(i%2), uint64(0x40*(i+1)), OutcomeDone, sim.Cycle(10*i+5))
+	}
+	spans := r.Drain(100)
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	// The newest 4 survive: IDs 2..5.
+	if spans[0].ID != 2 || spans[3].ID != 5 {
+		t.Fatalf("retained IDs %d..%d, want 2..5", spans[0].ID, spans[3].ID)
+	}
+	if st := r.Stats(); st.Spans != 6 || st.SpansDropped != 2 {
+		t.Fatalf("stats = %+v, want 6 spans / 2 dropped", st)
+	}
+}
+
+func TestRingRefusesWhenAllOpen(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true, Cap: 2})
+	r.TxnBegin(0, 0x40, TxnRead, 1)
+	r.TxnBegin(0, 0x80, TxnRead, 2)
+	r.TxnBegin(0, 0xc0, TxnRead, 3) // no closed span to evict: dropped
+	if st := r.Stats(); st.SpansDropped != 1 {
+		t.Fatalf("SpansDropped = %d, want 1", st.SpansDropped)
+	}
+	spans := r.Drain(10)
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(spans))
+	}
+	// The refused span has no open entry: its events must not attach.
+	if r.TxnEvent(0, 0xc0, LabelGetS, 4, 0, 0) {
+		t.Fatal("event attached to a span that was never admitted")
+	}
+}
+
+func TestTxnCollisionAbortsPrior(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true})
+	r.TxnBegin(0, 0x40, TxnRead, 1)
+	r.TxnBegin(0, 0x40, TxnWrite, 5) // same key: displaces the first
+	r.TxnEnd(0, 0x40, OutcomeDone, 9)
+	spans := r.Drain(20)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Outcome != OutcomeAborted || spans[0].End != 5 {
+		t.Fatalf("displaced span = %+v, want aborted at 5", spans[0])
+	}
+	if spans[1].Outcome != OutcomeDone || spans[1].Kind != TxnWrite {
+		t.Fatalf("second span = %+v, want done write", spans[1])
+	}
+}
+
+func TestEventCapDrops(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true, EventCap: 2})
+	r.TxnBegin(0, 0x40, TxnRead, 1)
+	for i := 0; i < 5; i++ {
+		r.TxnEvent(0, 0x40, LabelGetS, sim.Cycle(2+i), 0, 0)
+	}
+	r.TxnEnd(0, 0x40, OutcomeDone, 10)
+	spans := r.Drain(20)
+	if len(spans[0].Events) != 2 || spans[0].Dropped != 3 {
+		t.Fatalf("span = %+v, want 2 events / 3 dropped", spans[0])
+	}
+	if st := r.Stats(); st.Events != 2 || st.EventsDropped != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultFlightOutsideRing(t *testing.T) {
+	// Cap 1, with the single ring slot held open: the fault span must
+	// still record, because it lives outside the ring.
+	r := NewRecorder(Config{Enabled: true, Cap: 1})
+	r.TxnBegin(0, 0x40, TxnRead, 1)
+	r.FaultOpen(3, 1, 5)
+	r.FaultEvent(LabelFired, 8, 0, 0)
+	r.FaultClose(OutcomeMasked, 12)
+	r.FaultEvent(LabelViolation, 13, 0, 0) // after close: ignored
+	spans := r.Drain(20)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	var fault *Span
+	for i := range spans {
+		if spans[i].Family == FamilyFault {
+			fault = &spans[i]
+		}
+	}
+	if fault == nil {
+		t.Fatal("fault span missing from drain")
+	}
+	if fault.Outcome != OutcomeMasked || fault.End != 12 || len(fault.Events) != 1 {
+		t.Fatalf("fault span = %+v", *fault)
+	}
+}
+
+func TestAbortOpen(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true})
+	r.TxnBegin(0, 0x40, TxnRead, 1)
+	r.TxnBegin(1, 0x80, TxnWrite, 2)
+	r.TxnEnd(1, 0x80, OutcomeDone, 3)
+	r.AbortOpen(7)
+	if r.TxnEnd(0, 0x40, OutcomeDone, 9) {
+		t.Fatal("span survived AbortOpen")
+	}
+	spans := r.Drain(20)
+	if spans[0].Outcome != OutcomeAborted || spans[0].End != 7 {
+		t.Fatalf("aborted span = %+v", spans[0])
+	}
+	if spans[1].Outcome != OutcomeDone {
+		t.Fatalf("closed span touched by AbortOpen: %+v", spans[1])
+	}
+}
+
+func TestDrainRepeatableAndStampsOpenEnds(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true})
+	r.TxnBegin(0, 0x40, TxnRead, 5)
+	a := r.Drain(50)
+	b := r.Drain(50)
+	sameSpans(t, b, a)
+	if a[0].Outcome != OutcomeOpen || a[0].End != 50 {
+		t.Fatalf("open span drained as %+v, want open with End 50", a[0])
+	}
+	// The recorder itself is untouched: the span can still close.
+	if !r.TxnEnd(0, 0x40, OutcomeDone, 60) {
+		t.Fatal("drain mutated the recorder")
+	}
+}
+
+func TestChromeExportStrictJSON(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true})
+	fillRecorder(r)
+	spans := r.Drain(2000)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, testMeta(), spans, nil); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := dec.Decode(&out); err != nil {
+		t.Fatalf("chrome export is not strict JSON: %v", err)
+	}
+	wantEvents := 0
+	for i := range spans {
+		wantEvents += 1 + len(spans[i].Events)
+	}
+	if len(out.TraceEvents) != wantEvents {
+		t.Fatalf("exported %d trace events, want %d", len(out.TraceEvents), wantEvents)
+	}
+	// Deterministic bytes: a second export is identical.
+	var buf2 bytes.Buffer
+	if err := WriteChrome(&buf2, testMeta(), spans, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("chrome export is nondeterministic")
+	}
+}
+
+// TestRecorderSteadyStateAllocFree pins the recording hot paths at zero
+// allocations once warm: span open/close, hop events, the fault flight,
+// and phase slices all run out of preallocated storage (CI runs this by
+// name alongside the other packages' AllocsPerRun assertions).
+func TestRecorderSteadyStateAllocFree(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true, Cap: 64})
+	// Warm: touch every slot and the open map's buckets.
+	for i := 0; i < 256; i++ {
+		r.TxnBegin(int32(i%4), uint64(0x40*(i%64)), TxnRead, sim.Cycle(i))
+		r.TxnEvent(int32(i%4), uint64(0x40*(i%64)), LabelGetS, sim.Cycle(i), 0, 1)
+		r.TxnEnd(int32(i%4), uint64(0x40*(i%64)), OutcomeDone, sim.Cycle(i+1))
+	}
+	var now sim.Cycle = 1000
+	allocs := testing.AllocsPerRun(200, func() {
+		node := int32(uint64(now) % 4)
+		addr := uint64(0x40 * (uint64(now) % 64))
+		r.TxnBegin(node, addr, TxnWrite, now)
+		r.TxnEvent(node, addr, LabelGetM, now+1, 0, 1)
+		r.TxnEvent(node, addr, LabelData, now+3, 1, 0)
+		r.TxnEnd(node, addr, OutcomeDone, now+4)
+		r.FaultEvent(LabelCheckpoint, now, 1, 0)
+		r.Phase(CompProc, now, now+16, 12)
+		now += 16
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state recording allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -152,6 +152,99 @@ func TestMergeSnapshotsSchemaConflict(t *testing.T) {
 	}
 }
 
+// TestMergeSnapshotsDisjointLabelVectors: inputs whose label vectors
+// share no slots (and metrics present in only one input) union into
+// one canonically sorted vector with nothing summed across slots.
+func TestMergeSnapshotsDisjointLabelVectors(t *testing.T) {
+	a := &Snapshot{Metrics: []MetricSnapshot{
+		{Name: "net.msgs", Kind: "counter", Label: "node", Values: []MetricValue{
+			{LabelValue: "node1", Value: 11}, {LabelValue: "node0", Value: 10},
+		}},
+		{Name: "only.in.a", Kind: "counter", Values: []MetricValue{{Value: 1}}},
+	}}
+	b := &Snapshot{Metrics: []MetricSnapshot{
+		{Name: "net.msgs", Kind: "counter", Label: "node", Values: []MetricValue{
+			{LabelValue: "node3", Value: 33}, {LabelValue: "node2", Value: 22},
+		}},
+	}}
+	m, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs *MetricSnapshot
+	onlyA := false
+	for i := range m.Metrics {
+		switch m.Metrics[i].Name {
+		case "net.msgs":
+			msgs = &m.Metrics[i]
+		case "only.in.a":
+			onlyA = true
+		}
+	}
+	if !onlyA {
+		t.Fatal("metric present in only one input was dropped")
+	}
+	if msgs == nil {
+		t.Fatal("net.msgs missing from merge")
+	}
+	want := []MetricValue{
+		{LabelValue: "node0", Value: 10}, {LabelValue: "node1", Value: 11},
+		{LabelValue: "node2", Value: 22}, {LabelValue: "node3", Value: 33},
+	}
+	if len(msgs.Values) != len(want) {
+		t.Fatalf("disjoint union slots = %v, want %v", msgs.Values, want)
+	}
+	for i, w := range want {
+		if msgs.Values[i] != w {
+			t.Fatalf("slot %d = %v, want %v", i, msgs.Values[i], w)
+		}
+	}
+}
+
+// TestMergeSnapshotsEmptySeriesRings: series rings that never sampled
+// (empty cycle/value arrays) merge like any other series — dropped —
+// without disturbing the rest of the aggregate.
+func TestMergeSnapshotsEmptySeriesRings(t *testing.T) {
+	a := &Snapshot{
+		Cycle:   50,
+		Metrics: []MetricSnapshot{{Name: "x", Kind: "counter", Values: []MetricValue{{Value: 4}}}},
+		Series:  []SeriesSnapshot{{Name: "proc.rob_occupancy"}},
+	}
+	b := &Snapshot{
+		Series: []SeriesSnapshot{{Name: "proc.rob_occupancy", Cycles: []uint64{}, Values: []int64{}}},
+	}
+	m, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Series) != 0 {
+		t.Fatalf("merged snapshot kept %d series from empty rings", len(m.Series))
+	}
+	if m.Cycle != 50 || len(m.Metrics) != 1 || m.Metrics[0].Values[0].Value != 4 {
+		t.Fatalf("empty series rings disturbed the aggregate: %+v", m)
+	}
+}
+
+// TestMergeSnapshotsLabelSchemaConflict: the other schema axis — same
+// name and kind but different label dimensions must refuse to merge,
+// as silently unioning "node"-keyed and "kind"-keyed slots would
+// fabricate a vector no process ever recorded.
+func TestMergeSnapshotsLabelSchemaConflict(t *testing.T) {
+	a := &Snapshot{Metrics: []MetricSnapshot{
+		{Name: "x", Kind: "counter", Label: "node", Values: []MetricValue{{LabelValue: "node0", Value: 1}}},
+	}}
+	b := &Snapshot{Metrics: []MetricSnapshot{
+		{Name: "x", Kind: "counter", Label: "kind", Values: []MetricValue{{LabelValue: "drop", Value: 1}}},
+	}}
+	if _, err := MergeSnapshots(a, b); err == nil {
+		t.Fatal("conflicting metric labels must not merge")
+	}
+	// The error must survive either argument order.
+	if _, err := MergeSnapshots(b, a); err == nil {
+		t.Fatal("conflicting metric labels must not merge (reversed)")
+	}
+}
+
 // TestMergeSnapshotsEmpty: no inputs (and nil inputs) give a valid
 // empty aggregate.
 func TestMergeSnapshotsEmpty(t *testing.T) {

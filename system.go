@@ -10,6 +10,7 @@ import (
 	"dvmc/internal/proc"
 	"dvmc/internal/safetynet"
 	"dvmc/internal/sim"
+	"dvmc/internal/span"
 	"dvmc/internal/telemetry"
 	"dvmc/internal/trace"
 	"dvmc/internal/workload"
@@ -91,6 +92,10 @@ type System struct {
 	// enabled.
 	reg     *telemetry.Registry
 	sampler *telemetry.Sampler
+
+	// spanRec is the causal span recorder; nil unless Config.Spans is
+	// enabled (see spans.go).
+	spanRec *span.Recorder
 
 	violations  core.CollectorSink
 	onViolation func(Violation)
@@ -313,8 +318,10 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	}
 
 	// Telemetry last: the sampler (if enabled) must tick after every
-	// component so each sample observes the cycle's final state.
+	// component so each sample observes the cycle's final state. The
+	// span phase sampler follows for the same reason.
 	s.buildTelemetry(cfg)
+	s.buildSpans(cfg)
 	return s, nil
 }
 
@@ -344,6 +351,9 @@ func (s *System) sink() core.Sink {
 		}
 		s.violations.Violation(v)
 		s.recordViolation(v)
+		if s.spanRec != nil {
+			s.spanRec.FaultEvent(span.LabelViolation, v.Cycle, uint64(v.Kind), uint64(v.Block))
+		}
 		if s.onViolation != nil {
 			s.onViolation(v)
 		}
@@ -499,6 +509,11 @@ func (s *System) restore(state any) {
 		// its pending state at this marker, mirroring the online
 		// checkers' Reset below.
 		s.tracer.Emit(trace.Event{Kind: trace.EvRecover, Time: s.kernel.Now()})
+	}
+	if s.spanRec != nil {
+		// In-flight transactions are squashed with the networks below;
+		// their spans close as aborted.
+		s.spanRec.AbortOpen(s.kernel.Now())
 	}
 	s.torus.Reset()
 	if s.bcast != nil {
